@@ -1,0 +1,39 @@
+# PDC-Query reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test race bench figures verify examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper figure + ablations + throughput benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation (modeled times).
+figures:
+	$(GO) run ./cmd/pdc-bench -fig all -logn 20 -servers 64
+
+# Figures with brute-force verification of every query result.
+verify:
+	$(GO) run ./cmd/pdc-bench -fig all -logn 18 -servers 16 -verify
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vpic -logn 18
+	$(GO) run ./examples/boss -objects 5000
+	$(GO) run ./examples/batch -logn 18
+	$(GO) run ./examples/producer -logn 18
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,119 @@
+// pdc-query is an interactive client for a fleet of pdc-server daemons:
+// it parses a textual query, broadcasts it, and prints the hit count,
+// modeled times, and optionally the matching data of one object.
+//
+//	pdc-query -servers 127.0.0.1:7100,127.0.0.1:7101 \
+//	          -query "Energy > 2.0 and 100 < x and x < 200" \
+//	          -data Energy -limit 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdcquery/internal/client"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/transport"
+)
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:7100", "comma-separated server addresses")
+	qstr := flag.String("query", "", "query text, e.g. \"Energy > 2.0 and x < 200\"")
+	dataObj := flag.String("data", "", "also fetch the matching values of this object")
+	limit := flag.Int("limit", 10, "print at most this many matches")
+	countOnly := flag.Bool("count", false, "only report the number of hits")
+	explain := flag.Bool("explain", false, "print the evaluation plan (condition order + selectivity estimates) and exit")
+	flag.Parse()
+	if *qstr == "" {
+		fmt.Fprintln(os.Stderr, "pdc-query: -query is required")
+		os.Exit(2)
+	}
+
+	var conns []transport.Conn
+	for _, addr := range strings.Split(*servers, ",") {
+		conn, err := transport.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			fatal(err)
+		}
+		conns = append(conns, conn)
+	}
+	cli := client.New(conns, nil)
+	defer cli.Close()
+	if err := cli.SyncMeta(); err != nil {
+		fatal(err)
+	}
+	meta := cli.Meta()
+
+	root, err := query.Parse(*qstr, func(name string) (object.ID, bool) {
+		o, ok := meta.GetByName(name)
+		if !ok {
+			return 0, false
+		}
+		return o.ID, true
+	})
+	if err != nil {
+		fatal(err)
+	}
+	q := &query.Query{Root: root}
+
+	if *explain {
+		plan, err := cli.Explain(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+
+	if *countOnly {
+		res, err := cli.RunCount(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hits: %d\nmodeled query time: %v (server max %v)\n",
+			res.Sel.NHits, res.Info.Elapsed.Total(), res.Info.ServerMax.Total())
+		return
+	}
+
+	res, err := cli.Run(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hits: %d\nmodeled query time: %v (server max %v)\n",
+		res.Sel.NHits, res.Info.Elapsed.Total(), res.Info.ServerMax.Total())
+	fmt.Printf("regions: %d evaluated, %d pruned, %d sorted; %d elements scanned\n",
+		res.Info.Stats.RegionsEvaluated, res.Info.Stats.RegionsPruned,
+		res.Info.Stats.SortedRegions, res.Info.Stats.ElementsScanned)
+
+	show := int(res.Sel.NHits)
+	if show > *limit {
+		show = *limit
+	}
+	if *dataObj == "" {
+		for i := 0; i < show; i++ {
+			fmt.Printf("  match[%d] at index %d\n", i, res.Sel.Coords[i])
+		}
+		return
+	}
+	o, ok := meta.GetByName(*dataObj)
+	if !ok {
+		fatal(fmt.Errorf("unknown object %q", *dataObj))
+	}
+	data, info, err := res.GetData(o.ID)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("modeled get-data time: %v (%d bytes)\n", info.Elapsed.Total(), len(data))
+	for i := 0; i < show; i++ {
+		fmt.Printf("  %s[%d] = %g\n", *dataObj, res.Sel.Coords[i], dtype.At(o.Type, data, i))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdc-query:", err)
+	os.Exit(1)
+}

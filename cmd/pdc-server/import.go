@@ -1,0 +1,40 @@
+package main
+
+import (
+	"pdcquery/internal/core"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/object"
+	"pdcquery/internal/workload"
+)
+
+// importVPIC builds a local deployment-shaped store holding the shared
+// deterministic VPIC dataset (every daemon of the fleet imports the same
+// bytes, standing in for a parallel file system all servers reach).
+func importVPIC(logn int, seed uint64, regionBytes int64, index, sorted bool) (*core.Deployment, error) {
+	n := 1 << logn
+	v := workload.GenerateVPIC(n, seed)
+	d := core.NewDeployment(core.Options{
+		Servers:     1, // the daemon wraps exactly one server.Server
+		RegionBytes: regionBytes,
+		BuildIndex:  index,
+	})
+	c := d.CreateContainer("vpic")
+	var energy object.ID
+	for _, name := range workload.VPICNames {
+		o, err := d.ImportObject(c.ID, object.Property{
+			Name: name, Type: dtype.Float32, Dims: []uint64{uint64(n)},
+		}, dtype.Bytes(v.Vars[name]))
+		if err != nil {
+			return nil, err
+		}
+		if name == "Energy" {
+			energy = o.ID
+		}
+	}
+	if sorted {
+		if err := d.BuildSortedReplica(energy); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

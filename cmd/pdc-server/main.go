@@ -1,0 +1,112 @@
+// pdc-server runs one PDC query server as a standalone TCP daemon.
+//
+// A deployment of N daemons (ranks 0..N-1) serves the same deterministic
+// synthetic dataset — each daemon generates and imports it locally with
+// the shared seed, mirroring a parallel file system every server can
+// reach — and answers the client protocol on its port. Point cmd/pdc-query
+// at all N addresses.
+//
+//	pdc-server -addr 127.0.0.1:7100 -id 0 -n 2 &
+//	pdc-server -addr 127.0.0.1:7101 -id 1 -n 2 &
+//	pdc-query -servers 127.0.0.1:7100,127.0.0.1:7101 -query "Energy > 2.0"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"pdcquery/internal/core"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/server"
+	"pdcquery/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	id := flag.Int("id", 0, "this server's rank in [0, n)")
+	n := flag.Int("n", 1, "total number of servers in the deployment")
+	logn := flag.Int("logn", 18, "VPIC scale: 2^logn particles")
+	load := flag.String("load", "", "load a deployment checkpoint written by pdc-import -out instead of generating data")
+	seed := flag.Uint64("seed", 42, "dataset seed (must match across the deployment)")
+	strategy := flag.String("strategy", "PDC-H", "evaluation strategy: PDC-F, PDC-H, PDC-HI, PDC-SH")
+	regionKB := flag.Int64("region-kb", 64, "region size in KiB")
+	index := flag.Bool("index", true, "build bitmap indexes at import")
+	sorted := flag.Bool("sorted", true, "build the Energy sorted replica at import")
+	flag.Parse()
+
+	strat, err := exec.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdc-server:", err)
+		os.Exit(2)
+	}
+	if *id < 0 || *id >= *n {
+		fmt.Fprintln(os.Stderr, "pdc-server: id must be in [0, n)")
+		os.Exit(2)
+	}
+
+	var d *core.Deployment
+	if *load != "" {
+		log.Printf("pdc-server rank %d/%d: loading checkpoint %s...", *id, *n, *load)
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatalf("pdc-server: %v", err)
+		}
+		d, err = core.LoadCheckpoint(f, core.Options{Servers: 1})
+		f.Close()
+		if err != nil {
+			log.Fatalf("pdc-server: load: %v", err)
+		}
+	} else {
+		log.Printf("pdc-server rank %d/%d: importing 2^%d particles...", *id, *n, *logn)
+		var err error
+		d, err = importVPIC(*logn, *seed, *regionKB<<10, *index, *sorted)
+		if err != nil {
+			log.Fatalf("pdc-server: import: %v", err)
+		}
+	}
+	srv := server.New(server.Config{
+		ID: *id, N: *n,
+		Store:    d.Store(),
+		Meta:     d.Meta(),
+		Replicas: d.Replicas(),
+		Strategy: strat,
+	})
+
+	l, err := transport.Listen(*addr)
+	if err != nil {
+		log.Fatalf("pdc-server: listen: %v", err)
+	}
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
+	// connections finish their current request loop.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("pdc-server rank %d: %v, shutting down", *id, s)
+		l.Close()
+	}()
+
+	log.Printf("pdc-server rank %d/%d serving on %s (strategy %s)", *id, *n, l.Addr(), strat)
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(conn); err != nil {
+				log.Printf("pdc-server: connection: %v", err)
+			}
+			conn.Close()
+		}()
+	}
+	wg.Wait()
+	log.Printf("pdc-server rank %d: bye", *id)
+}

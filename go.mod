@@ -1,0 +1,3 @@
+module pdcquery
+
+go 1.22

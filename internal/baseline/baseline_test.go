@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/region"
+	"pdcquery/internal/simio"
+	"pdcquery/internal/workload"
+)
+
+func storeWithObjects(t *testing.T, n int) (*simio.Store, map[object.ID]*object.Object, *workload.VPIC) {
+	t.Helper()
+	st := simio.New(simio.DefaultModel())
+	v := workload.GenerateVPIC(n, 11)
+	objs := map[object.ID]*object.Object{}
+	for oi, name := range workload.VPICNames {
+		id := object.ID(oi + 1)
+		o := &object.Object{ID: id, Name: name, Type: dtype.Float32, Dims: []uint64{uint64(n)}}
+		for ri, r := range region.Split1D(uint64(n), 4096) {
+			lo, hi := r.Offset[0], r.Offset[0]+r.Count[0]
+			key := object.ExtentKey(id, ri)
+			st.Write(nil, key, simio.PFS, dtype.Bytes(v.Vars[name][lo:hi]))
+			o.Regions = append(o.Regions, object.RegionMeta{Index: ri, Region: r, ExtentKey: key})
+		}
+		objs[id] = o
+	}
+	return st, objs, v
+}
+
+func TestFullScanMatchesTruth(t *testing.T) {
+	st, objs, v := storeWithObjects(t, 20000)
+	lookup := func(id object.ID) (*object.Object, bool) { o, ok := objs[id]; return o, ok }
+	cfg := DefaultConfig(st.Model(), 8)
+
+	q := &query.Query{Root: query.Between(1, 1.5, 2.5, false, false)}
+	res, err := FullScan(st, lookup, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, e := range v.Vars["Energy"] {
+		if e > 1.5 && e < 2.5 {
+			want++
+		}
+	}
+	if res.NHits != want {
+		t.Errorf("hits = %d, want %d", res.NHits, want)
+	}
+	for _, c := range res.Coords {
+		e := v.Vars["Energy"][c]
+		if !(e > 1.5 && e < 2.5) {
+			t.Fatalf("coord %d has energy %v", c, e)
+		}
+	}
+	if res.ReadElapsed <= 0 || res.ScanElapsed <= 0 {
+		t.Errorf("elapsed = %v + %v", res.ReadElapsed, res.ScanElapsed)
+	}
+}
+
+func TestFullScanMultiObject(t *testing.T) {
+	st, objs, v := storeWithObjects(t, 15000)
+	lookup := func(id object.ID) (*object.Object, bool) { o, ok := objs[id]; return o, ok }
+	q := workload.MultiObjectQueries(1, 2, 3, 4)[0]
+	res, err := FullScan(st, lookup, q, DefaultConfig(st.Model(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.MultiObjectSpecs[0]
+	var want uint64
+	for i := 0; i < 15000; i++ {
+		e := float64(v.Vars["Energy"][i])
+		x := float64(v.Vars["x"][i])
+		y := float64(v.Vars["y"][i])
+		z := float64(v.Vars["z"][i])
+		if e > spec.E && x > spec.X0 && x < spec.X1 && y > spec.Y0 && y < spec.Y1 && z > spec.Z0 && z < spec.Z1 {
+			want++
+		}
+	}
+	if res.NHits != want {
+		t.Errorf("hits = %d, want %d", res.NHits, want)
+	}
+}
+
+func TestFullScanErrors(t *testing.T) {
+	st, objs, _ := storeWithObjects(t, 100)
+	lookup := func(id object.ID) (*object.Object, bool) { o, ok := objs[id]; return o, ok }
+	q := &query.Query{Root: query.Leaf(99, query.OpGT, 0)}
+	if _, err := FullScan(st, lookup, q, DefaultConfig(st.Model(), 4)); err == nil {
+		t.Error("unknown object accepted")
+	}
+}
+
+func TestMoreProcsFaster(t *testing.T) {
+	st, objs, _ := storeWithObjects(t, 50000)
+	lookup := func(id object.ID) (*object.Object, bool) { o, ok := objs[id]; return o, ok }
+	q := &query.Query{Root: query.Leaf(1, query.OpGT, 2.0)}
+	m := st.Model()
+	// Uncap shared bandwidth so parallelism scales in this test.
+	m.Tiers[simio.PFS].SharedBW = 0
+	r1, err := FullScan(st, lookup, q, DefaultConfig(m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := FullScan(st, lookup, q, DefaultConfig(m, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Elapsed() >= r1.Elapsed() {
+		t.Errorf("8 procs (%v) not faster than 1 (%v)", r8.Elapsed(), r1.Elapsed())
+	}
+	if r1.NHits != r8.NHits {
+		t.Error("proc count changed the answer")
+	}
+}
+
+func TestBaselineSlowerThanPDCReadPath(t *testing.T) {
+	// The calibrated 2x: HDF5-F reads at half the PDC per-stream rate.
+	m := simio.DefaultModel()
+	cfg := DefaultConfig(m, 1)
+	if cfg.ReadBW*2 != m.Tiers[simio.PFS].ReadBW {
+		t.Errorf("baseline BW %v, PDC %v", cfg.ReadBW, m.Tiers[simio.PFS].ReadBW)
+	}
+}
+
+func TestBOSSScan(t *testing.T) {
+	files := []BOSSFile{
+		{Tags: map[string]string{"RADEG": "150.00"}, Flux: []float32{1, 5, 10, 25}},
+		{Tags: map[string]string{"RADEG": "151.00"}, Flux: []float32{1, 5, 10, 25}},
+		{Tags: map[string]string{"RADEG": "150.00"}, Flux: []float32{-3, 15, 19, 21}},
+	}
+	iv := query.Interval{Lo: 0, Hi: 20, LoIncl: false, HiIncl: false}
+	res := BOSSScan(files, map[string]string{"RADEG": "150.00"}, iv, Config{Procs: 2, OpenLatency: time.Millisecond, ReadBW: 1e9})
+	// Matching files: 0 and 2. In-range values: {1,5,10} + {15,19} = 5.
+	if res.NHits != 5 {
+		t.Errorf("hits = %d, want 5", res.NHits)
+	}
+	if res.ReadElapsed < 2*time.Millisecond {
+		t.Errorf("traversal open cost missing: %v", res.ReadElapsed)
+	}
+	// No tag match at all: still pays the traversal.
+	res = BOSSScan(files, map[string]string{"RADEG": "nope"}, iv, Config{Procs: 1, OpenLatency: time.Millisecond, ReadBW: 1e9})
+	if res.NHits != 0 || res.ReadElapsed < 3*time.Millisecond {
+		t.Errorf("empty-match traversal = %d hits, %v", res.NHits, res.ReadElapsed)
+	}
+}
+
+func TestAmortizedElapsed(t *testing.T) {
+	if got := AmortizedElapsed(150*time.Second, time.Second, 15); got != 11*time.Second {
+		t.Errorf("amortized = %v, want 11s", got)
+	}
+	if got := AmortizedElapsed(10*time.Second, time.Second, 0); got != 11*time.Second {
+		t.Errorf("zero queries = %v", got)
+	}
+}
+
+func TestCostHelper(t *testing.T) {
+	k := Cost(3 * time.Second)
+	if k.Total() != 3*time.Second {
+		t.Errorf("Cost total = %v", k.Total())
+	}
+}

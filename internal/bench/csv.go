@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV emitters for the remaining figures (Fig. 3 has its own in fig3.go);
+// cmd/pdc-bench wires these behind its -csv flag so every series can be
+// re-plotted externally.
+
+// Fig4CSV writes the multi-object rows as CSV.
+func Fig4CSV(w io.Writer, rows []Fig4Row) {
+	fmt.Fprint(w, "query,selectivity_pct,nhits")
+	for _, a := range Approaches {
+		fmt.Fprintf(w, ",%s_s", a)
+	}
+	for _, a := range Approaches[1:] {
+		fmt.Fprintf(w, ",%s_getdata_s", a)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%q,%.6f,%d", r.Label, r.Selectivity, r.NHits)
+		for _, a := range Approaches {
+			fmt.Fprintf(w, ",%.9f", r.QueryTime[a].Seconds())
+		}
+		for _, a := range Approaches[1:] {
+			fmt.Fprintf(w, ",%.9f", r.GetDataTime[a].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig5CSV writes the BOSS rows as CSV.
+func Fig5CSV(w io.Writer, rows []Fig5Row) {
+	fmt.Fprint(w, "data_cond,selectivity_pct,nhits")
+	for _, a := range fig5Approaches {
+		fmt.Fprintf(w, ",%s_s", a)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%q,%.4f,%d", r.Label, r.Selectivity, r.NHits)
+		for _, a := range fig5Approaches {
+			fmt.Fprintf(w, ",%.9f", r.Time[a].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig6CSV writes the scalability rows as CSV.
+func Fig6CSV(w io.Writer, rows []Fig6Row) {
+	fmt.Fprint(w, "servers")
+	for _, a := range fig6Approaches {
+		fmt.Fprintf(w, ",%s_s", a)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d", r.Servers)
+		for _, a := range fig6Approaches {
+			fmt.Fprintf(w, ",%.9f", r.Time[a].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pdcquery/internal/baseline"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/workload"
+)
+
+// Fig3Row is one (region size, query) cell of Fig. 3: query time and
+// get-data time per approach.
+type Fig3Row struct {
+	Region      RegionSize
+	QueryIdx    int
+	Label       string
+	Selectivity float64 // measured, in percent
+	NHits       uint64
+	// QueryTime is the paper's measurement: the 15 queries run
+	// sequentially, so later ones benefit from the servers' region
+	// caches (§VI-A observes exactly this effect).
+	QueryTime map[string]time.Duration
+	// ColdTime re-runs each query against cold caches, isolating the
+	// strategies' storage behaviour from cache warm-up. At full paper
+	// scale the caches never hold everything, so the paper's curves sit
+	// between these two.
+	ColdTime    map[string]time.Duration
+	GetDataTime map[string]time.Duration
+}
+
+// Fig3Run reproduces Fig. 3 (a)–(f): 15 single-object energy queries,
+// executed sequentially per approach (so later queries enjoy the region
+// cache, as in the paper), across the region-size sweep.
+//
+// Accounting follows §VI-A: the two full-scan approaches report amortized
+// time ([total read time / #queries] + scan time); the optimized
+// approaches report each query's measured end-to-end time.
+func Fig3Run(c Config) ([]Fig3Row, error) {
+	n := 1 << c.LogN
+	v := workload.GenerateVPIC(n, c.Seed)
+	var rows []Fig3Row
+	for _, rs := range RegionSweep(n, c.RegionSteps) {
+		d, ids, err := deployVPIC(v, c.Servers, rs.Bytes, true, true)
+		if err != nil {
+			return nil, err
+		}
+		queries := workload.SingleObjectQueries(ids.Energy)
+		regionRows := make([]Fig3Row, len(queries))
+		for k := range queries {
+			regionRows[k] = Fig3Row{
+				Region: rs, QueryIdx: k, Label: workload.SingleQueryLabel(k),
+				QueryTime:   make(map[string]time.Duration),
+				ColdTime:    make(map[string]time.Duration),
+				GetDataTime: make(map[string]time.Duration),
+			}
+		}
+
+		// HDF5-F: one full read of the Energy object amortized over the
+		// batch, plus each query's scan.
+		hcfg := baseline.DefaultConfig(d.Store().Model(), c.Servers)
+		for k, q := range queries {
+			res, err := baseline.FullScan(d.Store(), d.Meta().Get, q, hcfg)
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			amort := baseline.AmortizedElapsed(res.ReadElapsed, res.ScanElapsed, len(queries))
+			regionRows[k].QueryTime["HDF5-F"] = amort
+			regionRows[k].ColdTime["HDF5-F"] = res.Elapsed()
+			regionRows[k].NHits = res.NHits
+			regionRows[k].Selectivity = 100 * float64(res.NHits) / float64(n)
+		}
+
+		// The four PDC approaches, each from a cold start.
+		for _, name := range Approaches[1:] {
+			strat := pdcStrategies[name]
+			d.SetStrategy(strat)
+			// Cold pass: every query starts with empty caches.
+			for k, q := range queries {
+				d.ResetCaches()
+				res, err := d.Client().RunCount(q)
+				if err != nil {
+					d.Close()
+					return nil, err
+				}
+				regionRows[k].ColdTime[name] = res.Info.Elapsed.Total()
+			}
+			// Warm pass: the paper's sequential execution.
+			d.ResetCaches()
+			var queryTimes []time.Duration
+			for k, q := range queries {
+				res, err := d.Client().Run(q)
+				if err != nil {
+					d.Close()
+					return nil, err
+				}
+				if c.Verify {
+					truth, err := d.GroundTruth(q)
+					if err != nil {
+						d.Close()
+						return nil, err
+					}
+					if truth.NHits != res.Sel.NHits {
+						d.Close()
+						return nil, fmt.Errorf("fig3 %s %s: %d hits, truth %d",
+							name, regionRows[k].Label, res.Sel.NHits, truth.NHits)
+					}
+				}
+				queryTimes = append(queryTimes, res.Info.Elapsed.Total())
+				if res.Sel.NHits > 0 {
+					_, dinfo, err := res.GetData(ids.Energy)
+					if err != nil {
+						d.Close()
+						return nil, err
+					}
+					regionRows[k].GetDataTime[name] = dinfo.Elapsed.Total()
+				}
+			}
+			if strat == exec.FullScan {
+				// Amortized accounting for the full-scan approach: the
+				// initial read is shared by the whole batch.
+				var total time.Duration
+				for _, t := range queryTimes {
+					total += t
+				}
+				avg := total / time.Duration(len(queryTimes))
+				for k := range regionRows {
+					regionRows[k].QueryTime[name] = avg
+				}
+			} else {
+				for k := range regionRows {
+					regionRows[k].QueryTime[name] = queryTimes[k]
+				}
+			}
+		}
+		d.Close()
+		rows = append(rows, regionRows...)
+	}
+	return rows, nil
+}
+
+// Fig3Print renders the rows as one table per region size: the
+// sequential (warm-cache) query times with stacked get-data, and the
+// cold-start times.
+func Fig3Print(w io.Writer, rows []Fig3Row) {
+	var cur string
+	for _, r := range rows {
+		key := r.Region.PaperLabel
+		if key != cur {
+			cur = key
+			printHeader(w, fmt.Sprintf("Fig. 3: single-object queries — region size %s (paper-equivalent %s)",
+				byteLabel(r.Region.Bytes), r.Region.PaperLabel))
+			fmt.Fprintf(w, "%-12s %10s %8s", "query", "sel%", "nhits")
+			for _, a := range Approaches {
+				fmt.Fprintf(w, " %10s", a)
+			}
+			for _, a := range Approaches[1:] {
+				fmt.Fprintf(w, " %10s", a+"+gd")
+			}
+			for _, a := range Approaches {
+				fmt.Fprintf(w, " %10s", "cold:"+a)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-12s %10.4f %8d", r.Label, r.Selectivity, r.NHits)
+		for _, a := range Approaches {
+			fmt.Fprintf(w, " %s", secs(r.QueryTime[a]))
+		}
+		for _, a := range Approaches[1:] {
+			fmt.Fprintf(w, " %s", secs(r.QueryTime[a]+r.GetDataTime[a]))
+		}
+		for _, a := range Approaches {
+			fmt.Fprintf(w, " %s", secs(r.ColdTime[a]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func byteLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// Fig3Speedups prints the §VI-A headline ratios derived from the rows:
+// per approach, the cold-start speedup over the HDF5-F full scan at the
+// highest- and lowest-selectivity windows of each region size.
+func Fig3Speedups(w io.Writer, rows []Fig3Row) {
+	printHeader(w, "§VI-A speedups over HDF5-F (cold start)")
+	fmt.Fprintf(w, "%-10s %-12s", "region", "query")
+	for _, a := range Approaches[1:] {
+		fmt.Fprintf(w, " %10s", a)
+	}
+	fmt.Fprintln(w)
+	var cur string
+	var first, last *Fig3Row
+	flush := func() {
+		if first == nil {
+			return
+		}
+		for _, r := range []*Fig3Row{first, last} {
+			fmt.Fprintf(w, "%-10s %-12s", r.Region.PaperLabel, r.Label)
+			for _, a := range Approaches[1:] {
+				ratio := float64(r.ColdTime["HDF5-F"]) / float64(r.ColdTime[a])
+				fmt.Fprintf(w, " %9.1fx", ratio)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		if r.Region.PaperLabel != cur {
+			flush()
+			cur = r.Region.PaperLabel
+			first = r
+		}
+		last = r
+	}
+	flush()
+}
+
+// Fig3CSV writes the rows as CSV for external plotting.
+func Fig3CSV(w io.Writer, rows []Fig3Row) {
+	fmt.Fprint(w, "region,paper_region,query,selectivity_pct,nhits")
+	for _, a := range Approaches {
+		fmt.Fprintf(w, ",%s_s", a)
+	}
+	for _, a := range Approaches[1:] {
+		fmt.Fprintf(w, ",%s_getdata_s", a)
+	}
+	for _, a := range Approaches {
+		fmt.Fprintf(w, ",cold_%s_s", a)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%s,%s,%.6f,%d", r.Region.Bytes, r.Region.PaperLabel, r.Label, r.Selectivity, r.NHits)
+		for _, a := range Approaches {
+			fmt.Fprintf(w, ",%.9f", r.QueryTime[a].Seconds())
+		}
+		for _, a := range Approaches[1:] {
+			fmt.Fprintf(w, ",%.9f", r.GetDataTime[a].Seconds())
+		}
+		for _, a := range Approaches {
+			fmt.Fprintf(w, ",%.9f", r.ColdTime[a].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig3 runs and prints the experiment.
+func Fig3(w io.Writer, c Config) error {
+	rows, err := Fig3Run(c)
+	if err != nil {
+		return err
+	}
+	Fig3Print(w, rows)
+	Fig3Speedups(w, rows)
+	return nil
+}

@@ -1,0 +1,609 @@
+// Package client is the PDC client library: the application-facing side
+// of the Fig. 1 API. It serializes query conditions, broadcasts them to
+// every server, and aggregates partial results in a background goroutine
+// per connection — the paper's asynchronous client/server communication
+// (§III-C).
+//
+// Virtual-time accounting composes the end-to-end elapsed model the
+// experiments report: broadcast wire cost, the slowest server's
+// evaluation cost (servers run in parallel), the serialized response
+// transfers into the client, and the client-side merge.
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"time"
+
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/server"
+	"pdcquery/internal/transport"
+	"pdcquery/internal/vclock"
+)
+
+// Info reports the modeled execution profile of one client call.
+type Info struct {
+	// Elapsed is the modeled end-to-end time of the call.
+	Elapsed vclock.Cost
+	// ServerMax is the slowest server's evaluation cost (the parallel
+	// phase of Elapsed).
+	ServerMax vclock.Cost
+	// Stats aggregates evaluation counters over all servers.
+	Stats exec.Stats
+	// NHits is the total number of matching elements.
+	NHits uint64
+}
+
+// mergeCostPerHit models the client-side aggregation of results.
+const mergeCostPerHit = 2 * time.Nanosecond
+
+// Client talks to an N-server PDC deployment.
+type Client struct {
+	conns []transport.Conn
+	meta  *metadata.Service
+	// sharedBW models the aggregate backend bandwidth (bytes/s) of the
+	// shared file system: when a query's fleet-wide storage traffic
+	// exceeds what the slowest server alone accounts for, the backend is
+	// the bottleneck. Zero disables the floor.
+	sharedBW float64
+	// wireLatency and wireBW parameterize the modeled interconnect
+	// (zero values fall back to the transport defaults).
+	wireLatency time.Duration
+	wireBW      float64
+
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]chan reply
+	readErr error
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type reply struct {
+	srv int
+	msg transport.Message
+}
+
+// New connects a client to the given server connections. meta may be nil
+// for remote deployments; call SyncMeta to fetch a snapshot.
+func New(conns []transport.Conn, meta *metadata.Service) *Client {
+	c := &Client{
+		conns:   conns,
+		meta:    meta,
+		nextReq: 1,
+		pending: make(map[uint64]chan reply),
+	}
+	// The background aggregator threads (§III-C): one reader per server
+	// connection routing responses to the issuing call.
+	for i, conn := range conns {
+		c.wg.Add(1)
+		go c.reader(i, conn)
+	}
+	return c
+}
+
+func (c *Client) reader(srv int, conn transport.Conn) {
+	defer c.wg.Done()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			if c.readErr == nil && !c.closed {
+				c.readErr = fmt.Errorf("client: server %d connection: %w", srv, err)
+			}
+			for _, ch := range c.pending {
+				select {
+				case ch <- reply{srv: -1}:
+				default:
+				}
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ReqID]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- reply{srv: srv, msg: m}
+		}
+	}
+}
+
+// SetSharedBW installs the shared storage backend bandwidth used for the
+// saturation floor (deployments pass their cost model's PFS SharedBW).
+func (c *Client) SetSharedBW(bw float64) { c.sharedBW = bw }
+
+// SetWireModel overrides the modeled interconnect parameters (scaled
+// deployments shrink the wire latency together with storage latencies).
+func (c *Client) SetWireModel(latency time.Duration, bw float64) {
+	c.wireLatency, c.wireBW = latency, bw
+}
+
+// wire returns the modeled cost of moving n payload bytes.
+func (c *Client) wire(n int) time.Duration {
+	lat, bw := c.wireLatency, c.wireBW
+	if lat == 0 {
+		lat = transport.DefaultLatency
+	}
+	if bw == 0 {
+		bw = transport.DefaultBW
+	}
+	return transport.WireCostWith(lat, bw, n)
+}
+
+// NumServers returns the deployment size.
+func (c *Client) NumServers() int { return len(c.conns) }
+
+// Meta returns the client's metadata view.
+func (c *Client) Meta() *metadata.Service { return c.meta }
+
+// Close sends shutdown to every server and closes the connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Send(transport.Message{Type: server.MsgShutdown})
+		conn.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// broadcast sends one message to every server (payload may differ per
+// server via perServer) and collects all replies, indexed by server.
+func (c *Client) broadcast(t byte, perServer func(i int) []byte) (uint64, []transport.Message, error) {
+	return c.broadcastCtx(context.Background(), t, perServer)
+}
+
+// broadcastCtx is broadcast with cancellation: if ctx ends first, the
+// call returns ctx's error and late replies are dropped.
+func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int) []byte) (uint64, []transport.Message, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	req := c.nextReq
+	c.nextReq++
+	ch := make(chan reply, len(c.conns))
+	c.pending[req] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+	}()
+
+	for i, conn := range c.conns {
+		if err := conn.Send(transport.Message{Type: t, ReqID: req, Payload: perServer(i)}); err != nil {
+			return 0, nil, err
+		}
+	}
+	out := make([]transport.Message, len(c.conns))
+	for n := 0; n < len(c.conns); n++ {
+		var r reply
+		select {
+		case r = <-ch:
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+		if r.srv < 0 {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return 0, nil, err
+		}
+		if r.msg.Type == server.MsgError {
+			return 0, nil, fmt.Errorf("client: server %d: %s", r.srv, r.msg.Payload)
+		}
+		out[r.srv] = r.msg
+	}
+	return req, out, nil
+}
+
+// QueryResult is a completed query: the merged selection plus what is
+// needed to retrieve the matching data.
+type QueryResult struct {
+	Sel  *selection.Selection
+	Info Info
+
+	client *Client
+	reqID  uint64
+	obj    []object.ID // objects referenced by the query
+}
+
+// Run executes the query, returning the merged selection
+// (PDCquery_get_selection semantics: hit count plus locations).
+func (c *Client) Run(q *query.Query) (*QueryResult, error) {
+	return c.run(context.Background(), q, server.FlagWantSelection)
+}
+
+// RunContext is Run with cancellation: if ctx ends before every server
+// has answered, the call returns ctx's error (servers finish their
+// evaluation; the late responses are discarded).
+func (c *Client) RunContext(ctx context.Context, q *query.Query) (*QueryResult, error) {
+	return c.run(ctx, q, server.FlagWantSelection)
+}
+
+// RunCount executes the query for the hit count only
+// (PDCquery_get_nhits): servers do full evaluation but transfer no
+// locations.
+func (c *Client) RunCount(q *query.Query) (*QueryResult, error) {
+	return c.run(context.Background(), q, 0)
+}
+
+// RunCountContext is RunCount with cancellation.
+func (c *Client) RunCountContext(ctx context.Context, q *query.Query) (*QueryResult, error) {
+	return c.run(ctx, q, 0)
+}
+
+func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryResult, error) {
+	if c.meta != nil {
+		if err := q.Validate(c.meta.Get); err != nil {
+			return nil, err
+		}
+	}
+	payload := server.EncodeQueryRequest(flags, q.Encode())
+	reqID, msgs, err := c.broadcastCtx(ctx, server.MsgQuery, func(int) []byte { return payload })
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{client: c, reqID: reqID, obj: q.Root.Objects()}
+	// Broadcast cost: the request goes out to all servers concurrently.
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))))
+
+	var parts []*selection.Selection
+	var respBytes int
+	for _, m := range msgs {
+		qr, err := server.DecodeQueryResponse(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		res.Info.ServerMax = res.Info.ServerMax.Max(qr.Cost)
+		res.Info.Stats.Add(qr.Stats)
+		respBytes += len(m.Payload)
+		parts = append(parts, qr.Sel)
+	}
+	// Responses arrive concurrently: one wire latency, serialized bytes.
+	respWire := c.wire(respBytes)
+	res.Sel = selection.MergeAll(parts)
+	res.Info.NHits = res.Sel.NHits
+	// Servers evaluate in parallel; responses serialize into the client.
+	// The parallel phase cannot beat the shared backend: if the fleet
+	// moved more storage bytes than the slowest server's own time covers
+	// at the aggregate bandwidth, the backend saturation is the floor.
+	res.Info.Elapsed = res.Info.Elapsed.Add(res.Info.ServerMax)
+	if c.sharedBW > 0 && res.Info.Stats.StorageBytes > 0 {
+		floor := time.Duration(float64(res.Info.Stats.StorageBytes) / c.sharedBW * 1e9)
+		if extra := floor - res.Info.ServerMax.Total(); extra > 0 {
+			res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Storage, extra))
+		}
+	}
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, respWire))
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Compute, time.Duration(res.Sel.NHits)*mergeCostPerHit))
+	return res, nil
+}
+
+// Future is an in-flight asynchronous query (§III-C: "a client can
+// either block and wait for the query result or continue to other tasks
+// while the servers are processing"). Wait blocks until completion;
+// Done is closed when the result is ready.
+type Future struct {
+	done chan struct{}
+	res  *QueryResult
+	err  error
+}
+
+// Done is closed once the result is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the query completes and returns its result.
+func (f *Future) Wait() (*QueryResult, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// RunAsync starts the query and returns immediately; the broadcast and
+// aggregation happen in the background (the paper's non-blocking client
+// mode).
+func (c *Client) RunAsync(q *query.Query) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.res, f.err = c.Run(q)
+	}()
+	return f
+}
+
+// GetData retrieves the matching elements' values of obj into a buffer in
+// selection order (PDCquery_get_data). The returned Info models the
+// retrieval cost.
+func (r *QueryResult) GetData(obj object.ID) ([]byte, *Info, error) {
+	req := (&server.DataRequest{Obj: obj, QueryReq: r.reqID}).Encode()
+	_, msgs, err := r.client.broadcast(server.MsgGetData, func(int) []byte { return req })
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &Info{NHits: r.Sel.NHits}
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, r.client.wire(len(req))))
+
+	o, elemSize, err := r.client.objectInfo(obj)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = o
+	type part struct {
+		coords []uint64
+		data   []byte
+		pos    int
+	}
+	parts := make([]part, 0, len(msgs))
+	var total int
+	var respBytes int
+	for _, m := range msgs {
+		dr, err := server.DecodeDataResponse(m.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.ServerMax = info.ServerMax.Max(dr.Cost)
+		respBytes += len(m.Payload)
+		if len(dr.Data) != len(dr.Coords)*elemSize {
+			return nil, nil, fmt.Errorf("client: server returned %d bytes for %d coords", len(dr.Data), len(dr.Coords))
+		}
+		parts = append(parts, part{coords: dr.Coords, data: dr.Data})
+		total += len(dr.Coords)
+	}
+	if uint64(total) != r.Sel.NHits {
+		return nil, nil, fmt.Errorf("client: servers returned %d values for %d hits", total, r.Sel.NHits)
+	}
+	// K-way merge the per-server partials into global coordinate order.
+	out := make([]byte, total*elemSize)
+	for i := 0; i < total; i++ {
+		best := -1
+		for p := range parts {
+			if parts[p].pos >= len(parts[p].coords) {
+				continue
+			}
+			if best < 0 || parts[p].coords[parts[p].pos] < parts[best].coords[parts[best].pos] {
+				best = p
+			}
+		}
+		pp := &parts[best]
+		copy(out[i*elemSize:], pp.data[pp.pos*elemSize:(pp.pos+1)*elemSize])
+		pp.pos++
+	}
+	info.Elapsed = info.Elapsed.Add(info.ServerMax)
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, r.client.wire(respBytes)))
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Compute, time.Duration(total)*mergeCostPerHit))
+	return out, info, nil
+}
+
+// GetDataBatch streams the matching values of obj in batches of at most
+// batchSize hits (PDCquery_get_data_batch), for results too large to hold
+// in memory at once. fn receives each batch's selection and values.
+func (r *QueryResult) GetDataBatch(obj object.ID, batchSize uint64, fn func(batch *selection.Selection, data []byte) error) (*Info, error) {
+	if r.Sel.CountOnly {
+		return nil, fmt.Errorf("client: GetDataBatch needs a selection; use Run, not RunCount")
+	}
+	_, elemSize, err := r.client.objectInfo(obj)
+	if err != nil {
+		return nil, err
+	}
+	o, _ := r.client.meta.Get(obj)
+	info := &Info{NHits: r.Sel.NHits}
+	n := r.client.NumServers()
+	for _, batch := range r.Sel.Batches(batchSize) {
+		// Group the batch coords by owning server (region r -> server
+		// r mod N, the same mapping the servers derive).
+		groups := make([][]uint64, n)
+		for _, coord := range batch.Coords {
+			srv := o.RegionOfLinear(coord) % n
+			groups[srv] = append(groups[srv], coord)
+		}
+		_, msgs, err := r.client.broadcast(server.MsgGetData, func(i int) []byte {
+			return (&server.DataRequest{Obj: obj, Coords: groups[i]}).Encode()
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, len(batch.Coords)*elemSize)
+		var respBytes int
+		for _, m := range msgs {
+			dr, err := server.DecodeDataResponse(m.Payload)
+			if err != nil {
+				return nil, err
+			}
+			info.ServerMax = info.ServerMax.Max(dr.Cost)
+			respBytes += len(m.Payload)
+			// Place each returned value at its coord's position in the
+			// batch (coords within a batch are sorted and unique).
+			for i, coord := range dr.Coords {
+				pos := searchU64(batch.Coords, coord)
+				copy(buf[pos*elemSize:], dr.Data[i*elemSize:(i+1)*elemSize])
+			}
+		}
+		info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, r.client.wire(respBytes)))
+		if err := fn(batch, buf); err != nil {
+			return info, err
+		}
+	}
+	info.Elapsed = info.Elapsed.Add(info.ServerMax)
+	return info, nil
+}
+
+func searchU64(s []uint64, v uint64) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (c *Client) objectInfo(id object.ID) (*object.Object, int, error) {
+	if c.meta == nil {
+		return nil, 0, fmt.Errorf("client: no metadata; call SyncMeta first")
+	}
+	o, ok := c.meta.Get(id)
+	if !ok {
+		return nil, 0, fmt.Errorf("client: object %d not found", id)
+	}
+	return o, o.Type.Size(), nil
+}
+
+// GetHistogram fetches an object's global histogram
+// (PDCquery_get_histogram): the PDC system builds it automatically at
+// import, so this is a metadata-only call.
+func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error) {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(obj))
+	// The histogram lives on the owning server; ask just that one.
+	owner := metadata.OwnerOf(obj, len(c.conns))
+	c.mu.Lock()
+	req := c.nextReq
+	c.nextReq++
+	ch := make(chan reply, 1)
+	c.pending[req] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+	}()
+	if err := c.conns[owner].Send(transport.Message{Type: server.MsgHistogram, ReqID: req, Payload: payload[:]}); err != nil {
+		return nil, nil, err
+	}
+	r := <-ch
+	if r.srv < 0 {
+		return nil, nil, c.readErr
+	}
+	if r.msg.Type == server.MsgError {
+		return nil, nil, fmt.Errorf("client: %s", r.msg.Payload)
+	}
+	h, err := server.DecodeHistResult(r.msg.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &Info{}
+	info.Elapsed = vclock.CostOf(vclock.Network, 2*c.wire(len(r.msg.Payload)))
+	return h, info, nil
+}
+
+// QueryTag runs a metadata query (PDCquery_tag): every server reports the
+// matching objects it owns; the client unions the shards.
+func (c *Client) QueryTag(conds []metadata.TagCond) ([]object.ID, *Info, error) {
+	payload := server.EncodeTagQuery(conds)
+	_, msgs, err := c.broadcast(server.MsgTagQuery, func(int) []byte { return payload })
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &Info{}
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))))
+	var all []object.ID
+	var respBytes int
+	for _, m := range msgs {
+		cost, ids, err := server.DecodeTagResult(m.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.ServerMax = info.ServerMax.Max(cost)
+		respBytes += len(m.Payload)
+		all = append(all, ids...)
+	}
+	respWire := c.wire(respBytes)
+	// Shards are disjoint; sort for a deterministic result.
+	slices.Sort(all)
+	info.NHits = uint64(len(all))
+	info.Elapsed = info.Elapsed.Add(info.ServerMax)
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, respWire))
+	return all, info, nil
+}
+
+// EstimateNHits bounds the number of hits of a query using only the
+// global histograms (§III-D2's selectivity estimation, exposed to
+// applications): no server evaluation, no storage access. The true count
+// always lies in [lower, upper]. Region constraints and OR terms are
+// handled conservatively (per-term sums for the upper bound, zero lower
+// bound for multi-term or multi-object queries, since histograms carry no
+// joint distribution).
+func (c *Client) EstimateNHits(q *query.Query) (lower, upper uint64, err error) {
+	if c.meta == nil {
+		return 0, 0, fmt.Errorf("client: no metadata; call SyncMeta first")
+	}
+	if err := q.Validate(c.meta.Get); err != nil {
+		return 0, 0, err
+	}
+	conjuncts, err := query.Normalize(q.Root)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, conj := range conjuncts {
+		// Upper bound of an AND term: the smallest per-condition upper
+		// bound. Lower bound: only usable for a single-condition term
+		// (no joint information otherwise).
+		termUpper := uint64(math.MaxUint64)
+		termLower := uint64(0)
+		single := len(conj) == 1
+		for id, iv := range conj {
+			o, _ := c.meta.Get(id)
+			if o.Global == nil {
+				return 0, 0, fmt.Errorf("client: object %d has no global histogram", id)
+			}
+			l, u := o.Global.Estimate(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+			if u < termUpper {
+				termUpper = u
+			}
+			if single {
+				termLower = l
+			}
+		}
+		upper += termUpper
+		if len(conjuncts) == 1 {
+			lower = termLower
+		}
+	}
+	// The union of conjuncts cannot exceed the object size.
+	ids := q.Root.Objects()
+	if o, ok := c.meta.Get(ids[0]); ok {
+		if n := o.NumElems(); upper > n {
+			upper = n
+		}
+	}
+	// A spatial constraint can only shrink the true count, and histograms
+	// carry no spatial information: the lower bound degrades to zero.
+	if q.Constraint != nil {
+		lower = 0
+	}
+	return lower, upper, nil
+}
+
+// SyncMeta fetches a metadata snapshot from server 0 and installs it as
+// the client's metadata view (for TCP deployments where the client does
+// not share memory with the servers).
+func (c *Client) SyncMeta() error {
+	_, msgs, err := c.broadcast(server.MsgMetaSnapshot, func(int) []byte { return nil })
+	if err != nil {
+		return err
+	}
+	svc := metadata.NewService()
+	if err := svc.Restore(msgs[0].Payload); err != nil {
+		return err
+	}
+	c.meta = svc
+	return nil
+}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+)
+
+// PlanCondition is one condition of a query plan, annotated with the
+// selectivity bounds the planner derived from the global histogram.
+type PlanCondition struct {
+	Obj      object.ID
+	Name     string
+	Interval query.Interval
+	// SelLower and SelUpper bound the condition's selectivity (fraction
+	// of elements matching), from the global histogram.
+	SelLower, SelUpper float64
+}
+
+// Plan describes how the servers will evaluate a query: the DNF terms
+// and, within each term, the conditions in evaluation order (ascending
+// estimated selectivity — §III-D2). It is computed entirely from
+// metadata; no server round trip or storage access happens.
+type Plan struct {
+	// Conjuncts holds each OR term's conditions in evaluation order.
+	Conjuncts [][]PlanCondition
+	// EstLower and EstUpper bound the total hit count (see EstimateNHits).
+	EstLower, EstUpper uint64
+}
+
+// String renders the plan in a compact EXPLAIN-style form.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, term := range p.Conjuncts {
+		if i > 0 {
+			b.WriteString("OR\n")
+		}
+		for j, cond := range term {
+			fmt.Fprintf(&b, "  %d. %s in %s  (selectivity %.4f%%..%.4f%%)\n",
+				j+1, cond.Name, cond.Interval, 100*cond.SelLower, 100*cond.SelUpper)
+		}
+	}
+	fmt.Fprintf(&b, "estimated hits: %d..%d\n", p.EstLower, p.EstUpper)
+	return b.String()
+}
+
+// Explain returns the evaluation plan for a query, mirroring the
+// selectivity-ordered execution the servers perform. The paper's future
+// work asks for relational-style query optimization insight on object
+// data; this exposes the existing planner's decisions to applications.
+func (c *Client) Explain(q *query.Query) (*Plan, error) {
+	if c.meta == nil {
+		return nil, fmt.Errorf("client: no metadata; call SyncMeta first")
+	}
+	if err := q.Validate(c.meta.Get); err != nil {
+		return nil, err
+	}
+	conjuncts, err := query.Normalize(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{}
+	for _, conj := range conjuncts {
+		var term []PlanCondition
+		for _, id := range conj.ObjectsSorted() {
+			iv := conj[id]
+			o, _ := c.meta.Get(id)
+			pc := PlanCondition{Obj: id, Name: o.Name, Interval: iv, SelUpper: 1}
+			if o.Global != nil {
+				pc.SelLower, pc.SelUpper = o.Global.SelectivityBounds(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+			}
+			term = append(term, pc)
+		}
+		// The engine's order: ascending upper-bound selectivity, stable
+		// on object ID.
+		sort.SliceStable(term, func(i, j int) bool { return term[i].SelUpper < term[j].SelUpper })
+		plan.Conjuncts = append(plan.Conjuncts, term)
+	}
+	plan.EstLower, plan.EstUpper, err = c.EstimateNHits(q)
+	if err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,94 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/workload"
+
+	"pdcquery/internal/core"
+)
+
+func vpicClient(t *testing.T, n int) (*core.Deployment, map[string]object.ID) {
+	t.Helper()
+	d := core.NewDeployment(core.Options{Servers: 4, Strategy: exec.Histogram, RegionBytes: 8 << 10})
+	c := d.CreateContainer("vpic")
+	v := workload.GenerateVPIC(n, 42)
+	ids := map[string]object.ID{}
+	for _, name := range workload.VPICNames {
+		o, err := d.ImportObject(c.ID, object.Property{
+			Name: name, Type: dtype.Float32, Dims: []uint64{uint64(n)},
+		}, dtype.Bytes(v.Vars[name]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = o.ID
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, ids
+}
+
+func TestExplainOrdersBySelectivity(t *testing.T) {
+	d, ids := vpicClient(t, 20000)
+	// The last multi-object query: x is the most selective condition.
+	q := workload.MultiObjectQueries(ids["Energy"], ids["x"], ids["y"], ids["z"])[5]
+	plan, err := d.Client().Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Conjuncts) != 1 || len(plan.Conjuncts[0]) != 4 {
+		t.Fatalf("plan shape = %v", plan)
+	}
+	first := plan.Conjuncts[0][0]
+	if first.Name != "x" {
+		t.Errorf("first condition = %s, want x (most selective)", first.Name)
+	}
+	// Selectivities are ordered ascending.
+	for i := 1; i < 4; i++ {
+		if plan.Conjuncts[0][i].SelUpper < plan.Conjuncts[0][i-1].SelUpper {
+			t.Errorf("plan not ordered at %d", i)
+		}
+	}
+	// The estimate brackets the real count.
+	res, err := d.Client().RunCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sel.NHits < plan.EstLower || res.Sel.NHits > plan.EstUpper {
+		t.Errorf("truth %d outside plan estimate [%d, %d]", res.Sel.NHits, plan.EstLower, plan.EstUpper)
+	}
+	// Rendering mentions every object and the estimate.
+	s := plan.String()
+	for _, want := range []string{"Energy", "x", "y", "z", "estimated hits"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainOr(t *testing.T) {
+	d, ids := vpicClient(t, 10000)
+	q := &query.Query{Root: query.Or(
+		query.Between(ids["Energy"], 2.1, 2.2, false, false),
+		query.Leaf(ids["x"], query.OpLT, 10))}
+	plan, err := d.Client().Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Conjuncts) != 2 {
+		t.Fatalf("or plan terms = %d", len(plan.Conjuncts))
+	}
+	if !strings.Contains(plan.String(), "OR") {
+		t.Error("plan string missing OR separator")
+	}
+	if _, err := d.Client().Explain(&query.Query{Root: query.Leaf(999, query.OpGT, 0)}); err == nil {
+		t.Error("explain of unknown object succeeded")
+	}
+}

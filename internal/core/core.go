@@ -1,0 +1,474 @@
+// Package core assembles the PDC-Query system: a storage substrate, a
+// metadata service, N query servers, and a client, wired over in-process
+// pipes or TCP. It is the paper's deployment — "one PDC server per
+// compute node" — in library form, and the entry point the examples,
+// benchmarks, and command-line tools use.
+//
+// Lifecycle: create a Deployment, import objects (regions are written to
+// the simulated PFS with per-region histograms, optional bitmap indexes,
+// and optional sorted replicas), then Start it and query through
+// Client(). Strategy, server count, and cost model are configurable per
+// experiment run.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pdcquery/internal/bitindex"
+	"pdcquery/internal/client"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/region"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/server"
+	"pdcquery/internal/simio"
+	"pdcquery/internal/sortstore"
+	"pdcquery/internal/transport"
+	"pdcquery/internal/vclock"
+)
+
+// Options configures a deployment.
+type Options struct {
+	// Servers is the number of PDC server processes (64 in most of the
+	// paper's experiments; 32–512 in Fig. 6).
+	Servers int
+	// Strategy is the initial query evaluation strategy.
+	Strategy exec.Strategy
+	// RegionBytes is the region partition size (the paper sweeps 4 MB to
+	// 128 MB). Zero defaults to 4 MB.
+	RegionBytes int64
+	// HistBins is the per-region histogram resolution (50–100 in the
+	// paper). Zero defaults to histogram.DefaultBins.
+	HistBins int
+	// BuildIndex builds a per-region bitmap index for every imported
+	// object (the PDC-HI prerequisite).
+	BuildIndex bool
+	// IndexPrecision is the FastBit-style decimal precision (default 2).
+	IndexPrecision int
+	// CacheBytes bounds each server's region cache (default 1 GiB; the
+	// paper used 64 GB per server).
+	CacheBytes int64
+	// Model overrides the storage cost model (DefaultModel if zero).
+	Model *simio.Model
+	// TCP runs servers behind real TCP loopback connections instead of
+	// in-process pipes.
+	TCP bool
+	// DisableHistograms skips per-region/global histogram construction
+	// (ablation: min/max-only metadata remains).
+	DisableHistograms bool
+	// WireScale scales the modeled interconnect latency (scaled
+	// deployments shrink it with their storage latencies; 0 means 1.0).
+	WireScale float64
+}
+
+// Deployment is a running PDC-Query system.
+type Deployment struct {
+	opts     Options
+	store    *simio.Store
+	meta     *metadata.Service
+	replicas map[object.ID]*sortstore.Replica
+
+	importAcct *vclock.Account
+
+	servers []*server.Server
+	cli     *client.Client
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewDeployment creates an empty deployment (no servers running yet).
+func NewDeployment(opts Options) *Deployment {
+	if opts.Servers <= 0 {
+		opts.Servers = 1
+	}
+	if opts.RegionBytes <= 0 {
+		opts.RegionBytes = 4 << 20
+	}
+	if opts.HistBins <= 0 {
+		opts.HistBins = histogram.DefaultBins
+	}
+	if opts.IndexPrecision <= 0 {
+		opts.IndexPrecision = bitindex.DefaultPrecision
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 1 << 30
+	}
+	model := simio.DefaultModel()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	// Per-read costs are uncontended; the client applies the aggregate
+	// shared-backend floor per query instead (a static division by the
+	// server count would penalize idle servers on selective queries).
+	model.Streams = 1
+	return &Deployment{
+		opts:       opts,
+		store:      simio.New(model),
+		meta:       metadata.NewService(),
+		replicas:   make(map[object.ID]*sortstore.Replica),
+		importAcct: vclock.NewAccount(),
+	}
+}
+
+// Store exposes the storage substrate (for experiments and tools).
+func (d *Deployment) Store() *simio.Store { return d.store }
+
+// Meta exposes the metadata service.
+func (d *Deployment) Meta() *metadata.Service { return d.meta }
+
+// Replicas exposes the sorted-replica registry (used by standalone
+// server daemons that reuse the import pipeline).
+func (d *Deployment) Replicas() map[object.ID]*sortstore.Replica { return d.replicas }
+
+// ImportCost returns the accumulated virtual cost of imports, index
+// builds, and sorted-replica builds (the offline costs the paper reports
+// separately from query time).
+func (d *Deployment) ImportCost() vclock.Cost { return d.importAcct.Cost() }
+
+// CreateContainer registers a container.
+func (d *Deployment) CreateContainer(name string) *object.Container {
+	return d.meta.CreateContainer(name)
+}
+
+// ImportObject registers an object described by prop and ingests data
+// (raw elements of prop.Type): the data is partitioned into regions of
+// Options.RegionBytes, written to the PFS tier, and each region gets
+// exact min/max plus a mergeable histogram; the global histogram is the
+// merge of the region histograms (§IV). With Options.BuildIndex a bitmap
+// index is built and stored per region.
+func (d *Deployment) ImportObject(cid object.ContainerID, prop object.Property, data []byte) (*object.Object, error) {
+	if d.started {
+		return nil, fmt.Errorf("core: cannot import after Start")
+	}
+	o, err := d.meta.CreateObject(cid, prop)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := int64(len(data)), o.ByteSize(); got != want {
+		return nil, fmt.Errorf("core: object %q: %d data bytes, want %d", prop.Name, got, want)
+	}
+	elemSize := o.Type.Size()
+	var hists []*histogram.Histogram
+	for i, r := range object.Partition(o.Dims, o.Type, d.opts.RegionBytes) {
+		start := r.Offset[0]
+		rowElems := uint64(1)
+		for _, dd := range o.Dims[1:] {
+			rowElems *= dd
+		}
+		lo := start * rowElems * uint64(elemSize)
+		hi := lo + r.NumElems()*uint64(elemSize)
+		raw := data[lo:hi]
+		key := object.ExtentKey(o.ID, i)
+		d.store.Write(d.importAcct, key, simio.PFS, raw)
+		mn, mx := dtype.MinMax(o.Type, raw)
+		rm := object.RegionMeta{
+			Index: i, Region: r, ExtentKey: key, Tier: simio.PFS,
+			Min: mn, Max: mx,
+		}
+		if !d.opts.DisableHistograms {
+			h := histogram.BuildBytes(o.Type, raw, d.opts.HistBins)
+			rm.Hist = h
+			hists = append(hists, h)
+		}
+		if d.opts.BuildIndex {
+			x := bitindex.Build(o.Type, raw, d.opts.IndexPrecision)
+			xkey := object.IndexExtentKey(o.ID, i)
+			d.store.Write(d.importAcct, xkey, simio.PFS, x.Encode())
+			rm.IndexKey = xkey
+			rm.IndexBins = len(x.Bins)
+			rm.IndexDir = x.Directory()
+		}
+		o.Regions = append(o.Regions, rm)
+	}
+	if !d.opts.DisableHistograms {
+		o.Global = histogram.MergeAll(hists)
+	}
+	if err := o.CheckRegionCover(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// BuildSortedReplica builds the sorted reorganization of an object
+// (§III-D3) so the SortedHistogram strategy can use it. The paper exposes
+// this as a user hint at object creation.
+func (d *Deployment) BuildSortedReplica(id object.ID) error {
+	if d.started {
+		return fmt.Errorf("core: cannot build replicas after Start")
+	}
+	o, ok := d.meta.Get(id)
+	if !ok {
+		return fmt.Errorf("core: object %d not found", id)
+	}
+	elemsPerRegion := uint64(d.opts.RegionBytes) / uint64(o.Type.Size())
+	if elemsPerRegion == 0 {
+		elemsPerRegion = 1
+	}
+	rep, err := sortstore.Build(d.store, d.importAcct, o, elemsPerRegion, simio.PFS)
+	if err != nil {
+		return err
+	}
+	d.replicas[id] = rep
+	o.SortedBy = id
+	return nil
+}
+
+// AddCompanions extends an existing sorted replica with co-sorted copies
+// of other objects (the multi-variable reorganization named as future
+// work in §IX): conditions on companion objects are then resolved from
+// contiguous co-sorted extents instead of scattered original regions.
+func (d *Deployment) AddCompanions(key object.ID, companions ...object.ID) error {
+	if d.started {
+		return fmt.Errorf("core: cannot add companions after Start")
+	}
+	rep := d.replicas[key]
+	if rep == nil {
+		return fmt.Errorf("core: object %d has no sorted replica", key)
+	}
+	return rep.AddCompanions(d.store, d.importAcct, d.meta.Get, companions, simio.PFS)
+}
+
+// MigrateObject moves every region of an object (and, when present, its
+// sorted replica extents) to the given storage tier — PDC's transparent
+// data movement across the hierarchy (§II). Typical use is staging a hot
+// object from the parallel file system into the burst buffer before a
+// query campaign.
+func (d *Deployment) MigrateObject(id object.ID, tier simio.Tier) error {
+	o, ok := d.meta.Get(id)
+	if !ok {
+		return fmt.Errorf("core: object %d not found", id)
+	}
+	for i := range o.Regions {
+		rm := &o.Regions[i]
+		if err := d.store.Migrate(d.importAcct, rm.ExtentKey, tier); err != nil {
+			return err
+		}
+		rm.Tier = tier
+		if rm.IndexKey != "" {
+			if err := d.store.Migrate(d.importAcct, rm.IndexKey, tier); err != nil {
+				return err
+			}
+		}
+	}
+	if rep := d.replicas[id]; rep != nil {
+		for _, ri := range rep.Regions {
+			if err := d.store.Migrate(d.importAcct, object.SortedValKey(id, ri.Index), tier); err != nil {
+				return err
+			}
+			if err := d.store.Migrate(d.importAcct, object.SortedPermKey(id, ri.Index), tier); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// IndexBytes returns the total stored size of all bitmap indexes
+// (compared against data size in §V: FastBit took 15–17%).
+func (d *Deployment) IndexBytes() int64 {
+	var n int64
+	for _, o := range d.meta.Objects() {
+		for _, rm := range o.Regions {
+			if rm.IndexKey != "" {
+				if sz, err := d.store.Size(rm.IndexKey); err == nil {
+					n += sz
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Start launches the servers and connects the client.
+func (d *Deployment) Start() error {
+	if d.started {
+		return fmt.Errorf("core: already started")
+	}
+	n := d.opts.Servers
+	conns := make([]transport.Conn, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{
+			ID: i, N: n,
+			Store:      d.store,
+			Meta:       d.meta,
+			Replicas:   d.replicas,
+			Strategy:   d.opts.Strategy,
+			CacheBytes: d.opts.CacheBytes,
+		})
+		d.servers = append(d.servers, srv)
+
+		var clientSide, serverSide transport.Conn
+		if d.opts.TCP {
+			l, err := transport.Listen("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			accepted := make(chan transport.Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				l.Close()
+				if err == nil {
+					accepted <- c
+				} else {
+					close(accepted)
+				}
+			}()
+			clientSide, err = transport.Dial(l.Addr())
+			if err != nil {
+				return err
+			}
+			var ok bool
+			serverSide, ok = <-accepted
+			if !ok {
+				return fmt.Errorf("core: accept failed for server %d", i)
+			}
+		} else {
+			clientSide, serverSide = transport.Pipe()
+		}
+		conns[i] = clientSide
+		d.wg.Add(1)
+		go func(s *server.Server, c transport.Conn) {
+			defer d.wg.Done()
+			s.Serve(c)
+			c.Close()
+		}(srv, serverSide)
+	}
+	d.cli = client.New(conns, d.meta)
+	d.cli.SetSharedBW(d.store.Model().Tiers[simio.PFS].SharedBW)
+	if d.opts.WireScale > 0 {
+		d.cli.SetWireModel(time.Duration(float64(transport.DefaultLatency)*d.opts.WireScale), transport.DefaultBW)
+	}
+	d.started = true
+	return nil
+}
+
+// Client returns the connected client library. Valid after Start.
+func (d *Deployment) Client() *client.Client { return d.cli }
+
+// Servers exposes the server instances (experiments read their accounts
+// and caches).
+func (d *Deployment) Servers() []*server.Server { return d.servers }
+
+// SetStrategy switches every server's evaluation strategy between
+// experiment runs (the paper restarts servers with a different
+// environment variable).
+func (d *Deployment) SetStrategy(s exec.Strategy) {
+	for _, srv := range d.servers {
+		srv.SetStrategy(s)
+	}
+}
+
+// ResetCaches clears every server's region cache and virtual-time
+// account, giving each experiment run a cold start.
+func (d *Deployment) ResetCaches() {
+	for _, srv := range d.servers {
+		srv.Cache().Clear()
+		srv.Account().Reset()
+	}
+}
+
+// Close shuts down the client and all servers.
+func (d *Deployment) Close() error {
+	if d.cli != nil {
+		d.cli.Close()
+	}
+	d.wg.Wait()
+	return nil
+}
+
+// DeploymentStats summarizes the fleet's activity since the last cache
+// reset: storage traffic, cache behaviour, and the busiest server's
+// accumulated virtual time.
+type DeploymentStats struct {
+	// ReadOps and ReadBytes total the storage reads across servers.
+	ReadOps, ReadBytes int64
+	// CacheHits counts region-cache hits across servers.
+	CacheHits int64
+	// CachedBytes is the current total of cached region bytes.
+	CachedBytes int64
+	// BusiestServer is the maximum accumulated virtual time of any server.
+	BusiestServer time.Duration
+	// StoredBytes is the total data held by the storage substrate.
+	StoredBytes int64
+}
+
+// Stats gathers DeploymentStats from every server.
+func (d *Deployment) Stats() DeploymentStats {
+	var s DeploymentStats
+	for _, srv := range d.servers {
+		a := srv.Account()
+		s.ReadOps += a.Counter("read.ops")
+		s.ReadBytes += a.Counter("read.bytes")
+		s.CacheHits += a.Counter("cache.hits")
+		s.CachedBytes += srv.Cache().Used()
+		if t := a.Cost().Total(); t > s.BusiestServer {
+			s.BusiestServer = t
+		}
+	}
+	s.StoredBytes = d.store.TotalBytes(-1)
+	return s
+}
+
+// GroundTruth evaluates a query by brute force over the stored data
+// (uncharged reads) — the correctness oracle used by tests and the
+// experiment harness's verification mode.
+func (d *Deployment) GroundTruth(q *query.Query) (*selection.Selection, error) {
+	ids := q.Root.Objects()
+	data := make(map[object.ID][]byte, len(ids))
+	var anchor *object.Object
+	for _, id := range ids {
+		o, ok := d.meta.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("core: object %d not found", id)
+		}
+		if anchor == nil {
+			anchor = o
+		}
+		buf := make([]byte, 0, o.ByteSize())
+		for _, rm := range o.Regions {
+			raw, err := d.store.ReadAll(nil, rm.ExtentKey)
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, raw...)
+		}
+		data[id] = buf
+	}
+	types := make(map[object.ID]dtype.Type, len(ids))
+	for _, id := range ids {
+		o, _ := d.meta.Get(id)
+		types[id] = o.Type
+	}
+	var eval func(n *query.Node, i int) bool
+	eval = func(n *query.Node, i int) bool {
+		switch n.Kind {
+		case query.KindLeaf:
+			return query.FromLeaf(n.Op, n.Value).Contains(dtype.At(types[n.Obj], data[n.Obj], i))
+		case query.KindAnd:
+			return eval(n.Left, i) && eval(n.Right, i)
+		case query.KindOr:
+			return eval(n.Left, i) || eval(n.Right, i)
+		}
+		return false
+	}
+	total := int(anchor.NumElems())
+	coordBuf := make([]uint64, len(anchor.Dims))
+	var coords []uint64
+	for i := 0; i < total; i++ {
+		if q.Constraint != nil {
+			if !q.Constraint.ContainsCoord(region.LinearToCoord(anchor.Dims, uint64(i), coordBuf)) {
+				continue
+			}
+		}
+		if eval(q.Root, i) {
+			coords = append(coords, uint64(i))
+		}
+	}
+	return selection.New(coords, anchor.Dims), nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"pdcquery/internal/bitindex"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/object"
+	"pdcquery/internal/simio"
+)
+
+// The PDC write path: applications produce objects region by region
+// (§III-D2 — "a local histogram is automatically generated for each data
+// region when data is either produced within PDC or imported"). An
+// object is created with a fixed partition, its regions are written in
+// any order (by different producers, as in a simulation writing per
+// rank), and finalization merges the region histograms into the global
+// one.
+
+// CreateObject registers an object and pre-computes its region partition
+// without ingesting any data. Write each region with WriteRegion, then
+// call FinalizeObject before Start.
+func (d *Deployment) CreateObject(cid object.ContainerID, prop object.Property) (*object.Object, error) {
+	if d.started {
+		return nil, fmt.Errorf("core: cannot create objects after Start")
+	}
+	o, err := d.meta.CreateObject(cid, prop)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range object.Partition(o.Dims, o.Type, d.opts.RegionBytes) {
+		o.Regions = append(o.Regions, object.RegionMeta{
+			Index: i, Region: r, ExtentKey: object.ExtentKey(o.ID, i), Tier: simio.PFS,
+		})
+	}
+	if err := o.CheckRegionCover(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WriteRegion ingests one region's data (raw elements of the object's
+// type, exactly the region's size): the bytes go to the PFS tier and the
+// region's metadata — exact min/max, local mergeable histogram, and
+// (when the deployment builds indexes) its bitmap index — is generated
+// on the spot, as the paper's automatic histogram generation describes.
+// Regions may be written in any order and rewritten before finalization.
+func (d *Deployment) WriteRegion(id object.ID, regionIndex int, data []byte) error {
+	if d.started {
+		return fmt.Errorf("core: cannot write regions after Start")
+	}
+	o, ok := d.meta.Get(id)
+	if !ok {
+		return fmt.Errorf("core: object %d not found", id)
+	}
+	if regionIndex < 0 || regionIndex >= len(o.Regions) {
+		return fmt.Errorf("core: object %d has no region %d", id, regionIndex)
+	}
+	rm := &o.Regions[regionIndex]
+	want := int64(rm.Region.NumElems()) * int64(o.Type.Size())
+	if int64(len(data)) != want {
+		return fmt.Errorf("core: region %d of object %d needs %d bytes, got %d", regionIndex, id, want, len(data))
+	}
+	d.store.Write(d.importAcct, rm.ExtentKey, simio.PFS, data)
+	rm.Min, rm.Max = dtype.MinMax(o.Type, data)
+	if !d.opts.DisableHistograms {
+		rm.Hist = histogram.BuildBytes(o.Type, data, d.opts.HistBins)
+	}
+	if d.opts.BuildIndex {
+		x := bitindex.Build(o.Type, data, d.opts.IndexPrecision)
+		xkey := object.IndexExtentKey(o.ID, regionIndex)
+		d.store.Write(d.importAcct, xkey, simio.PFS, x.Encode())
+		rm.IndexKey = xkey
+		rm.IndexBins = len(x.Bins)
+		rm.IndexDir = x.Directory()
+	}
+	return nil
+}
+
+// FinalizeObject verifies that every region has been written and merges
+// the region histograms into the object's global histogram (§IV).
+func (d *Deployment) FinalizeObject(id object.ID) error {
+	o, ok := d.meta.Get(id)
+	if !ok {
+		return fmt.Errorf("core: object %d not found", id)
+	}
+	var hists []*histogram.Histogram
+	for i := range o.Regions {
+		rm := &o.Regions[i]
+		if !d.store.Exists(rm.ExtentKey) {
+			return fmt.Errorf("core: object %d region %d was never written", id, i)
+		}
+		if rm.Hist != nil {
+			hists = append(hists, rm.Hist)
+		}
+	}
+	if len(hists) > 0 {
+		o.Global = histogram.MergeAll(hists)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package dtype
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizes(t *testing.T) {
+	want := map[Type]int{
+		Float32: 4, Float64: 8,
+		Int8: 1, Int16: 2, Int32: 4, Int64: 8,
+		Uint8: 1, Uint16: 2, Uint32: 4, Uint64: 8,
+	}
+	for ty, sz := range want {
+		if ty.Size() != sz {
+			t.Errorf("%v.Size() = %d, want %d", ty, ty.Size(), sz)
+		}
+		if !ty.Valid() {
+			t.Errorf("%v.Valid() = false", ty)
+		}
+	}
+	if Invalid.Size() != 0 || Invalid.Valid() {
+		t.Errorf("Invalid size/valid wrong")
+	}
+	if Type(200).Size() != 0 {
+		t.Errorf("out-of-range type size = %d", Type(200).Size())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for ty := Float32; ty <= Uint64; ty++ {
+		got, err := Parse(ty.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", ty.String(), err)
+		}
+		if got != ty {
+			t.Errorf("Parse(%q) = %v, want %v", ty.String(), got, ty)
+		}
+	}
+	if _, err := Parse("invalid"); err == nil {
+		t.Error("Parse(invalid) succeeded, want error")
+	}
+	if _, err := Parse("complex128"); err == nil {
+		t.Error("Parse(complex128) succeeded, want error")
+	}
+}
+
+func TestIsFloat(t *testing.T) {
+	if !Float32.IsFloat() || !Float64.IsFloat() {
+		t.Error("float types not reported as float")
+	}
+	if Int32.IsFloat() || Uint64.IsFloat() {
+		t.Error("integer types reported as float")
+	}
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	vals := []float32{1.5, -2.25, 3e7, 0}
+	b := Bytes(vals)
+	if len(b) != 16 {
+		t.Fatalf("Bytes len = %d, want 16", len(b))
+	}
+	back := View[float32](b)
+	for i, v := range vals {
+		if back[i] != v {
+			t.Errorf("round trip [%d] = %v, want %v", i, back[i], v)
+		}
+	}
+	// View is a true view: writes through it are visible in the bytes.
+	back[0] = 99
+	if View[float32](b)[0] != 99 {
+		t.Error("View is not aliasing the underlying bytes")
+	}
+}
+
+func TestViewEmptyAndPartial(t *testing.T) {
+	if v := View[float64](nil); v != nil {
+		t.Errorf("View(nil) = %v, want nil", v)
+	}
+	if v := View[float64](make([]byte, 7)); v != nil {
+		t.Errorf("View(7 bytes as float64) = %v, want nil", v)
+	}
+	if v := View[float64](make([]byte, 17)); len(v) != 2 {
+		t.Errorf("View(17 bytes as float64) len = %d, want 2", len(v))
+	}
+	if b := Bytes[float32](nil); b != nil {
+		t.Errorf("Bytes(nil) = %v, want nil", b)
+	}
+}
+
+func TestAtPutAllTypes(t *testing.T) {
+	for ty := Float32; ty <= Uint64; ty++ {
+		data := make([]byte, 8*ty.Size())
+		for i := 0; i < 8; i++ {
+			Put(ty, data, i, float64(i+1))
+		}
+		for i := 0; i < 8; i++ {
+			if got := At(ty, data, i); got != float64(i+1) {
+				t.Errorf("%v At(%d) = %v, want %v", ty, i, got, float64(i+1))
+			}
+		}
+	}
+}
+
+func TestAtNegativeValues(t *testing.T) {
+	for _, ty := range []Type{Float32, Float64, Int8, Int16, Int32, Int64} {
+		data := make([]byte, 2*ty.Size())
+		Put(ty, data, 0, -7)
+		if got := At(ty, data, 0); got != -7 {
+			t.Errorf("%v negative round trip = %v, want -7", ty, got)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Float64.Count(64); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if got := Float64.Count(63); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	if got := Invalid.Count(64); got != 0 {
+		t.Errorf("Invalid Count = %d, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	vals := []float64{3, -8, 12.5, 0, 7}
+	lo, hi := MinMax(Float64, Bytes(vals))
+	if lo != -8 || hi != 12.5 {
+		t.Errorf("MinMax = (%v, %v), want (-8, 12.5)", lo, hi)
+	}
+	lo, hi = MinMax(Float64, nil)
+	if !math.IsInf(lo, 1) || !math.IsInf(hi, -1) {
+		t.Errorf("MinMax(empty) = (%v, %v), want (+Inf, -Inf)", lo, hi)
+	}
+}
+
+func TestPropertyViewBytesInverse(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := Bytes(vals)
+		back := View[int64](b)
+		if len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAtMatchesView(t *testing.T) {
+	f := func(vals []float32) bool {
+		b := Bytes(vals)
+		for i := range vals {
+			got := At(Float32, b, i)
+			want := float64(vals[i])
+			// NaN compares unequal to itself; treat both-NaN as a match.
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At(Invalid) did not panic")
+		}
+	}()
+	At(Invalid, make([]byte, 8), 0)
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a byte-capacity-bounded LRU of region buffers, modeling the
+// PDC server's in-memory region cache (the paper caps each server at
+// 64 GB). Query evaluation populates it; get-data drains it — the reason
+// PDC-H/PDC-SH return data so quickly after evaluation (§VI-A) while
+// PDC-HI must go back to storage.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache returns an LRU cache bounded to capacity bytes. A zero or
+// negative capacity disables caching (all Puts are dropped).
+func NewCache(capacity int64) *Cache {
+	return &Cache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached buffer for key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put inserts a buffer, evicting least-recently-used entries as needed.
+// Buffers larger than the whole capacity are not cached.
+func (c *Cache) Put(key string, data []byte) {
+	if c == nil || c.capacity <= 0 || int64(len(data)) > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.used += int64(len(data)) - int64(len(el.Value.(*cacheEntry).data))
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.items[key] = el
+		c.used += int64(len(data))
+	}
+	for c.used > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= int64(len(e.data))
+	}
+}
+
+// Used returns the current cached byte count.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Clear drops all entries.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}

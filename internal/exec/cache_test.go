@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(100)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache returned a hit")
+	}
+	c.Put("a", []byte("hello"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "hello" {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+	if c.Used() != 5 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(10)
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	// Touch a so b becomes LRU.
+	c.Get("a")
+	c.Put("c", make([]byte, 4)) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("new entry missing")
+	}
+	if c.Used() > 10 {
+		t.Errorf("over capacity: %d", c.Used())
+	}
+}
+
+func TestCacheOversizedEntryDropped(t *testing.T) {
+	c := NewCache(10)
+	c.Put("big", make([]byte, 11))
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized entry cached")
+	}
+	if c.Used() != 0 {
+		t.Errorf("used = %d", c.Used())
+	}
+}
+
+func TestCacheReplaceSameKey(t *testing.T) {
+	c := NewCache(100)
+	c.Put("k", make([]byte, 10))
+	c.Put("k", make([]byte, 30))
+	if c.Used() != 30 || c.Len() != 1 {
+		t.Errorf("after replace: used=%d len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []byte("x"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", make([]byte, 5))
+	c.Clear()
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Error("Clear left state")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("entry survived Clear")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				c.Put(key, make([]byte, 64))
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 1<<16 {
+		t.Errorf("over capacity after concurrent use: %d", c.Used())
+	}
+}

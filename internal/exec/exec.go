@@ -1,0 +1,963 @@
+// Package exec is the query evaluation engine that runs inside each PDC
+// server: it evaluates normalized query conditions over the server's
+// assigned regions using one of the paper's four strategies (§III-D).
+//
+//   - FullScan (PDC-F): read every assigned region of every queried
+//     object, scan the first condition, refine with probes.
+//   - Histogram (PDC-H, the default): use per-region histograms/extrema to
+//     prune regions and the global histogram to order conditions by
+//     estimated selectivity, then scan + probe only surviving regions.
+//   - HistogramIndex (PDC-HI): like PDC-H for pruning/ordering, but
+//     resolve conditions from the per-region bitmap indexes, reading only
+//     the index directory and the touched bins — no raw data unless a
+//     boundary candidate check requires it.
+//   - SortedHistogram (PDC-SH): when the most selective condition is on an
+//     object with a sorted replica, binary-search the sorted regions and
+//     probe the remaining conditions at the matching locations; otherwise
+//     fall back to the histogram strategy (the paper's Fig. 4 behaviour
+//     when the engine evaluates a non-sort-key condition first).
+//
+// The engine also implements the AND short-circuit ("one condition has no
+// hit → stop") and evaluates OR terms independently, merging them with
+// duplicate removal.
+package exec
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"time"
+
+	"pdcquery/internal/bitindex"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/region"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/simio"
+	"pdcquery/internal/sortstore"
+	"pdcquery/internal/vclock"
+	"pdcquery/internal/wah"
+)
+
+// Strategy selects the evaluation optimization, mirroring the paper's
+// environment-variable switch (§III-D).
+type Strategy int
+
+// Evaluation strategies. Histogram is the zero value: "the histogram
+// only approach is selected by default" (§III-D).
+const (
+	Histogram       Strategy = iota // PDC-H (the default)
+	FullScan                        // PDC-F
+	HistogramIndex                  // PDC-HI
+	SortedHistogram                 // PDC-SH
+)
+
+// String returns the paper's label for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case FullScan:
+		return "PDC-F"
+	case Histogram:
+		return "PDC-H"
+	case HistogramIndex:
+		return "PDC-HI"
+	case SortedHistogram:
+		return "PDC-SH"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy accepts both the paper labels and plain names.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "PDC-F", "fullscan", "full":
+		return FullScan, nil
+	case "PDC-H", "histogram", "hist":
+		return Histogram, nil
+	case "PDC-HI", "index", "histindex":
+		return HistogramIndex, nil
+	case "PDC-SH", "sorted", "sorthist":
+		return SortedHistogram, nil
+	}
+	return 0, fmt.Errorf("exec: unknown strategy %q", s)
+}
+
+// Assignment names the regions this server evaluates: original region
+// indices (shared by all same-shaped objects) and sorted-replica region
+// indices for the SortedHistogram strategy.
+type Assignment struct {
+	Orig   []int
+	Sorted []int
+}
+
+// Stats counts what the evaluation did; experiments assert on these.
+type Stats struct {
+	RegionsEvaluated int64 // regions actually scanned/probed/indexed
+	RegionsPruned    int64 // regions eliminated by histogram/min-max
+	SortedRegions    int64 // sorted-replica regions read
+	ElementsScanned  int64
+	Probes           int64
+	IndexBinsRead    int64
+	IndexBytesRead   int64
+	CandChecks       int64
+	// StorageBytes is the total bytes this evaluation read from storage
+	// (filled in by the server from its account); the client uses the
+	// fleet-wide sum to model shared-backend saturation.
+	StorageBytes int64
+}
+
+// Add accumulates.
+func (s *Stats) Add(o Stats) {
+	s.RegionsEvaluated += o.RegionsEvaluated
+	s.RegionsPruned += o.RegionsPruned
+	s.SortedRegions += o.SortedRegions
+	s.ElementsScanned += o.ElementsScanned
+	s.Probes += o.Probes
+	s.IndexBinsRead += o.IndexBinsRead
+	s.IndexBytesRead += o.IndexBytesRead
+	s.CandChecks += o.CandChecks
+	s.StorageBytes += o.StorageBytes
+}
+
+// Result is one server's partial query result.
+type Result struct {
+	Sel   *selection.Selection
+	Stats Stats
+	// Values holds, per object, the matching elements' values encoded in
+	// the object's element type, aligned with Sel.Coords. It is populated
+	// only when the evaluation had the data in hand (scan/probe and sorted
+	// paths) and values were requested — the caching behaviour behind the
+	// paper's get-data results.
+	Values map[object.ID][]byte
+}
+
+// Compute cost model (charged to the Compute category). The paper's
+// application scans with all 31 remaining cores of each node, so the
+// effective per-element cost is well below a nanosecond; fractional
+// nanoseconds are accumulated in float and truncated once per charge.
+const (
+	scanNsPerElem   = 0.15
+	probeNsPerElem  = 0.3
+	candNsPerElem   = 0.6
+	decodeCostPerKB = 300 * time.Nanosecond
+)
+
+// computeCost converts an element count at a per-element nanosecond rate
+// into a duration.
+func computeCost(n int64, nsPerElem float64) time.Duration {
+	return time.Duration(float64(n) * nsPerElem)
+}
+
+// Engine evaluates queries over one server's assigned regions.
+type Engine struct {
+	Store *simio.Store
+	Acct  *vclock.Account
+	// Lookup resolves object metadata (distributed to the server before
+	// evaluation, §III-C).
+	Lookup func(object.ID) (*object.Object, bool)
+	// Global returns the object's global histogram (nil when absent).
+	Global func(object.ID) *histogram.Histogram
+	// Replica returns the object's sorted replica metadata (nil when
+	// absent).
+	Replica  func(object.ID) *sortstore.Replica
+	Strategy Strategy
+	Cache    *Cache
+}
+
+// readRegion returns a region's raw bytes, going through the LRU cache.
+// Cache hits are charged at memory-tier cost.
+func (e *Engine) readRegion(o *object.Object, r int) ([]byte, error) {
+	key := o.Regions[r].ExtentKey
+	if e.Cache != nil {
+		if data, ok := e.Cache.Get(key); ok {
+			if e.Acct != nil {
+				m := e.Store.Model()
+				e.Acct.ChargeCost(m.ReadCost(simio.Memory, int64(len(data))))
+				e.Acct.Count("cache.hits", 1)
+			}
+			return data, nil
+		}
+	}
+	data, err := e.Store.ReadAll(e.Acct, key)
+	if err != nil {
+		return nil, err
+	}
+	e.Cache.Put(key, data)
+	return data, nil
+}
+
+// readExtent is readRegion for non-region extents (sorted replicas).
+func (e *Engine) readExtent(key string) ([]byte, error) {
+	if e.Cache != nil {
+		if data, ok := e.Cache.Get(key); ok {
+			if e.Acct != nil {
+				m := e.Store.Model()
+				e.Acct.ChargeCost(m.ReadCost(simio.Memory, int64(len(data))))
+				e.Acct.Count("cache.hits", 1)
+			}
+			return data, nil
+		}
+	}
+	data, err := e.Store.ReadAll(e.Acct, key)
+	if err != nil {
+		return nil, err
+	}
+	e.Cache.Put(key, data)
+	return data, nil
+}
+
+// Evaluate runs the query over the assigned regions and returns the
+// partial result. wantValues asks the engine to return matching values
+// for the queried objects when it has them in hand.
+func (e *Engine) Evaluate(q *query.Query, assign Assignment, wantValues bool) (*Result, error) {
+	conjuncts, err := query.Normalize(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	ids := q.Root.Objects()
+	objs := make(map[object.ID]*object.Object, len(ids))
+	var anchor *object.Object
+	for _, id := range ids {
+		o, ok := e.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("exec: object %d not found", id)
+		}
+		objs[id] = o
+		if anchor == nil {
+			anchor = o
+		} else if len(o.Regions) != len(anchor.Regions) {
+			return nil, fmt.Errorf("exec: objects %d and %d have different region decompositions", anchor.ID, o.ID)
+		}
+	}
+	orig := append([]int(nil), assign.Orig...)
+	slices.Sort(orig)
+
+	// Full scan pre-loads every assigned region of every queried object —
+	// the paper's "load all the data of the queried object into memory".
+	// PDC's read path merges these bulk sequential reads into large
+	// streaming requests (SIII-E), so the preload is charged one
+	// operation latency per object plus the full transfer, instead of
+	// one latency per region.
+	if e.Strategy == FullScan {
+		for _, o := range objs {
+			var bytes int64
+			var tier simio.Tier
+			loaded := false
+			for _, r := range orig {
+				key := o.Regions[r].ExtentKey
+				if e.Cache != nil {
+					if _, ok := e.Cache.Get(key); ok {
+						continue
+					}
+				}
+				data, err := e.Store.ReadAll(nil, key)
+				if err != nil {
+					return nil, err
+				}
+				e.Cache.Put(key, data)
+				bytes += int64(len(data))
+				tier = o.Regions[r].Tier
+				loaded = true
+			}
+			if loaded && e.Acct != nil {
+				m := e.Store.Model()
+				e.Acct.ChargeCost(m.ReadCost(tier, bytes))
+				e.Acct.Count("read.ops", 1)
+				e.Acct.Count("read.bytes", bytes)
+			}
+		}
+	}
+
+	res := &Result{}
+	// Collect values only when the evaluation reads raw data anyway (the
+	// index strategy deliberately avoids raw reads, §III-D4) and the
+	// result is a single conjunct (OR merging would misalign values).
+	collect := wantValues && len(conjuncts) == 1 && e.Strategy != HistogramIndex
+	var parts []*selection.Selection
+	for _, c := range conjuncts {
+		sel, vals, err := e.evalConjunct(q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, sel)
+		if collect {
+			res.Values = vals
+		}
+	}
+	res.Sel = selection.MergeAll(parts)
+	if res.Sel == nil {
+		res.Sel = selection.New(nil, anchor.Dims)
+	}
+	return res, nil
+}
+
+// orderConditions returns the conjunct's objects in evaluation order:
+// ascending estimated selectivity (upper bound) from the global
+// histograms, falling back to object ID order (§III-D2).
+func (e *Engine) orderConditions(c query.Conjunct) []object.ID {
+	ids := c.ObjectsSorted()
+	if e.Strategy == FullScan || e.Global == nil {
+		return ids
+	}
+	type entry struct {
+		id  object.ID
+		sel float64
+	}
+	entries := make([]entry, 0, len(ids))
+	for _, id := range ids {
+		sel := 1.0
+		if g := e.Global(id); g != nil {
+			iv := c[id]
+			_, sel = g.SelectivityBounds(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+		}
+		entries = append(entries, entry{id, sel})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].sel < entries[j].sel })
+	out := make([]object.ID, len(entries))
+	for i, en := range entries {
+		out[i] = en.id
+	}
+	return out
+}
+
+// prunable reports whether region r of object o cannot contain any value
+// in iv, using the region histogram when present, else stored extrema.
+func prunable(o *object.Object, r int, iv query.Interval) bool {
+	rm := &o.Regions[r]
+	if rm.Hist != nil {
+		return !rm.Hist.Overlaps(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+	}
+	if rm.Max < iv.Lo || (rm.Max == iv.Lo && !iv.LoIncl) {
+		return true
+	}
+	if rm.Min > iv.Hi || (rm.Min == iv.Hi && !iv.HiIncl) {
+		return true
+	}
+	return false
+}
+
+// constraintRuns returns the local element runs of region r that fall
+// inside the query constraint (all of the region when unconstrained), or
+// ok=false when the constraint excludes the region entirely.
+func constraintRuns(o *object.Object, r int, cons *region.Region) ([]localRun, bool) {
+	rr := o.Regions[r].Region
+	if cons == nil {
+		return []localRun{{Start: 0, Len: rr.NumElems()}}, true
+	}
+	sub, ok := region.Intersect(rr, *cons)
+	if !ok {
+		return nil, false
+	}
+	start := o.LinearStart(r)
+	abs := region.LinearRuns(o.Dims, sub)
+	runs := make([]localRun, len(abs))
+	for i, a := range abs {
+		runs[i] = localRun{Start: a.Start - start, Len: a.Len}
+	}
+	return runs, true
+}
+
+func runsElems(runs []localRun) int64 {
+	var n int64
+	for _, r := range runs {
+		n += int64(r.Len)
+	}
+	return n
+}
+
+// evalConjunct evaluates one AND-term over the assigned regions.
+func (e *Engine) evalConjunct(q *query.Query, c query.Conjunct, objs map[object.ID]*object.Object,
+	anchor *object.Object, orig []int, sorted []int, collect bool, stats *Stats) (*selection.Selection, map[object.ID][]byte, error) {
+
+	order := e.orderConditions(c)
+	if e.Strategy == SortedHistogram {
+		if rep := e.replicaFor(order[0]); rep != nil {
+			return e.evalConjunctSorted(q, c, order, objs, anchor, rep, sorted, collect, stats)
+		}
+	}
+	return e.evalConjunctScanProbe(q, c, order, objs, anchor, orig, collect, stats)
+}
+
+func (e *Engine) replicaFor(id object.ID) *sortstore.Replica {
+	if e.Replica == nil {
+		return nil
+	}
+	return e.Replica(id)
+}
+
+// evalConjunctScanProbe is the scan+probe path used by PDC-F, PDC-H, and
+// PDC-HI (the latter replaces the scan with index lookups).
+func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order []object.ID,
+	objs map[object.ID]*object.Object, anchor *object.Object, orig []int,
+	collect bool, stats *Stats) (*selection.Selection, map[object.ID][]byte, error) {
+
+	var coords []uint64
+	var vals map[object.ID][]float64
+	if collect {
+		vals = make(map[object.ID][]float64, len(order))
+	}
+	hitBuf := make([]uint64, 0, 1024)
+
+	for _, r := range orig {
+		runs, ok := constraintRuns(anchor, r, q.Constraint)
+		if !ok {
+			continue // outside the spatial constraint
+		}
+		// Region pruning via histogram min/max (not for full scan).
+		if e.Strategy != FullScan {
+			pruned := false
+			for id, iv := range c {
+				if prunable(objs[id], r, iv) {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				stats.RegionsPruned++
+				continue
+			}
+		}
+		stats.RegionsEvaluated++
+
+		var hits []uint64
+		var err error
+		if e.Strategy == HistogramIndex {
+			hits, err = e.evalRegionIndex(c, order, objs, r, runs, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			hits, err = e.evalRegionScan(c, order, objs, r, runs, hitBuf[:0], stats)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(hits) == 0 {
+			continue
+		}
+		start := anchor.LinearStart(r)
+		if collect {
+			if err := e.collectRegionValues(order, objs, r, hits, vals); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, h := range hits {
+			coords = append(coords, start+h)
+		}
+	}
+	sel := selection.New(coords, anchor.Dims)
+	var out map[object.ID][]byte
+	if collect {
+		out = encodeValues(order, objs, vals)
+	}
+	return sel, out, nil
+}
+
+// evalRegionScan scans the first condition and probes the rest (§III-C:
+// only already selected locations are evaluated for subsequent
+// conditions).
+func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
+	r int, runs []localRun, buf []uint64, stats *Stats) ([]uint64, error) {
+
+	first := objs[order[0]]
+	data, err := e.readRegion(first, r)
+	if err != nil {
+		return nil, err
+	}
+	hits := scanRegion(first.Type, data, runs, c[order[0]], buf)
+	n := runsElems(runs)
+	stats.ElementsScanned += n
+	if e.Acct != nil {
+		e.Acct.Charge(vclock.Compute, computeCost(n, scanNsPerElem))
+	}
+	for _, id := range order[1:] {
+		if len(hits) == 0 {
+			return hits, nil // AND short-circuit
+		}
+		o := objs[id]
+		data, err := e.readRegion(o, r)
+		if err != nil {
+			return nil, err
+		}
+		stats.Probes += int64(len(hits))
+		if e.Acct != nil {
+			e.Acct.Charge(vclock.Compute, computeCost(int64(len(hits)), probeNsPerElem))
+		}
+		hits = probeRegion(o.Type, data, hits, c[id])
+	}
+	return hits, nil
+}
+
+// evalRegionIndex resolves every condition from the per-region bitmap
+// indexes, ANDing the bitmaps; conditions on regions without an index
+// fall back to scan/probe semantics.
+func (e *Engine) evalRegionIndex(c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
+	r int, runs []localRun, stats *Stats) ([]uint64, error) {
+
+	var acc *wah.Bitmap
+	for _, id := range order {
+		o := objs[id]
+		iv := c[id]
+		rm := &o.Regions[r]
+		var bm *wah.Bitmap
+		if rm.IndexKey == "" {
+			// No index for this region: degrade to a scan of this
+			// condition (kept correct, costed as a raw read).
+			data, err := e.readRegion(o, r)
+			if err != nil {
+				return nil, err
+			}
+			all := []localRun{{Start: 0, Len: rm.Region.NumElems()}}
+			idxs := scanRegion(o.Type, data, all, iv, nil)
+			stats.ElementsScanned += runsElems(all)
+			if e.Acct != nil {
+				e.Acct.Charge(vclock.Compute, computeCost(runsElems(all), scanNsPerElem))
+			}
+			bm = wah.FromIndices(idxs, rm.Region.NumElems())
+		} else {
+			var err error
+			bm, err = e.evalIndexCondition(o, r, iv, stats)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			acc = bm
+		} else {
+			acc = wah.And(acc, bm)
+		}
+		if acc.Cardinality() == 0 {
+			return nil, nil // AND short-circuit
+		}
+	}
+	if acc == nil {
+		return nil, nil
+	}
+	hits := acc.ToIndices()
+	// Apply the spatial constraint (runs cover the whole region when
+	// unconstrained, making filterRuns a no-op pass).
+	hits = filterRuns(hits, runs)
+	return hits, nil
+}
+
+// evalIndexCondition reads the index directory and only the touched bins,
+// resolving boundary candidates against raw data when needed.
+func (e *Engine) evalIndexCondition(o *object.Object, r int, iv query.Interval, stats *Stats) (*wah.Bitmap, error) {
+	rm := &o.Regions[r]
+	// The directory usually lives in the region metadata (cached on all
+	// servers after metadata distribution); otherwise read its prefix
+	// from the index extent.
+	dir := rm.IndexDir
+	if dir == nil {
+		dirLen := bitindex.DirectorySize(rm.IndexBins)
+		dirBytes, err := e.Store.Read(e.Acct, rm.IndexKey, 0, dirLen)
+		if err != nil {
+			return nil, err
+		}
+		dir, err = bitindex.DecodeDirectory(dirBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sure, cands := dir.Select(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+	nbits := rm.Region.NumElems()
+	if len(sure) == 0 && len(cands) == 0 {
+		return wah.Empty(nbits), nil
+	}
+	// Read the touched bins' blobs in one aggregated request.
+	bins := append(append([]int(nil), sure...), cands...)
+	ranges := make([]simio.Range, len(bins))
+	var blobBytes int64
+	for i, b := range bins {
+		db := dir.Bins[b]
+		ranges[i] = simio.Range{Off: db.BlobOff, Len: db.BlobLen}
+		blobBytes += db.BlobLen
+	}
+	stats.IndexBinsRead += int64(len(bins))
+	stats.IndexBytesRead += blobBytes
+	blobs, err := e.Store.ReadRanges(e.Acct, rm.IndexKey, ranges)
+	if err != nil {
+		return nil, err
+	}
+	if e.Acct != nil {
+		e.Acct.Charge(vclock.Compute, time.Duration(blobBytes/1024+1)*decodeCostPerKB)
+	}
+	var parts []*wah.Bitmap
+	for i := range sure {
+		bm, err := bitindex.DecodeBin(blobs[i])
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, bm)
+	}
+	acc := wah.OrAll(parts)
+	if acc == nil {
+		acc = wah.Empty(nbits)
+	}
+	if len(cands) > 0 {
+		// Candidate bins need the raw data (rare: only when a query
+		// boundary value actually occurs in the data).
+		data, err := e.readRegion(o, r)
+		if err != nil {
+			return nil, err
+		}
+		var extra []uint64
+		for i := range cands {
+			bm, err := bitindex.DecodeBin(blobs[len(sure)+i])
+			if err != nil {
+				return nil, err
+			}
+			bm.ForEach(func(idx uint64) {
+				stats.CandChecks++
+				if iv.Contains(dtype.At(o.Type, data, int(idx))) {
+					extra = append(extra, idx)
+				}
+			})
+		}
+		if e.Acct != nil {
+			e.Acct.Charge(vclock.Compute, computeCost(stats.CandChecks, candNsPerElem))
+		}
+		slices.Sort(extra)
+		acc = wah.Or(acc, wah.FromIndices(extra, nbits))
+	}
+	return acc, nil
+}
+
+// evalConjunctSorted is the PDC-SH path: resolve the most selective
+// condition from the sorted replica, then probe the remaining conditions
+// at the matching original locations.
+func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []object.ID,
+	objs map[object.ID]*object.Object, anchor *object.Object, rep *sortstore.Replica,
+	sortedAssign []int, collect bool, stats *Stats) (*selection.Selection, map[object.ID][]byte, error) {
+
+	keyID := order[0]
+	iv := c[keyID]
+	assigned := make(map[int]bool, len(sortedAssign))
+	for _, s := range sortedAssign {
+		assigned[s] = true
+	}
+	// Conditions on objects with a co-sorted companion are resolved from
+	// the companion extents (contiguous, aligned with the sorted key);
+	// the rest are probed against the original regions afterwards.
+	var compIDs, restIDs []object.ID
+	for _, id := range order[1:] {
+		if rep.HasCompanion(id) {
+			compIDs = append(compIDs, id)
+		} else {
+			restIDs = append(restIDs, id)
+		}
+	}
+
+	// hit carries the original coordinate plus the values already in hand
+	// (key first, then companions in compIDs order) for the stash.
+	type hit struct {
+		coord uint64
+		vals  []float64
+	}
+	var hits []hit
+	for _, s := range rep.RegionsOverlapping(iv) {
+		if !assigned[s] {
+			continue
+		}
+		valBytes, err := e.readExtent(object.SortedValKey(keyID, s))
+		if err != nil {
+			return nil, nil, err
+		}
+		lo, hi := rep.EvaluateRegion(valBytes, iv)
+		if hi <= lo {
+			stats.SortedRegions++
+			continue
+		}
+		stats.SortedRegions++
+		if e.Acct != nil {
+			e.Acct.Charge(vclock.Compute, computeCost(int64(hi-lo), probeNsPerElem))
+		}
+
+		// Resolve companion conditions first: contiguous co-sorted reads,
+		// no permutation needed for eliminated positions.
+		positions := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			positions = append(positions, i)
+		}
+		var compVals [][]float64
+		if collect {
+			compVals = make([][]float64, len(positions))
+		}
+		alive := positions
+		for _, id := range compIDs {
+			if len(alive) == 0 {
+				break
+			}
+			data, err := e.readExtent(sortstore.CompanionValKey(keyID, id, s))
+			if err != nil {
+				return nil, nil, err
+			}
+			civ := c[id]
+			ct := companionType(rep, id)
+			stats.Probes += int64(len(alive))
+			if e.Acct != nil {
+				e.Acct.Charge(vclock.Compute, computeCost(int64(len(alive)), probeNsPerElem))
+			}
+			keep := alive[:0]
+			for k, pos := range alive {
+				v := dtype.At(ct, data, pos)
+				if civ.Contains(v) {
+					if collect {
+						compVals[len(keep)] = append(compVals[k], v)
+					}
+					keep = append(keep, pos)
+				}
+			}
+			alive = keep
+			if collect {
+				compVals = compVals[:len(alive)]
+			}
+		}
+		if len(alive) == 0 {
+			continue
+		}
+
+		// Fetch the surviving positions' permutation entries. When most
+		// of the region survives, read (and cache) the whole extent; for
+		// a narrow match, a ranged read of the needed slice is cheaper.
+		pw := rep.PermWidth()
+		regionElems := int(rep.Regions[s].Count)
+		var permBytes []byte
+		permBase := alive[0]
+		if hi-lo >= regionElems/4 {
+			full, err := e.readExtent(object.SortedPermKey(keyID, s))
+			if err != nil {
+				return nil, nil, err
+			}
+			permBytes = full
+			permBase = 0
+		} else {
+			span := alive[len(alive)-1] - permBase + 1
+			var err error
+			permBytes, err = e.Store.Read(e.Acct, object.SortedPermKey(keyID, s), int64(permBase)*pw, int64(span)*pw)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		cbuf := make([]uint64, len(anchor.Dims))
+		for k, pos := range alive {
+			coord := rep.PermAt(permBytes, pos-permBase)
+			if q.Constraint != nil {
+				cbuf = region.LinearToCoord(anchor.Dims, coord, cbuf)
+				if !q.Constraint.ContainsCoord(cbuf) {
+					continue
+				}
+			}
+			h := hit{coord: coord}
+			if collect {
+				h.vals = append([]float64{dtype.At(rep.Type, valBytes, pos)}, compVals[k]...)
+			}
+			hits = append(hits, h)
+		}
+	}
+	slices.SortFunc(hits, func(a, b hit) int {
+		switch {
+		case a.coord < b.coord:
+			return -1
+		case a.coord > b.coord:
+			return 1
+		}
+		return 0
+	})
+
+	var vals map[object.ID][]float64
+	if collect {
+		vals = make(map[object.ID][]float64, len(order))
+	}
+	var coords []uint64
+	// Probe the remaining conditions region by region against the
+	// original (unsorted) objects. Only the already-selected locations
+	// are evaluated (§III-C); when they are a small fraction of the
+	// region, the probe uses aggregated ranged reads of just those
+	// elements (§III-E) instead of pulling the whole region.
+	for i := 0; i < len(hits); {
+		r := anchor.RegionOfLinear(hits[i].coord)
+		start := anchor.LinearStart(r)
+		regionElems := anchor.Regions[r].Region.NumElems()
+		end := start + regionElems
+		j := i
+		var local []uint64
+		for j < len(hits) && hits[j].coord < end {
+			local = append(local, hits[j].coord-start)
+			j++
+		}
+		group := hits[i:j]
+		surviving := local
+		for _, id := range restIDs {
+			if len(surviving) == 0 {
+				break
+			}
+			o := objs[id]
+			stats.Probes += int64(len(surviving))
+			if e.Acct != nil {
+				e.Acct.Charge(vclock.Compute, computeCost(int64(len(surviving)), probeNsPerElem))
+			}
+			probed, err := e.probeValues(o, r, surviving, regionElems)
+			if err != nil {
+				return nil, nil, err
+			}
+			keep := surviving[:0]
+			for k, lidx := range surviving {
+				if c[id].Contains(probed[k]) {
+					keep = append(keep, lidx)
+				}
+			}
+			surviving = keep
+		}
+		if len(surviving) > 0 {
+			stats.RegionsEvaluated++
+			if collect {
+				// Key and companion values are already in the hits; the
+				// probe objects are re-fetched for the final survivors.
+				ki := 0
+				for _, lidx := range surviving {
+					for group[ki].coord-start != lidx {
+						ki++
+					}
+					vals[keyID] = append(vals[keyID], group[ki].vals[0])
+					for ci, id := range compIDs {
+						vals[id] = append(vals[id], group[ki].vals[1+ci])
+					}
+				}
+				for _, id := range restIDs {
+					o := objs[id]
+					probed, err := e.probeValues(o, r, surviving, regionElems)
+					if err != nil {
+						return nil, nil, err
+					}
+					vals[id] = append(vals[id], probed...)
+				}
+			}
+			for _, lidx := range surviving {
+				coords = append(coords, start+lidx)
+			}
+		}
+		i = j
+	}
+	sel := selection.New(coords, anchor.Dims)
+	var out map[object.ID][]byte
+	if collect {
+		out = encodeValues(order, objs, vals)
+	}
+	return sel, out, nil
+}
+
+// companionType returns the element type of a companion copy.
+func companionType(rep *sortstore.Replica, id object.ID) dtype.Type {
+	for _, comp := range rep.Companions {
+		if comp.Obj == id {
+			return comp.Type
+		}
+	}
+	panic("exec: missing companion")
+}
+
+// probeValues returns the values of object o's region r at the given
+// sorted local element indices. Sparse probes use aggregated ranged
+// reads; dense probes (or a cache hit) use the whole region buffer.
+func (e *Engine) probeValues(o *object.Object, r int, local []uint64, regionElems uint64) ([]float64, error) {
+	es := int64(o.Type.Size())
+	key := o.Regions[r].ExtentKey
+	out := make([]float64, len(local))
+	// Prefer the cached region when available; otherwise only pull the
+	// region when the probe is dense.
+	if data, ok := e.Cache.Get(key); ok {
+		if e.Acct != nil {
+			m := e.Store.Model()
+			e.Acct.ChargeCost(m.ReadCost(simio.Memory, int64(len(local))*es))
+		}
+		for k, lidx := range local {
+			out[k] = dtype.At(o.Type, data, int(lidx))
+		}
+		return out, nil
+	}
+	if uint64(len(local))*4 >= regionElems {
+		data, err := e.readRegion(o, r)
+		if err != nil {
+			return nil, err
+		}
+		for k, lidx := range local {
+			out[k] = dtype.At(o.Type, data, int(lidx))
+		}
+		return out, nil
+	}
+	ranges := make([]simio.Range, len(local))
+	for k, lidx := range local {
+		ranges[k] = simio.Range{Off: int64(lidx) * es, Len: es}
+	}
+	blobs, err := e.Store.ReadRanges(e.Acct, key, ranges)
+	if err != nil {
+		return nil, err
+	}
+	for k := range blobs {
+		out[k] = dtype.At(o.Type, blobs[k], 0)
+	}
+	return out, nil
+}
+
+// collectRegionValues appends the hit values for every queried object of
+// one region (scan/probe path — the buffers are warm in cache).
+func (e *Engine) collectRegionValues(order []object.ID, objs map[object.ID]*object.Object,
+	r int, hits []uint64, vals map[object.ID][]float64) error {
+	for _, id := range order {
+		o := objs[id]
+		data, err := e.readRegion(o, r)
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			vals[id] = append(vals[id], dtype.At(o.Type, data, int(h)))
+		}
+	}
+	return nil
+}
+
+// encodeValues converts collected float64 values back to each object's
+// element type.
+func encodeValues(order []object.ID, objs map[object.ID]*object.Object, vals map[object.ID][]float64) map[object.ID][]byte {
+	out := make(map[object.ID][]byte, len(vals))
+	for id, vs := range vals {
+		o := objs[id]
+		buf := make([]byte, len(vs)*o.Type.Size())
+		for i, v := range vs {
+			dtype.Put(o.Type, buf, i, v)
+		}
+		out[id] = buf
+	}
+	return out
+}
+
+// ExtractValues reads the values of an object at the given sorted
+// absolute coordinates, returning them concatenated in coordinate order.
+// Regions already warm in the cache are served from memory — this is the
+// get-data path (§III-E, §VI-A).
+func (e *Engine) ExtractValues(id object.ID, coords []uint64) ([]byte, error) {
+	o, ok := e.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("exec: object %d not found", id)
+	}
+	elemSize := o.Type.Size()
+	out := make([]byte, len(coords)*elemSize)
+	for i := 0; i < len(coords); {
+		r := o.RegionOfLinear(coords[i])
+		start := o.LinearStart(r)
+		end := start + o.Regions[r].Region.NumElems()
+		data, err := e.readRegion(o, r)
+		if err != nil {
+			return nil, err
+		}
+		for i < len(coords) && coords[i] < end {
+			local := int(coords[i] - start)
+			copy(out[i*elemSize:], data[local*elemSize:(local+1)*elemSize])
+			i++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/query"
+)
+
+// localRun is a contiguous run of local element indices [Start, Start+Len)
+// within one region buffer.
+type localRun struct {
+	Start uint64
+	Len   uint64
+}
+
+// scanTyped appends the local indices within the given runs whose value
+// satisfies the interval.
+func scanTyped[E dtype.Native](vals []E, runs []localRun, iv query.Interval, out []uint64) []uint64 {
+	for _, run := range runs {
+		end := run.Start + run.Len
+		if end > uint64(len(vals)) {
+			end = uint64(len(vals))
+		}
+		for i := run.Start; i < end; i++ {
+			if iv.Contains(float64(vals[i])) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// scanRegion dispatches scanTyped on the region's element type.
+func scanRegion(t dtype.Type, data []byte, runs []localRun, iv query.Interval, out []uint64) []uint64 {
+	switch t {
+	case dtype.Float32:
+		return scanTyped(dtype.View[float32](data), runs, iv, out)
+	case dtype.Float64:
+		return scanTyped(dtype.View[float64](data), runs, iv, out)
+	case dtype.Int8:
+		return scanTyped(dtype.View[int8](data), runs, iv, out)
+	case dtype.Int16:
+		return scanTyped(dtype.View[int16](data), runs, iv, out)
+	case dtype.Int32:
+		return scanTyped(dtype.View[int32](data), runs, iv, out)
+	case dtype.Int64:
+		return scanTyped(dtype.View[int64](data), runs, iv, out)
+	case dtype.Uint8:
+		return scanTyped(dtype.View[uint8](data), runs, iv, out)
+	case dtype.Uint16:
+		return scanTyped(dtype.View[uint16](data), runs, iv, out)
+	case dtype.Uint32:
+		return scanTyped(dtype.View[uint32](data), runs, iv, out)
+	case dtype.Uint64:
+		return scanTyped(dtype.View[uint64](data), runs, iv, out)
+	}
+	panic("exec: scan on invalid type")
+}
+
+// probeTyped filters local hit indices in place, keeping those whose value
+// in vals satisfies the interval (the paper's AND refinement: only already
+// selected locations are evaluated for subsequent conditions).
+func probeTyped[E dtype.Native](vals []E, hits []uint64, iv query.Interval) []uint64 {
+	out := hits[:0]
+	for _, i := range hits {
+		if iv.Contains(float64(vals[i])) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// probeRegion dispatches probeTyped on the region's element type.
+func probeRegion(t dtype.Type, data []byte, hits []uint64, iv query.Interval) []uint64 {
+	switch t {
+	case dtype.Float32:
+		return probeTyped(dtype.View[float32](data), hits, iv)
+	case dtype.Float64:
+		return probeTyped(dtype.View[float64](data), hits, iv)
+	case dtype.Int8:
+		return probeTyped(dtype.View[int8](data), hits, iv)
+	case dtype.Int16:
+		return probeTyped(dtype.View[int16](data), hits, iv)
+	case dtype.Int32:
+		return probeTyped(dtype.View[int32](data), hits, iv)
+	case dtype.Int64:
+		return probeTyped(dtype.View[int64](data), hits, iv)
+	case dtype.Uint8:
+		return probeTyped(dtype.View[uint8](data), hits, iv)
+	case dtype.Uint16:
+		return probeTyped(dtype.View[uint16](data), hits, iv)
+	case dtype.Uint32:
+		return probeTyped(dtype.View[uint32](data), hits, iv)
+	case dtype.Uint64:
+		return probeTyped(dtype.View[uint64](data), hits, iv)
+	}
+	panic("exec: probe on invalid type")
+}
+
+// filterRuns keeps the sorted local indices that fall inside the sorted,
+// disjoint runs (used to apply a spatial constraint to index results).
+func filterRuns(hits []uint64, runs []localRun) []uint64 {
+	out := hits[:0]
+	r := 0
+	for _, h := range hits {
+		for r < len(runs) && runs[r].Start+runs[r].Len <= h {
+			r++
+		}
+		if r == len(runs) {
+			break
+		}
+		if h >= runs[r].Start {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/region"
+)
+
+// randTree builds a random query tree over the given objects: depth-
+// bounded AND/OR combinations of range leaves with boundaries drawn
+// around the data's value range.
+func randTree(rng *rand.Rand, ids []object.ID, depth int) *query.Node {
+	if depth == 0 || rng.Float64() < 0.4 {
+		id := ids[rng.Intn(len(ids))]
+		op := query.Op(rng.Intn(5))
+		v := rng.Float64()*24 - 12
+		// Occasionally use a value that exists in the data exactly
+		// (integers do), exercising boundary-equality paths.
+		if rng.Float64() < 0.3 {
+			v = float64(rng.Intn(20) - 10)
+		}
+		return query.Leaf(id, op, v)
+	}
+	l := randTree(rng, ids, depth-1)
+	r := randTree(rng, ids, depth-1)
+	if rng.Float64() < 0.5 {
+		return query.And(l, r)
+	}
+	return query.Or(l, r)
+}
+
+// TestPropertyStrategiesAgree is the randomized equivalence net: random
+// datasets, random region sizes, random query trees (with and without
+// spatial constraints) — every strategy must produce exactly the
+// brute-force answer.
+func TestPropertyStrategiesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		n := 500 + rng.Intn(4000)
+		regionElems := uint64(64 + rng.Intn(900))
+		names := []string{"a", "b", "c"}[:1+rng.Intn(3)]
+		// Mix of distributions: clustered, uniform, discrete.
+		gen := func(name string, i int) float32 {
+			r2 := rand.New(rand.NewSource(int64(i)*31 + int64(len(name))*17))
+			switch name {
+			case "a":
+				return float32(i)/float32(n)*20 - 10 // ordered
+			case "b":
+				return float32(r2.Float64()*24 - 12) // uniform
+			default:
+				return float32(r2.Intn(20) - 10) // discrete with exact hits
+			}
+		}
+		f := buildFixture(t, names, gen, n, regionElems, true, true)
+		ids := make([]object.ID, len(names))
+		for i := range names {
+			ids[i] = object.ID(i + 1)
+		}
+		for qi := 0; qi < 8; qi++ {
+			q := &query.Query{Root: randTree(rng, ids, 2)}
+			if rng.Float64() < 0.3 {
+				off := uint64(rng.Intn(n / 2))
+				cnt := uint64(1 + rng.Intn(n-int(off)))
+				q.SetRegion(region.New([]uint64{off}, []uint64{cnt}))
+			}
+			label := fmt.Sprintf("trial%d/q%d(%s)", trial, qi, q.Root)
+			checkQuery(t, f, q, label)
+			if t.Failed() {
+				t.Fatalf("stopping at first failing query: %s", label)
+			}
+		}
+	}
+}

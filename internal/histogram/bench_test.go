@@ -1,0 +1,43 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 2
+	}
+	return vals
+}
+
+func BenchmarkBuild(b *testing.B) {
+	vals := benchValues(1 << 20)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(vals, 64)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	var hs []*Histogram
+	for r := 0; r < 64; r++ {
+		hs = append(hs, Build(benchValues(1<<14), 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeAll(hs)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	h := Build(benchValues(1<<20), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Estimate(2.1, 2.2, false, false)
+	}
+}

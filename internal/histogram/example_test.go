@@ -1,0 +1,36 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"pdcquery/internal/histogram"
+)
+
+// Example demonstrates Algorithm 1's key property: region histograms
+// built independently — even over very different value ranges — merge
+// exactly into a global histogram because every bin width is a power of
+// two aligned to the same grid.
+func Example() {
+	regionA := make([]float64, 0, 1000)
+	regionB := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		regionA = append(regionA, float64(i)/100)  // 0.00 .. 9.99
+		regionB = append(regionB, 50+float64(i)/10) // 50.0 .. 149.9
+	}
+	ha := histogram.Build(regionA, 64)
+	hb := histogram.Build(regionB, 64)
+	fmt.Printf("region A: width %v\n", ha.Width)
+	fmt.Printf("region B: width %v\n", hb.Width)
+
+	global := histogram.MergeAll([]*histogram.Histogram{ha, hb})
+	fmt.Printf("global:   width %v, %d elements\n", global.Width, global.Total)
+
+	// Selectivity estimation: the true count always lies in the bounds.
+	lo, hi := global.Estimate(5, 60, false, false)
+	fmt.Printf("estimate for (5, 60): between %d and %d (truth 599)\n", lo, hi)
+	// Output:
+	// region A: width 0.125
+	// region B: width 1
+	// global:   width 1, 2000 elements
+	// estimate for (5, 60): between 500 and 600 (truth 599)
+}

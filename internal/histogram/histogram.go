@@ -1,0 +1,411 @@
+// Package histogram implements the paper's mergeable region histograms and
+// the global histogram built from them (Algorithm 1 and §IV).
+//
+// The key idea: pre-determining shared bin boundaries for all regions would
+// require a global scan, so instead every region histogram independently
+// picks a bin width that is a power of two (..., 0.25, 0.5, 1, 2, ...) and
+// aligns its bin boundaries to multiples of that width. Any two such
+// histograms have divisible widths and aligned boundaries, so they can be
+// merged exactly — bin counts re-aggregate into the coarser grid without
+// splitting — producing a "global" histogram for the whole object.
+//
+// The histogram serves the two purposes in §III-D2: region elimination
+// (via exact min/max kept per histogram) and selectivity estimation (lower
+// bound = fully covered bins, upper bound = plus partially covered bins).
+package histogram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pdcquery/internal/dtype"
+)
+
+// DefaultBins is the default lower bound on the number of bins; the paper
+// uses 50 to 100 bins per region depending on region size.
+const DefaultBins = 64
+
+// Histogram is a fixed-width binned histogram whose bin width is an exact
+// power of two and whose bin boundaries are integer multiples of the bin
+// width. Bin i covers [Start + i*Width, Start + (i+1)*Width); values that
+// fall outside (possible because min/max are estimated from a sample)
+// extend the grid by whole aligned bins, and the exact Min/Max are
+// tracked separately. (Algorithm 1 lines 12–17 instead widen the edge
+// boundaries; see add for why extension is used here.)
+type Histogram struct {
+	// Width is the bin width, 2^k for some integer k.
+	Width float64
+	// Start is the lower boundary of bin 0, an integer multiple of Width.
+	Start float64
+	// Counts holds the per-bin element counts.
+	Counts []uint64
+	// Min and Max are the exact observed data minimum and maximum.
+	Min, Max float64
+	// Total is the number of counted (non-NaN) elements.
+	Total uint64
+}
+
+// powFloor rounds w down to the nearest power of two (2^k, k may be
+// negative). It returns 1 for non-positive or non-finite inputs.
+func powFloor(w float64) float64 {
+	if !(w > 0) || math.IsInf(w, 1) {
+		return 1
+	}
+	return math.Exp2(math.Floor(math.Log2(w)))
+}
+
+// sampleMinMax estimates min and max from a deterministic ~10% sample
+// (every 10th element), the reproducible stand-in for the paper's random
+// 10% sample. Small inputs are scanned fully. NaNs are skipped.
+func sampleMinMax(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	stride := 10
+	if len(values) < 100 {
+		stride = 1
+	}
+	for i := 0; i < len(values); i += stride {
+		v := values[i]
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Build constructs a mergeable histogram over values with at least nbin
+// bins (Algorithm 1). The actual bin count may differ because the width is
+// rounded down to a power of two and the boundaries are grid-aligned; the
+// paper accepts this since selectivity estimation does not require an
+// exact bin count. NaN values are ignored. Build returns an empty (zero
+// Total) histogram for empty input.
+func Build(values []float64, nbin int) *Histogram {
+	if nbin <= 0 {
+		nbin = DefaultBins
+	}
+	lo, hi := sampleMinMax(values)
+	if math.IsInf(lo, 1) {
+		// No usable values.
+		return &Histogram{Width: 1, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	w := powFloor((hi - lo) / float64(nbin))
+	start := math.Floor(lo/w) * w
+	n := int(math.Ceil((hi-start)/w)) + 1
+	if n < 1 {
+		n = 1
+	}
+	h := &Histogram{
+		Width:  w,
+		Start:  start,
+		Counts: make([]uint64, n),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		h.add(v)
+	}
+	return h
+}
+
+// BuildBytes builds a histogram directly over a raw region buffer of the
+// given element type.
+func BuildBytes(t dtype.Type, data []byte, nbin int) *Histogram {
+	n := t.Count(len(data))
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = dtype.At(t, data, i)
+	}
+	return Build(values, nbin)
+}
+
+// maxGrow bounds grid extension for extreme outliers; beyond it a value
+// is clamped into the edge bin (making estimates at the far edges
+// approximate, tracked via Min/Max widening in BinRange).
+const maxGrow = 1 << 16
+
+// add places v on the histogram grid. Values outside the sampled range
+// extend the grid by whole bins — Algorithm 1 instead adjusts the edge
+// boundary (lines 12–17), but extension keeps every bin's nominal range
+// truthful so that merged histograms still bracket exact counts; the
+// grid stays power-of-two aligned either way.
+func (h *Histogram) add(v float64) {
+	j := int(math.Floor((v - h.Start) / h.Width))
+	if j < 0 {
+		if grow := -j; grow <= maxGrow {
+			h.Counts = append(make([]uint64, grow, grow+len(h.Counts)), h.Counts...)
+			h.Start -= float64(grow) * h.Width
+			j = 0
+		} else {
+			j = 0
+		}
+	}
+	if j >= len(h.Counts) {
+		if grow := j - len(h.Counts) + 1; grow <= maxGrow {
+			h.Counts = append(h.Counts, make([]uint64, grow)...)
+		} else {
+			j = len(h.Counts) - 1
+		}
+	}
+	h.Counts[j]++
+	h.Total++
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.Counts) }
+
+// BinRange returns the [lo, hi) boundary of bin i, widened at the edges to
+// the exact observed Min/Max when those lie outside the grid (clamped
+// outliers live in the edge bins).
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	lo = h.Start + float64(i)*h.Width
+	hi = lo + h.Width
+	if i == 0 && h.Min < lo {
+		lo = h.Min
+	}
+	if i == len(h.Counts)-1 && h.Max >= hi {
+		hi = math.Nextafter(h.Max, math.Inf(1))
+	}
+	return lo, hi
+}
+
+// Merge merges o into h in place. Both histograms must come from Build (or
+// Merge), so their widths are powers of two and boundaries grid-aligned;
+// Merge re-bins the finer histogram into the coarser grid, growing the
+// grid to cover both. Merging an empty histogram is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Total == 0 {
+		return
+	}
+	if h.Total == 0 {
+		*h = *o.Clone()
+		return
+	}
+	w := h.Width
+	if o.Width > w {
+		w = o.Width
+	}
+	// New grid start: the smaller start, aligned down to the coarse grid.
+	start := h.Start
+	if o.Start < start {
+		start = o.Start
+	}
+	start = math.Floor(start/w) * w
+	endH := h.Start + float64(len(h.Counts))*h.Width
+	endO := o.Start + float64(len(o.Counts))*o.Width
+	end := endH
+	if endO > end {
+		end = endO
+	}
+	n := int(math.Ceil((end - start) / w))
+	if n < 1 {
+		n = 1
+	}
+	counts := make([]uint64, n)
+	rebin := func(src *Histogram) {
+		for i, c := range src.Counts {
+			if c == 0 {
+				continue
+			}
+			// Use the bin's lower boundary: because src boundaries are
+			// multiples of src.Width and w is a multiple of src.Width with
+			// aligned start, the whole source bin lands in one dest bin.
+			lo := src.Start + float64(i)*src.Width
+			j := int(math.Floor((lo - start) / w))
+			if j < 0 {
+				j = 0
+			}
+			if j >= n {
+				j = n - 1
+			}
+			counts[j] += c
+		}
+	}
+	rebin(h)
+	rebin(o)
+	h.Width = w
+	h.Start = start
+	h.Counts = counts
+	h.Total += o.Total
+	if o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// MergeAll merges a set of histograms into a fresh global histogram.
+func MergeAll(hs []*Histogram) *Histogram {
+	g := &Histogram{Width: 1, Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, h := range hs {
+		g.Merge(h)
+	}
+	return g
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Counts = make([]uint64, len(h.Counts))
+	copy(c.Counts, h.Counts)
+	return &c
+}
+
+// Overlaps reports whether any data could satisfy lo <= v <= hi (bounds
+// are treated inclusively when loIncl/hiIncl), using the exact min/max.
+// This is the paper's region-elimination test.
+func (h *Histogram) Overlaps(lo, hi float64, loIncl, hiIncl bool) bool {
+	if h.Total == 0 {
+		return false
+	}
+	if hi < h.Min || (hi == h.Min && !hiIncl) {
+		return false
+	}
+	if lo > h.Max || (lo == h.Max && !loIncl) {
+		return false
+	}
+	return true
+}
+
+// Estimate returns lower and upper bounds on the number of elements v with
+// lo (<|<=) v (<|<=) hi: bins entirely inside the query range count toward
+// both bounds; bins partially overlapping count toward the upper bound
+// only (§III-D2).
+func (h *Histogram) Estimate(lo, hi float64, loIncl, hiIncl bool) (lower, upper uint64) {
+	if !h.Overlaps(lo, hi, loIncl, hiIncl) {
+		return 0, 0
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bLo, bHi := h.BinRange(i) // bin values lie in [bLo, bHi)
+		// Skip bins with no possible overlap.
+		if bHi <= lo || bLo > hi || (bLo == hi && !hiIncl) {
+			continue
+		}
+		// A bin counts toward the lower bound only if every value it
+		// could hold satisfies the predicate.
+		fullyLo := bLo > lo || (bLo == lo && loIncl)
+		fullyHi := bHi <= hi // values are strictly below bHi
+		if fullyLo && fullyHi {
+			lower += c
+		}
+		upper += c
+	}
+	return lower, upper
+}
+
+// SelectivityBounds returns the estimated selectivity range as fractions
+// of the total element count.
+func (h *Histogram) SelectivityBounds(lo, hi float64, loIncl, hiIncl bool) (low, high float64) {
+	if h.Total == 0 {
+		return 0, 0
+	}
+	l, u := h.Estimate(lo, hi, loIncl, hiIncl)
+	return float64(l) / float64(h.Total), float64(u) / float64(h.Total)
+}
+
+// alignedTo reports whether a is an integer multiple of w (within one ulp
+// of slack), used by invariant checks and tests.
+func alignedTo(a, w float64) bool {
+	q := a / w
+	return q == math.Trunc(q)
+}
+
+// CheckInvariants verifies the mergeability invariants: power-of-two
+// width and grid-aligned start. It returns nil for an empty histogram.
+func (h *Histogram) CheckInvariants() error {
+	if h.Total == 0 {
+		return nil
+	}
+	if exp := math.Log2(h.Width); exp != math.Trunc(exp) {
+		return fmt.Errorf("histogram: width %v is not a power of two", h.Width)
+	}
+	if !alignedTo(h.Start, h.Width) {
+		return fmt.Errorf("histogram: start %v not aligned to width %v", h.Start, h.Width)
+	}
+	var sum uint64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		return fmt.Errorf("histogram: counts sum %d != total %d", sum, h.Total)
+	}
+	if h.Min > h.Max {
+		return fmt.Errorf("histogram: min %v > max %v with total %d", h.Min, h.Max, h.Total)
+	}
+	return nil
+}
+
+const encMagic = uint32(0x50444348) // "PDCH"
+
+// Encode serializes the histogram for metadata persistence and transport.
+func (h *Histogram) Encode() []byte {
+	buf := make([]byte, 0, 48+8*len(h.Counts))
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put32(encMagic)
+	put32(uint32(len(h.Counts)))
+	putF(h.Width)
+	putF(h.Start)
+	putF(h.Min)
+	putF(h.Max)
+	put64(h.Total)
+	for _, c := range h.Counts {
+		put64(c)
+	}
+	return buf
+}
+
+// Decode deserializes a histogram produced by Encode.
+func Decode(b []byte) (*Histogram, error) {
+	if len(b) < 48 {
+		return nil, fmt.Errorf("histogram: encoded buffer too short (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != encMagic {
+		return nil, fmt.Errorf("histogram: bad magic")
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:8]))
+	if len(b) != 48+8*n {
+		return nil, fmt.Errorf("histogram: encoded length %d does not match %d bins", len(b), n)
+	}
+	h := &Histogram{
+		Width:  math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+		Start:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+		Min:    math.Float64frombits(binary.LittleEndian.Uint64(b[24:32])),
+		Max:    math.Float64frombits(binary.LittleEndian.Uint64(b[32:40])),
+		Total:  binary.LittleEndian.Uint64(b[40:48]),
+		Counts: make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		h.Counts[i] = binary.LittleEndian.Uint64(b[48+8*i : 56+8*i])
+	}
+	return h, nil
+}

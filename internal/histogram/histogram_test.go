@@ -1,0 +1,417 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdcquery/internal/dtype"
+)
+
+// trueCount is the brute-force ground truth for range predicates.
+func trueCount(values []float64, lo, hi float64, loIncl, hiIncl bool) uint64 {
+	var n uint64
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		okLo := v > lo || (loIncl && v == lo)
+		okHi := v < hi || (hiIncl && v == hi)
+		if okLo && okHi {
+			n++
+		}
+	}
+	return n
+}
+
+func randValues(rng *rand.Rand, n int, scale, offset float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*scale + offset
+	}
+	return out
+}
+
+func TestBuildInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 100, 5000} {
+		for _, scale := range []float64{0.001, 1, 77.7, 1e6} {
+			vals := randValues(rng, n, scale, -scale/3)
+			h := Build(vals, 64)
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("n=%d scale=%v: %v", n, scale, err)
+			}
+			if h.Total != uint64(n) {
+				t.Fatalf("n=%d: total = %d", n, h.Total)
+			}
+		}
+	}
+}
+
+func TestBuildAtLeastRequestedResolution(t *testing.T) {
+	// The paper's Algorithm 1 rounds the width DOWN to a power of two, so
+	// the actual number of bins is at least the requested lower bound
+	// (N'bin >= Nbin) for well-spread data.
+	rng := rand.New(rand.NewSource(2))
+	vals := randValues(rng, 10000, 100, 0)
+	h := Build(vals, 50)
+	if h.NumBins() < 50 {
+		t.Errorf("bins = %d, want >= 50", h.NumBins())
+	}
+}
+
+func TestBuildEmptyAndNaN(t *testing.T) {
+	h := Build(nil, 64)
+	if h.Total != 0 {
+		t.Errorf("empty total = %d", h.Total)
+	}
+	if h.Overlaps(0, 1, true, true) {
+		t.Error("empty histogram overlaps")
+	}
+	l, u := h.Estimate(0, 1, true, true)
+	if l != 0 || u != 0 {
+		t.Errorf("empty estimate = (%d, %d)", l, u)
+	}
+
+	h = Build([]float64{math.NaN(), 1, math.NaN(), 2}, 8)
+	if h.Total != 2 {
+		t.Errorf("NaN-skipping total = %d, want 2", h.Total)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildConstantData(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 42.5
+	}
+	h := Build(vals, 64)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Min != 42.5 || h.Max != 42.5 {
+		t.Errorf("min/max = %v/%v", h.Min, h.Max)
+	}
+	l, u := h.Estimate(42, 43, true, true)
+	if u != 1000 {
+		t.Errorf("upper = %d, want 1000", u)
+	}
+	if l > 1000 {
+		t.Errorf("lower = %d", l)
+	}
+	l, _ = h.Estimate(100, 200, true, true)
+	if l != 0 {
+		t.Errorf("out-of-range lower = %d", l)
+	}
+}
+
+func TestEstimateBoundsBracketTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := randValues(rng, 20000, 10, -5)
+	h := Build(vals, 64)
+	queries := []struct{ lo, hi float64 }{
+		{-10, 10}, {-1, 1}, {0, 0.001}, {4.9, 5.1}, {-5, -4.99}, {2, 2},
+	}
+	for _, q := range queries {
+		for _, loIncl := range []bool{true, false} {
+			for _, hiIncl := range []bool{true, false} {
+				want := trueCount(vals, q.lo, q.hi, loIncl, hiIncl)
+				l, u := h.Estimate(q.lo, q.hi, loIncl, hiIncl)
+				if l > want || u < want {
+					t.Errorf("query [%v,%v] incl(%v,%v): bounds (%d,%d) do not bracket truth %d",
+						q.lo, q.hi, loIncl, hiIncl, l, u, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapsUsesExactMinMax(t *testing.T) {
+	h := Build([]float64{1, 2, 3}, 8)
+	if h.Overlaps(3.5, 4, true, true) {
+		t.Error("overlap beyond max")
+	}
+	if h.Overlaps(-1, 0.5, true, true) {
+		t.Error("overlap below min")
+	}
+	if !h.Overlaps(3, 10, true, true) {
+		t.Error("inclusive boundary at max should overlap")
+	}
+	if h.Overlaps(3, 10, false, true) {
+		t.Error("exclusive boundary at max should not overlap")
+	}
+	if !h.Overlaps(-10, 1, true, true) {
+		t.Error("inclusive boundary at min should overlap")
+	}
+	if h.Overlaps(-10, 1, true, false) {
+		t.Error("exclusive boundary at min should not overlap")
+	}
+}
+
+func TestMergePreservesTotalAndMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Build(randValues(rng, 5000, 3, 0), 64)
+	b := Build(randValues(rng, 3000, 800, -400), 64) // very different spread
+	c := Build(randValues(rng, 100, 0.01, 7), 64)    // very narrow
+
+	g := MergeAll([]*Histogram{a, b, c})
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Total != 8100 {
+		t.Errorf("merged total = %d, want 8100", g.Total)
+	}
+	wantMin := math.Min(a.Min, math.Min(b.Min, c.Min))
+	wantMax := math.Max(a.Max, math.Max(b.Max, c.Max))
+	if g.Min != wantMin || g.Max != wantMax {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", g.Min, g.Max, wantMin, wantMax)
+	}
+}
+
+func TestMergedEstimateBracketsTruth(t *testing.T) {
+	// The central property from §IV: region histograms with different
+	// widths merge into a global histogram whose estimates still bracket
+	// the union's true counts.
+	rng := rand.New(rand.NewSource(5))
+	var all []float64
+	var hs []*Histogram
+	for r := 0; r < 10; r++ {
+		// Each region has its own scale/offset, forcing different widths.
+		scale := math.Exp2(float64(rng.Intn(12) - 4))
+		vals := randValues(rng, 1000+rng.Intn(2000), scale, rng.Float64()*50-25)
+		all = append(all, vals...)
+		hs = append(hs, Build(vals, 50))
+	}
+	g := MergeAll(hs)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		lo := rng.Float64()*60 - 30
+		hi := lo + rng.Float64()*20
+		want := trueCount(all, lo, hi, true, false)
+		l, u := g.Estimate(lo, hi, true, false)
+		if l > want || u < want {
+			t.Fatalf("query [%v,%v): bounds (%d,%d) do not bracket truth %d", lo, hi, l, u, want)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := Build([]float64{1, 2, 3}, 8)
+	e := Build(nil, 8)
+	a.Merge(e)
+	if a.Total != 3 {
+		t.Errorf("merge with empty changed total: %d", a.Total)
+	}
+	e2 := Build(nil, 8)
+	e2.Merge(a)
+	if e2.Total != 3 || e2.Min != 1 || e2.Max != 3 {
+		t.Errorf("empty.Merge(a) = total %d min %v max %v", e2.Total, e2.Min, e2.Max)
+	}
+	// Merging into the empty must not alias a's counts.
+	e2.Counts[0] += 100
+	var sum uint64
+	for _, c := range a.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Error("empty.Merge aliased source counts")
+	}
+}
+
+func TestMergeCommutativeInDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Build(randValues(rng, 1000, 5, 0), 32)
+	b := Build(randValues(rng, 1000, 50, -20), 32)
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if ab.Total != ba.Total || ab.Min != ba.Min || ab.Max != ba.Max {
+		t.Errorf("merge not symmetric: %v vs %v", ab, ba)
+	}
+	if ab.Width != ba.Width {
+		t.Errorf("merge widths differ: %v vs %v", ab.Width, ba.Width)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i) // 0..999 uniform
+	}
+	h := Build(vals, 64)
+	lo, hi := h.SelectivityBounds(0, 99, true, true) // true 10%
+	if lo > 0.1 || hi < 0.1 {
+		t.Errorf("selectivity bounds (%v, %v) do not bracket 0.10", lo, hi)
+	}
+	if hi > 0.2 {
+		t.Errorf("upper selectivity %v too loose", hi)
+	}
+	lo, hi = (&Histogram{}).SelectivityBounds(0, 1, true, true)
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty selectivity = (%v, %v)", lo, hi)
+	}
+}
+
+func TestBuildBytes(t *testing.T) {
+	vals := []float32{1, 2, 3, 4, 5}
+	h := BuildBytes(dtype.Float32, dtype.Bytes(vals), 8)
+	if h.Total != 5 || h.Min != 1 || h.Max != 5 {
+		t.Errorf("BuildBytes: total=%d min=%v max=%v", h.Total, h.Min, h.Max)
+	}
+	ints := []int32{-3, 7, 7, 9}
+	h = BuildBytes(dtype.Int32, dtype.Bytes(ints), 8)
+	if h.Total != 4 || h.Min != -3 || h.Max != 9 {
+		t.Errorf("BuildBytes int32: total=%d min=%v max=%v", h.Total, h.Min, h.Max)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := Build(randValues(rng, 3000, 42, -13), 64)
+	b := h.Encode()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != h.Width || got.Start != h.Start || got.Min != h.Min ||
+		got.Max != h.Max || got.Total != h.Total || len(got.Counts) != len(h.Counts) {
+		t.Fatalf("decode mismatch: %+v vs %+v", got, h)
+	}
+	for i := range h.Counts {
+		if got.Counts[i] != h.Counts[i] {
+			t.Fatalf("count %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, err := Decode(make([]byte, 48)); err == nil {
+		t.Error("Decode(zero magic) succeeded")
+	}
+	h := Build([]float64{1, 2}, 4)
+	b := h.Encode()
+	if _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Error("Decode(truncated) succeeded")
+	}
+}
+
+func TestPowFloor(t *testing.T) {
+	cases := map[float64]float64{
+		1: 1, 1.5: 1, 2: 2, 3.99: 2, 4: 4,
+		0.3: 0.25, 0.5: 0.5, 0.7: 0.5, 100: 64,
+	}
+	for in, want := range cases {
+		if got := powFloor(in); got != want {
+			t.Errorf("powFloor(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if got := powFloor(0); got != 1 {
+		t.Errorf("powFloor(0) = %v, want 1", got)
+	}
+	if got := powFloor(-5); got != 1 {
+		t.Errorf("powFloor(-5) = %v, want 1", got)
+	}
+	if got := powFloor(math.Inf(1)); got != 1 {
+		t.Errorf("powFloor(+Inf) = %v, want 1", got)
+	}
+}
+
+func TestPropertyBuildBracketsEverywhere(t *testing.T) {
+	f := func(seed int64, loF, widthF float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randValues(rng, 500, 20, -10)
+		h := Build(vals, 32)
+		if h.CheckInvariants() != nil {
+			return false
+		}
+		lo := math.Mod(math.Abs(loF), 25) - 12
+		hi := lo + math.Mod(math.Abs(widthF), 10)
+		want := trueCount(vals, lo, hi, true, true)
+		l, u := h.Estimate(lo, hi, true, true)
+		return l <= want && want <= u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMergeTotal(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := Build(randValues(ra, 200, math.Exp2(float64(ra.Intn(10)-5)), 0), 16)
+		b := Build(randValues(rb, 300, math.Exp2(float64(rb.Intn(10)-5)), 5), 16)
+		m := a.Clone()
+		m.Merge(b)
+		return m.Total == a.Total+b.Total && m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutlierExtensionKeepsBracketingAfterMerge(t *testing.T) {
+	// Heavy-tailed data defeats sampled min/max: unsampled outliers land
+	// beyond the initial grid. The grid must extend (not clamp) so that
+	// merged (global) histograms still bracket exact counts — the failure
+	// mode that motivated deviating from Algorithm 1's edge adjustment.
+	rng := rand.New(rand.NewSource(99))
+	var all []float64
+	var hs []*Histogram
+	for r := 0; r < 8; r++ {
+		vals := make([]float64, 3000)
+		for i := range vals {
+			vals[i] = rng.ExpFloat64() * 1.5 // tail far beyond any 10% sample
+		}
+		all = append(all, vals...)
+		h := Build(vals, 50)
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Every bin's nominal range must actually contain its values:
+		// totals of Estimate over the exact data bracket per region too.
+		hs = append(hs, h)
+	}
+	g := MergeAll(hs)
+	for _, q := range []struct{ lo, hi float64 }{
+		{8, 9}, {10, 100}, {0.0, 0.1}, {5.5, 5.6}, {12, 13},
+	} {
+		want := trueCount(all, q.lo, q.hi, false, false)
+		l, u := g.Estimate(q.lo, q.hi, false, false)
+		if l > want || u < want {
+			t.Errorf("merged tail query (%v,%v): bounds (%d,%d) do not bracket truth %d",
+				q.lo, q.hi, l, u, want)
+		}
+	}
+}
+
+func TestExtremeOutlierClampFallback(t *testing.T) {
+	// A value absurdly far from the grid must not OOM the histogram: it
+	// clamps into the edge bin and only widens Min/Max.
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i % 10)
+	}
+	vals[137] = 1e12 // not seen by the stride-10 sample (137 % 10 != 0)
+	h := Build(vals, 16)
+	if h.NumBins() > 4096 {
+		t.Fatalf("extreme outlier grew the grid to %d bins", h.NumBins())
+	}
+	if h.Max != 1e12 {
+		t.Errorf("max = %v", h.Max)
+	}
+	// The upper bound must still cover the clamped outlier.
+	_, u := h.Estimate(1e11, 1e13, false, false)
+	if u < 1 {
+		t.Errorf("clamped outlier invisible to the upper bound: %d", u)
+	}
+}

@@ -1,0 +1,182 @@
+package object
+
+import (
+	"strings"
+	"testing"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/region"
+)
+
+func TestPropertyValidate(t *testing.T) {
+	ok := Property{Name: "energy", Type: dtype.Float32, Dims: []uint64{100}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid property rejected: %v", err)
+	}
+	bad := []Property{
+		{Name: "", Type: dtype.Float32, Dims: []uint64{1}},
+		{Name: "x", Type: dtype.Invalid, Dims: []uint64{1}},
+		{Name: "x", Type: dtype.Float32, Dims: nil},
+		{Name: "x", Type: dtype.Float32, Dims: []uint64{10, 0}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad property %d accepted", i)
+		}
+	}
+}
+
+func TestNumElemsAndByteSize(t *testing.T) {
+	o := &Object{Type: dtype.Float64, Dims: []uint64{10, 20}}
+	if o.NumElems() != 200 {
+		t.Errorf("NumElems = %d", o.NumElems())
+	}
+	if o.ByteSize() != 1600 {
+		t.Errorf("ByteSize = %d", o.ByteSize())
+	}
+	if (&Object{Type: dtype.Float64}).NumElems() != 0 {
+		t.Error("dimensionless object has elements")
+	}
+}
+
+func TestPartition1D(t *testing.T) {
+	// 1M float32 elements = 4MB; 1MB regions -> 4 regions of 256K elems.
+	regions := Partition([]uint64{1 << 20}, dtype.Float32, 1<<20)
+	if len(regions) != 4 {
+		t.Fatalf("regions = %d, want 4", len(regions))
+	}
+	for i, r := range regions {
+		if r.NumElems() != 1<<18 {
+			t.Errorf("region %d elems = %d", i, r.NumElems())
+		}
+	}
+}
+
+func TestPartitionUneven(t *testing.T) {
+	regions := Partition([]uint64{1000}, dtype.Float64, 8*300)
+	if len(regions) != 4 {
+		t.Fatalf("regions = %d, want 4", len(regions))
+	}
+	if regions[3].NumElems() != 100 {
+		t.Errorf("tail region = %d elems, want 100", regions[3].NumElems())
+	}
+}
+
+func TestPartitionTinyRegionBytes(t *testing.T) {
+	// Region size smaller than one row still yields one-row regions.
+	regions := Partition([]uint64{10, 1000}, dtype.Float64, 16)
+	if len(regions) != 10 {
+		t.Fatalf("regions = %d, want 10", len(regions))
+	}
+	if regions[0].Count[0] != 1 || regions[0].Count[1] != 1000 {
+		t.Errorf("region shape = %v", regions[0])
+	}
+}
+
+func TestPartitionDefaults(t *testing.T) {
+	if got := Partition([]uint64{100}, dtype.Float32, 0); len(got) != 1 {
+		t.Errorf("default region bytes: %d regions", len(got))
+	}
+	if got := Partition(nil, dtype.Float32, 1024); got != nil {
+		t.Errorf("nil dims: %v", got)
+	}
+	if got := Partition([]uint64{10}, dtype.Invalid, 1024); got != nil {
+		t.Errorf("invalid type: %v", got)
+	}
+}
+
+func buildObject(t *testing.T, dims []uint64, regionBytes int64) *Object {
+	t.Helper()
+	o := &Object{ID: 7, Name: "test", Type: dtype.Float32, Dims: dims}
+	for i, r := range Partition(dims, o.Type, regionBytes) {
+		o.Regions = append(o.Regions, RegionMeta{Index: i, Region: r, ExtentKey: ExtentKey(o.ID, i)})
+	}
+	return o
+}
+
+func TestCheckRegionCover(t *testing.T) {
+	o := buildObject(t, []uint64{1000}, 4*128)
+	if err := o.CheckRegionCover(); err != nil {
+		t.Fatalf("valid cover rejected: %v", err)
+	}
+	// Break contiguity.
+	o.Regions[1].Region.Offset[0]++
+	if err := o.CheckRegionCover(); err == nil {
+		t.Error("gap in cover accepted")
+	}
+	// No regions.
+	if err := (&Object{Name: "x", Dims: []uint64{5}}).CheckRegionCover(); err == nil {
+		t.Error("empty region list accepted")
+	}
+	// Wrong index.
+	o = buildObject(t, []uint64{1000}, 4*128)
+	o.Regions[2].Index = 9
+	if err := o.CheckRegionCover(); err == nil || !strings.Contains(err.Error(), "index") {
+		t.Errorf("bad index accepted: %v", err)
+	}
+	// Incomplete cover.
+	o = buildObject(t, []uint64{1000}, 4*128)
+	o.Regions = o.Regions[:len(o.Regions)-1]
+	if err := o.CheckRegionCover(); err == nil {
+		t.Error("incomplete cover accepted")
+	}
+	// 2D: inner dims must be whole.
+	o2 := &Object{Name: "m", Type: dtype.Float32, Dims: []uint64{4, 8}}
+	o2.Regions = []RegionMeta{
+		{Index: 0, Region: region.New([]uint64{0, 0}, []uint64{2, 8})},
+		{Index: 1, Region: region.New([]uint64{2, 0}, []uint64{2, 4})},
+	}
+	if err := o2.CheckRegionCover(); err == nil {
+		t.Error("partial inner dim accepted")
+	}
+}
+
+func TestRegionOfLinear(t *testing.T) {
+	o := buildObject(t, []uint64{1000}, 4*300) // regions of 300,300,300,100
+	cases := map[uint64]int{0: 0, 299: 0, 300: 1, 599: 1, 600: 2, 900: 3, 999: 3}
+	for idx, want := range cases {
+		if got := o.RegionOfLinear(idx); got != want {
+			t.Errorf("RegionOfLinear(%d) = %d, want %d", idx, got, want)
+		}
+	}
+}
+
+func TestRegionOfLinear2D(t *testing.T) {
+	o := &Object{Name: "m", Type: dtype.Float32, Dims: []uint64{10, 100}}
+	for i, r := range Partition(o.Dims, o.Type, 4*300) { // 3 rows per region
+		o.Regions = append(o.Regions, RegionMeta{Index: i, Region: r})
+	}
+	if err := o.CheckRegionCover(); err != nil {
+		t.Fatal(err)
+	}
+	// Element (4, 50) -> linear 450 -> row 4 -> region 1 (rows 3..5).
+	if got := o.RegionOfLinear(450); got != 1 {
+		t.Errorf("RegionOfLinear(450) = %d, want 1", got)
+	}
+	if got := o.LinearStart(1); got != 300 {
+		t.Errorf("LinearStart(1) = %d, want 300", got)
+	}
+}
+
+func TestExtentKeysDistinct(t *testing.T) {
+	keys := map[string]bool{}
+	for _, k := range []string{
+		ExtentKey(1, 0), ExtentKey(1, 1), ExtentKey(2, 0),
+		IndexExtentKey(1, 0), SortedValKey(1, 0), SortedPermKey(1, 0),
+	} {
+		if keys[k] {
+			t.Errorf("duplicate key %q", k)
+		}
+		keys[k] = true
+	}
+}
+
+func TestRegionElems(t *testing.T) {
+	o := buildObject(t, []uint64{1000}, 4*300)
+	if got := o.RegionElems(0); got != 300 {
+		t.Errorf("RegionElems(0) = %d", got)
+	}
+	if got := o.RegionElems(3); got != 100 {
+		t.Errorf("RegionElems(3) = %d", got)
+	}
+}

@@ -1,0 +1,30 @@
+package query_test
+
+import (
+	"fmt"
+
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+)
+
+// Example parses the paper's own query notation and shows the DNF the
+// evaluator plans against.
+func Example() {
+	names := map[string]object.ID{"Energy": 1, "x": 2}
+	root, err := query.Parse("2.1 < Energy < 2.2 and 100 < x < 200", func(s string) (object.ID, bool) {
+		id, ok := names[s]
+		return id, ok
+	})
+	if err != nil {
+		panic(err)
+	}
+	conjuncts, _ := query.Normalize(root)
+	for _, c := range conjuncts {
+		for _, id := range c.ObjectsSorted() {
+			fmt.Printf("obj%d in %s\n", id, c[id])
+		}
+	}
+	// Output:
+	// obj1 in (2.1, 2.2)
+	// obj2 in (100, 200)
+}

@@ -1,0 +1,75 @@
+package query
+
+import (
+	"testing"
+
+	"pdcquery/internal/object"
+	"pdcquery/internal/region"
+)
+
+// FuzzDecode hardens the wire decoder against corrupt broadcasts: it must
+// return an error or a tree that re-encodes and decodes stably — never
+// panic.
+func FuzzDecode(f *testing.F) {
+	seeds := []*Query{
+		{Root: Leaf(1, OpGT, 2.0)},
+		{Root: Between(7, 2.1, 2.2, false, false)},
+		{Root: Or(And(Leaf(1, OpGE, -5), Leaf(2, OpLE, 5)), Leaf(3, OpEQ, 0))},
+	}
+	withRegion := &Query{Root: Leaf(4, OpLT, 9)}
+	withRegion.SetRegion(region.New([]uint64{3, 4}, []uint64{5, 6}))
+	seeds = append(seeds, withRegion)
+	for _, q := range seeds {
+		f.Add(q.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 255})
+	f.Add([]byte{1, 1, 200})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded query must round-trip exactly.
+		enc := q.Encode()
+		q2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.Root.String() != q2.Root.String() {
+			t.Fatalf("round trip drifted: %q vs %q", q.Root.String(), q2.Root.String())
+		}
+		// Normalization must not panic on any decodable tree.
+		_, _ = Normalize(q.Root)
+	})
+}
+
+// FuzzParse hardens the textual parser.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"Energy > 2.0",
+		"Energy > 2.0 and 100 < x and x < 200",
+		"(a > 1 or b < 2) and c = 3",
+		"((((", "1 2 3", "and and", "x >", ">", "",
+	} {
+		f.Add(s)
+	}
+	resolve := func(name string) (object.ID, bool) {
+		switch name {
+		case "Energy", "x", "a", "b", "c":
+			return object.ID(len(name)), true
+		}
+		return 0, false
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Parse(s, resolve)
+		if err != nil {
+			return
+		}
+		if n == nil {
+			t.Fatal("nil tree without error")
+		}
+		_ = n.String()
+	})
+}

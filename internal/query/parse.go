@@ -1,0 +1,227 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"pdcquery/internal/object"
+)
+
+// Parse builds a condition tree from a textual query such as
+//
+//	Energy > 2.0 and x > 100 and x < 200
+//	(Energy > 3.0 or Energy < 0.1) and y >= -90
+//
+// Object names are resolved through the supplied lookup. Operators are
+// >, >=, <, <=, = (or ==); AND/OR are case-insensitive; parentheses
+// group.
+func Parse(s string, resolve func(name string) (object.ID, bool)) (*Node, error) {
+	p := &parser{resolve: resolve}
+	p.tokens = tokenize(s)
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.tokens) {
+		return nil, fmt.Errorf("query: unexpected %q", p.tokens[p.pos])
+	}
+	return n, nil
+}
+
+type parser struct {
+	tokens  []string
+	pos     int
+	resolve func(string) (object.ID, bool)
+}
+
+func tokenize(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')':
+			out = append(out, string(c))
+			i++
+		case c == '>' || c == '<' || c == '=':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && !unicode.IsSpace(rune(s[j])) &&
+				!strings.ContainsRune("()><=", rune(s[j])) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		}
+	}
+	return out
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.tokens) {
+		return p.tokens[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (*Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = And(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (*Node, error) {
+	if p.peek() == "(" {
+		p.next()
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("query: missing closing parenthesis")
+		}
+		return n, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison accepts "name op value", "value op name", and chained
+// range comparisons in the paper's notation: "2.1 < Energy < 2.2"
+// desugars to (Energy > 2.1) AND (Energy < 2.2).
+func (p *parser) parseComparison() (*Node, error) {
+	lhs := p.next()
+	if lhs == "" {
+		return nil, fmt.Errorf("query: expected a condition")
+	}
+	opTok := p.next()
+	op, err := parseOp(opTok)
+	if err != nil {
+		return nil, err
+	}
+	rhs := p.next()
+	if rhs == "" {
+		return nil, fmt.Errorf("query: missing right-hand side after %q %q", lhs, opTok)
+	}
+	first, err := p.buildLeaf(lhs, op, rhs)
+	if err != nil {
+		return nil, err
+	}
+	// Chained comparison: the middle operand must be the object name.
+	if _, chainErr := parseOp(p.peek()); chainErr == nil {
+		if _, isNum := parseNumber(rhs); isNum {
+			return nil, fmt.Errorf("query: chained comparison needs an object in the middle, got %q", rhs)
+		}
+		op2, _ := parseOp(p.next())
+		bound := p.next()
+		if bound == "" {
+			return nil, fmt.Errorf("query: missing bound after chained %q", rhs)
+		}
+		second, err := p.buildLeaf(rhs, op2, bound)
+		if err != nil {
+			return nil, err
+		}
+		return And(first, second), nil
+	}
+	return first, nil
+}
+
+// buildLeaf interprets one comparison with the object on either side.
+func (p *parser) buildLeaf(lhs string, op Op, rhs string) (*Node, error) {
+	if v, ok := parseNumber(rhs); ok {
+		id, found := p.resolve(lhs)
+		if !found {
+			return nil, fmt.Errorf("query: unknown object %q", lhs)
+		}
+		return Leaf(id, op, v), nil
+	}
+	// value op name: flip the comparison around.
+	v, ok := parseNumber(lhs)
+	if !ok {
+		return nil, fmt.Errorf("query: %q is neither a number nor preceded by one", rhs)
+	}
+	id, found := p.resolve(rhs)
+	if !found {
+		return nil, fmt.Errorf("query: unknown object %q", rhs)
+	}
+	return Leaf(id, flipOp(op), v), nil
+}
+
+func parseNumber(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case ">":
+		return OpGT, nil
+	case ">=":
+		return OpGE, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLE, nil
+	case "=", "==":
+		return OpEQ, nil
+	}
+	return 0, fmt.Errorf("query: bad operator %q", s)
+}
+
+// flipOp mirrors an operator across its operands: 2.1 < E means E > 2.1.
+func flipOp(op Op) Op {
+	switch op {
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	}
+	return op
+}

@@ -1,0 +1,501 @@
+// Package query defines the PDC-Query condition model: the tree that
+// PDCquery_create / PDCquery_and / PDCquery_or build (§III-A), its wire
+// serialization (the client "serializes the query conditions and
+// broadcasts them to all available servers", §III-C), and the
+// normalization the evaluator plans against.
+//
+// A leaf is a one-sided comparison on a single object (>, >=, <, <=, =);
+// AND/OR nodes chain an unlimited number of conditions. For evaluation the
+// tree is normalized to disjunctive normal form, where each conjunct
+// collapses the conditions on one object into a single value interval —
+// the form the paper's selectivity-ordered AND evaluation operates on.
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pdcquery/internal/object"
+	"pdcquery/internal/region"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators supported by PDCquery_create.
+const (
+	OpGT Op = iota // >
+	OpGE           // >=
+	OpLT           // <
+	OpLE           // <=
+	OpEQ           // ==
+)
+
+// String returns the operator symbol.
+func (op Op) String() string {
+	switch op {
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpEQ:
+		return "=="
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Kind discriminates tree nodes.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindLeaf Kind = iota
+	KindAnd
+	KindOr
+)
+
+// Node is one node of a query condition tree.
+type Node struct {
+	Kind  Kind
+	Obj   object.ID // leaf only
+	Op    Op        // leaf only
+	Value float64   // leaf only
+	Left  *Node     // and/or only
+	Right *Node     // and/or only
+}
+
+// Leaf builds a single-condition node (PDCquery_create).
+func Leaf(obj object.ID, op Op, value float64) *Node {
+	return &Node{Kind: KindLeaf, Obj: obj, Op: op, Value: value}
+}
+
+// And combines two conditions (PDCquery_and). A nil side yields the other.
+func And(l, r *Node) *Node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	return &Node{Kind: KindAnd, Left: l, Right: r}
+}
+
+// Or combines two conditions (PDCquery_or). A nil side yields the other.
+func Or(l, r *Node) *Node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	return &Node{Kind: KindOr, Left: l, Right: r}
+}
+
+// Between builds lo < obj < hi (the common range query), with inclusivity
+// controlled by the flags.
+func Between(obj object.ID, lo, hi float64, loIncl, hiIncl bool) *Node {
+	loOp, hiOp := OpGT, OpLT
+	if loIncl {
+		loOp = OpGE
+	}
+	if hiIncl {
+		hiOp = OpLE
+	}
+	return And(Leaf(obj, loOp, lo), Leaf(obj, hiOp, hi))
+}
+
+// String renders the tree.
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	switch n.Kind {
+	case KindLeaf:
+		return fmt.Sprintf("obj%d %s %g", n.Obj, n.Op, n.Value)
+	case KindAnd:
+		return "(" + n.Left.String() + " AND " + n.Right.String() + ")"
+	case KindOr:
+		return "(" + n.Left.String() + " OR " + n.Right.String() + ")"
+	}
+	return "<bad>"
+}
+
+// Objects returns the distinct object IDs referenced by the tree, sorted.
+func (n *Node) Objects() []object.ID {
+	set := map[object.ID]bool{}
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if x.Kind == KindLeaf {
+			set[x.Obj] = true
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	out := make([]object.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Query is a full query: a condition tree plus an optional spatial region
+// constraint (PDCquery_set_region). The constraint may be arbitrary and
+// need not match any internal region partition.
+type Query struct {
+	Root       *Node
+	Constraint *region.Region
+}
+
+// SetRegion attaches a spatial constraint.
+func (q *Query) SetRegion(r region.Region) { q.Constraint = &r }
+
+// Validate checks the query against the metadata: every referenced object
+// must exist, and multi-object queries require identical dimensions
+// (§III-A). The constraint, when set, must match the objects' rank and
+// lie within their bounds.
+func (q *Query) Validate(lookup func(object.ID) (*object.Object, bool)) error {
+	if q.Root == nil {
+		return fmt.Errorf("query: empty condition tree")
+	}
+	ids := q.Root.Objects()
+	if len(ids) == 0 {
+		return fmt.Errorf("query: no objects referenced")
+	}
+	var dims []uint64
+	for _, id := range ids {
+		o, ok := lookup(id)
+		if !ok {
+			return fmt.Errorf("query: object %d not found", id)
+		}
+		if dims == nil {
+			dims = o.Dims
+			continue
+		}
+		if len(dims) != len(o.Dims) {
+			return fmt.Errorf("query: objects have different ranks")
+		}
+		for d := range dims {
+			if dims[d] != o.Dims[d] {
+				return fmt.Errorf("query: objects have different dimensions")
+			}
+		}
+	}
+	if q.Constraint != nil {
+		if err := q.Constraint.Validate(); err != nil {
+			return fmt.Errorf("query: constraint: %w", err)
+		}
+		if !region.Cover(dims).Contains(*q.Constraint) {
+			return fmt.Errorf("query: constraint %v outside object bounds %v", q.Constraint, dims)
+		}
+	}
+	return nil
+}
+
+// Interval is a value range with per-bound inclusivity. The zero value is
+// empty; use Full() for the unconstrained interval.
+type Interval struct {
+	Lo, Hi         float64
+	LoIncl, HiIncl bool
+}
+
+// Full returns the interval matching every value.
+func Full() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1), LoIncl: true, HiIncl: true}
+}
+
+// FromLeaf converts a leaf comparison into an interval.
+func FromLeaf(op Op, v float64) Interval {
+	switch op {
+	case OpGT:
+		return Interval{Lo: v, Hi: math.Inf(1), LoIncl: false, HiIncl: true}
+	case OpGE:
+		return Interval{Lo: v, Hi: math.Inf(1), LoIncl: true, HiIncl: true}
+	case OpLT:
+		return Interval{Lo: math.Inf(-1), Hi: v, LoIncl: true, HiIncl: false}
+	case OpLE:
+		return Interval{Lo: math.Inf(-1), Hi: v, LoIncl: true, HiIncl: true}
+	case OpEQ:
+		return Interval{Lo: v, Hi: v, LoIncl: true, HiIncl: true}
+	}
+	panic(fmt.Sprintf("query: bad op %d", op))
+}
+
+// Empty reports whether no value can satisfy the interval.
+func (iv Interval) Empty() bool {
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi && !(iv.LoIncl && iv.HiIncl) {
+		return true
+	}
+	return false
+}
+
+// Contains reports whether v satisfies the interval.
+func (iv Interval) Contains(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	okLo := v > iv.Lo || (iv.LoIncl && v == iv.Lo)
+	okHi := v < iv.Hi || (iv.HiIncl && v == iv.Hi)
+	return okLo && okHi
+}
+
+// Intersect returns the conjunction of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.Lo > out.Lo || (o.Lo == out.Lo && !o.LoIncl) {
+		out.Lo, out.LoIncl = o.Lo, o.LoIncl
+	}
+	if o.Hi < out.Hi || (o.Hi == out.Hi && !o.HiIncl) {
+		out.Hi, out.HiIncl = o.Hi, o.HiIncl
+	}
+	return out
+}
+
+// String formats the interval in math notation.
+func (iv Interval) String() string {
+	l, r := "(", ")"
+	if iv.LoIncl {
+		l = "["
+	}
+	if iv.HiIncl {
+		r = "]"
+	}
+	return fmt.Sprintf("%s%g, %g%s", l, iv.Lo, iv.Hi, r)
+}
+
+// Conjunct maps each referenced object to the interval its values must
+// lie in; it represents one AND-term of the DNF.
+type Conjunct map[object.ID]Interval
+
+// Empty reports whether any object's interval is unsatisfiable.
+func (c Conjunct) Empty() bool {
+	for _, iv := range c {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectsSorted returns the conjunct's object IDs in ascending order.
+func (c Conjunct) ObjectsSorted() []object.ID {
+	out := make([]object.ID, 0, len(c))
+	for id := range c {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxConjuncts bounds DNF expansion; queries built from the paper's API
+// patterns stay far below it.
+const MaxConjuncts = 128
+
+// Normalize converts a condition tree to disjunctive normal form, merging
+// per-object conditions within each conjunct into a single interval.
+// Unsatisfiable conjuncts are dropped; the result may therefore be empty,
+// meaning the query matches nothing.
+func Normalize(n *Node) ([]Conjunct, error) {
+	if n == nil {
+		return nil, fmt.Errorf("query: nil tree")
+	}
+	terms, err := dnf(n)
+	if err != nil {
+		return nil, err
+	}
+	out := terms[:0]
+	for _, c := range terms {
+		if !c.Empty() {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+func dnf(n *Node) ([]Conjunct, error) {
+	if n == nil {
+		return nil, fmt.Errorf("query: nil node in tree")
+	}
+	switch n.Kind {
+	case KindLeaf:
+		return []Conjunct{{n.Obj: FromLeaf(n.Op, n.Value)}}, nil
+	case KindOr:
+		l, err := dnf(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := dnf(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)+len(r) > MaxConjuncts {
+			return nil, fmt.Errorf("query: DNF exceeds %d conjuncts", MaxConjuncts)
+		}
+		return append(l, r...), nil
+	case KindAnd:
+		l, err := dnf(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := dnf(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)*len(r) > MaxConjuncts {
+			return nil, fmt.Errorf("query: DNF exceeds %d conjuncts", MaxConjuncts)
+		}
+		out := make([]Conjunct, 0, len(l)*len(r))
+		for _, cl := range l {
+			for _, cr := range r {
+				m := make(Conjunct, len(cl)+len(cr))
+				for id, iv := range cl {
+					m[id] = iv
+				}
+				for id, iv := range cr {
+					if have, ok := m[id]; ok {
+						m[id] = have.Intersect(iv)
+					} else {
+						m[id] = iv
+					}
+				}
+				out = append(out, m)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("query: bad node kind %d", n.Kind)
+}
+
+// --- wire format -----------------------------------------------------------
+
+const wireVersion = 1
+
+// Encode serializes the query for broadcast to servers.
+func (q *Query) Encode() []byte {
+	var buf []byte
+	buf = append(buf, wireVersion)
+	if q.Constraint != nil {
+		buf = append(buf, 1, byte(q.Constraint.Rank()))
+		for d := 0; d < q.Constraint.Rank(); d++ {
+			buf = binary.LittleEndian.AppendUint64(buf, q.Constraint.Offset[d])
+			buf = binary.LittleEndian.AppendUint64(buf, q.Constraint.Count[d])
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	return encodeNode(buf, q.Root)
+}
+
+func encodeNode(buf []byte, n *Node) []byte {
+	if n == nil {
+		return append(buf, 255)
+	}
+	buf = append(buf, byte(n.Kind))
+	if n.Kind == KindLeaf {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(n.Obj))
+		buf = append(buf, byte(n.Op))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.Value))
+		return buf
+	}
+	buf = encodeNode(buf, n.Left)
+	return encodeNode(buf, n.Right)
+}
+
+// Decode deserializes a query produced by Encode.
+func Decode(b []byte) (*Query, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("query: encoded buffer too short")
+	}
+	if b[0] != wireVersion {
+		return nil, fmt.Errorf("query: unsupported wire version %d", b[0])
+	}
+	q := &Query{}
+	pos := 1
+	if b[pos] == 1 {
+		pos++
+		if pos >= len(b) {
+			return nil, fmt.Errorf("query: truncated constraint")
+		}
+		rank := int(b[pos])
+		pos++
+		if len(b) < pos+16*rank {
+			return nil, fmt.Errorf("query: truncated constraint dims")
+		}
+		r := region.Region{Offset: make([]uint64, rank), Count: make([]uint64, rank)}
+		for d := 0; d < rank; d++ {
+			r.Offset[d] = binary.LittleEndian.Uint64(b[pos:])
+			r.Count[d] = binary.LittleEndian.Uint64(b[pos+8:])
+			pos += 16
+		}
+		q.Constraint = &r
+	} else {
+		pos++
+	}
+	root, rest, err := decodeNode(b[pos:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("query: %d trailing bytes", len(rest))
+	}
+	if root == nil {
+		return nil, fmt.Errorf("query: empty condition tree")
+	}
+	q.Root = root
+	return q, nil
+}
+
+func decodeNode(b []byte) (*Node, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("query: truncated node")
+	}
+	k := b[0]
+	b = b[1:]
+	if k == 255 {
+		return nil, b, nil
+	}
+	switch Kind(k) {
+	case KindLeaf:
+		if len(b) < 17 {
+			return nil, nil, fmt.Errorf("query: truncated leaf")
+		}
+		n := &Node{
+			Kind:  KindLeaf,
+			Obj:   object.ID(binary.LittleEndian.Uint64(b)),
+			Op:    Op(b[8]),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(b[9:])),
+		}
+		if n.Op > OpEQ {
+			return nil, nil, fmt.Errorf("query: bad op %d", n.Op)
+		}
+		return n, b[17:], nil
+	case KindAnd, KindOr:
+		l, rest, err := decodeNode(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rest, err := decodeNode(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if l == nil || r == nil {
+			return nil, nil, fmt.Errorf("query: %v node with missing child", Kind(k))
+		}
+		return &Node{Kind: Kind(k), Left: l, Right: r}, rest, nil
+	}
+	return nil, nil, fmt.Errorf("query: bad node kind %d", k)
+}

@@ -1,0 +1,385 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/object"
+	"pdcquery/internal/region"
+)
+
+func TestLeafAndCombinators(t *testing.T) {
+	l := Leaf(1, OpGT, 2.0)
+	if l.Kind != KindLeaf || l.Obj != 1 || l.Op != OpGT || l.Value != 2.0 {
+		t.Errorf("Leaf = %+v", l)
+	}
+	a := And(l, Leaf(2, OpLT, 5))
+	if a.Kind != KindAnd {
+		t.Errorf("And kind = %v", a.Kind)
+	}
+	o := Or(a, Leaf(3, OpEQ, 1))
+	if o.Kind != KindOr {
+		t.Errorf("Or kind = %v", o.Kind)
+	}
+	// nil handling
+	if And(nil, l) != l || And(l, nil) != l {
+		t.Error("And with nil side")
+	}
+	if Or(nil, l) != l || Or(l, nil) != l {
+		t.Error("Or with nil side")
+	}
+}
+
+func TestObjects(t *testing.T) {
+	n := Or(And(Leaf(3, OpGT, 0), Leaf(1, OpLT, 1)), Leaf(2, OpEQ, 5))
+	got := n.Objects()
+	want := []object.ID{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("Objects = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Objects[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	n := And(Leaf(1, OpGT, 2), Leaf(1, OpLT, 3))
+	s := n.String()
+	if !strings.Contains(s, "obj1 > 2") || !strings.Contains(s, "AND") {
+		t.Errorf("String = %q", s)
+	}
+	if (*Node)(nil).String() != "<nil>" {
+		t.Error("nil String")
+	}
+}
+
+func TestIntervalFromLeaf(t *testing.T) {
+	cases := []struct {
+		op       Op
+		v        float64
+		in, out  float64
+		boundary float64
+		bIn      bool
+	}{
+		{OpGT, 2, 3, 1, 2, false},
+		{OpGE, 2, 3, 1, 2, true},
+		{OpLT, 2, 1, 3, 2, false},
+		{OpLE, 2, 1, 3, 2, true},
+		{OpEQ, 2, 2, 3, 2, true},
+	}
+	for _, c := range cases {
+		iv := FromLeaf(c.op, c.v)
+		if !iv.Contains(c.in) {
+			t.Errorf("%v %g: Contains(%g) = false", c.op, c.v, c.in)
+		}
+		if c.op != OpEQ && !iv.Contains(c.in) {
+			t.Errorf("%v: inside value rejected", c.op)
+		}
+		if iv.Contains(c.out) {
+			t.Errorf("%v %g: Contains(%g) = true", c.op, c.v, c.out)
+		}
+		if iv.Contains(c.boundary) != c.bIn {
+			t.Errorf("%v %g: boundary Contains(%g) = %v, want %v", c.op, c.v, c.boundary, !c.bIn, c.bIn)
+		}
+	}
+}
+
+func TestIntervalIntersectAndEmpty(t *testing.T) {
+	a := FromLeaf(OpGT, 2) // (2, inf]
+	b := FromLeaf(OpLT, 5) // [-inf, 5)
+	x := a.Intersect(b)
+	if x.Empty() || !x.Contains(3) || x.Contains(2) || x.Contains(5) {
+		t.Errorf("intersection = %v", x)
+	}
+	// Disjoint.
+	y := FromLeaf(OpGT, 5).Intersect(FromLeaf(OpLT, 2))
+	if !y.Empty() {
+		t.Errorf("disjoint intersection not empty: %v", y)
+	}
+	// Touching with mixed inclusivity.
+	z := FromLeaf(OpGE, 5).Intersect(FromLeaf(OpLT, 5))
+	if !z.Empty() {
+		t.Errorf("half-open touching not empty: %v", z)
+	}
+	w := FromLeaf(OpGE, 5).Intersect(FromLeaf(OpLE, 5))
+	if w.Empty() || !w.Contains(5) {
+		t.Errorf("point interval wrong: %v", w)
+	}
+	if !Full().Contains(1e300) || !Full().Contains(-1e300) {
+		t.Error("Full interval misses values")
+	}
+	if Full().Contains(math.NaN()) {
+		t.Error("interval contains NaN")
+	}
+}
+
+func TestIntervalStricterBoundWins(t *testing.T) {
+	// Same boundary, different inclusivity: exclusive is stricter.
+	a := FromLeaf(OpGE, 2)
+	b := FromLeaf(OpGT, 2)
+	x := a.Intersect(b)
+	if x.Contains(2) {
+		t.Error("intersection kept the inclusive bound")
+	}
+	x = b.Intersect(a)
+	if x.Contains(2) {
+		t.Error("intersection order-dependent")
+	}
+}
+
+func TestNormalizeSimpleRange(t *testing.T) {
+	// 2.1 < E < 2.2 on one object -> one conjunct with a merged interval.
+	n := Between(1, 2.1, 2.2, false, false)
+	cs, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	iv := cs[0][1]
+	if !iv.Contains(2.15) || iv.Contains(2.1) || iv.Contains(2.2) || iv.Contains(2.3) {
+		t.Errorf("interval = %v", iv)
+	}
+}
+
+func TestNormalizeMultiObjectAnd(t *testing.T) {
+	// Energy > 2.0 AND 100 < x < 200 AND -90 < y < 0
+	n := And(Leaf(1, OpGT, 2.0), And(Between(2, 100, 200, false, false), Between(3, -90, 0, false, false)))
+	cs, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || len(cs[0]) != 3 {
+		t.Fatalf("conjuncts = %v", cs)
+	}
+	if !cs[0][1].Contains(5) || cs[0][1].Contains(1.5) {
+		t.Error("energy interval wrong")
+	}
+	if !cs[0][2].Contains(150) || cs[0][2].Contains(250) {
+		t.Error("x interval wrong")
+	}
+}
+
+func TestNormalizeOrProducesTerms(t *testing.T) {
+	n := Or(Leaf(1, OpGT, 5), Leaf(2, OpLT, 0))
+	cs, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+}
+
+func TestNormalizeDistributesAndOverOr(t *testing.T) {
+	// (a OR b) AND c -> (a AND c) OR (b AND c)
+	n := And(Or(Leaf(1, OpGT, 5), Leaf(2, OpLT, 0)), Leaf(3, OpEQ, 7))
+	cs, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	for _, c := range cs {
+		if _, ok := c[3]; !ok {
+			t.Error("distributed term missing obj3 condition")
+		}
+	}
+}
+
+func TestNormalizeDropsContradictions(t *testing.T) {
+	// E > 5 AND E < 2 is unsatisfiable.
+	n := And(Leaf(1, OpGT, 5), Leaf(1, OpLT, 2))
+	cs, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Errorf("contradictory query produced %d conjuncts", len(cs))
+	}
+}
+
+func TestNormalizeExplosionGuard(t *testing.T) {
+	// Build AND of many ORs to exceed MaxConjuncts: 2^8 = 256 > 128.
+	var n *Node
+	for i := 0; i < 8; i++ {
+		or := Or(Leaf(object.ID(i*2+1), OpGT, 0), Leaf(object.ID(i*2+2), OpLT, 0))
+		n = And(n, or)
+	}
+	if _, err := Normalize(n); err == nil {
+		t.Error("DNF explosion not caught")
+	}
+	if _, err := Normalize(nil); err == nil {
+		t.Error("Normalize(nil) succeeded")
+	}
+}
+
+func TestConjunctHelpers(t *testing.T) {
+	c := Conjunct{3: Full(), 1: Full(), 2: FromLeaf(OpGT, 5).Intersect(FromLeaf(OpLT, 2))}
+	ids := c.ObjectsSorted()
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("ObjectsSorted = %v", ids)
+	}
+	if !c.Empty() {
+		t.Error("conjunct with empty interval not Empty")
+	}
+	if (Conjunct{1: Full()}).Empty() {
+		t.Error("satisfiable conjunct Empty")
+	}
+}
+
+func lookupFor(objs ...*object.Object) func(object.ID) (*object.Object, bool) {
+	m := map[object.ID]*object.Object{}
+	for _, o := range objs {
+		m[o.ID] = o
+	}
+	return func(id object.ID) (*object.Object, bool) {
+		o, ok := m[id]
+		return o, ok
+	}
+}
+
+func TestValidate(t *testing.T) {
+	a := &object.Object{ID: 1, Name: "a", Type: dtype.Float32, Dims: []uint64{100}}
+	b := &object.Object{ID: 2, Name: "b", Type: dtype.Float32, Dims: []uint64{100}}
+	c := &object.Object{ID: 3, Name: "c", Type: dtype.Float32, Dims: []uint64{50}}
+	look := lookupFor(a, b, c)
+
+	q := &Query{Root: And(Leaf(1, OpGT, 0), Leaf(2, OpLT, 1))}
+	if err := q.Validate(look); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	// Mismatched dims.
+	q = &Query{Root: And(Leaf(1, OpGT, 0), Leaf(3, OpLT, 1))}
+	if err := q.Validate(look); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Unknown object.
+	q = &Query{Root: Leaf(99, OpGT, 0)}
+	if err := q.Validate(look); err == nil {
+		t.Error("unknown object accepted")
+	}
+	// Empty tree.
+	if err := (&Query{}).Validate(look); err == nil {
+		t.Error("empty query accepted")
+	}
+	// Constraint inside bounds.
+	q = &Query{Root: Leaf(1, OpGT, 0)}
+	q.SetRegion(region.New([]uint64{10}, []uint64{20}))
+	if err := q.Validate(look); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	// Constraint outside bounds.
+	q.SetRegion(region.New([]uint64{90}, []uint64{20}))
+	if err := q.Validate(look); err == nil {
+		t.Error("out-of-bounds constraint accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	trees := []*Node{
+		Leaf(7, OpEQ, 3.25),
+		Between(1, 2.1, 2.2, false, false),
+		Or(And(Leaf(1, OpGT, 2), Between(2, 100, 200, true, false)), Leaf(3, OpLE, -7.5)),
+	}
+	for _, tree := range trees {
+		for _, withRegion := range []bool{false, true} {
+			q := &Query{Root: tree}
+			if withRegion {
+				q.SetRegion(region.New([]uint64{5, 0}, []uint64{10, 3}))
+			}
+			enc := q.Encode()
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("decode %q: %v", tree, err)
+			}
+			if got.Root.String() != tree.String() {
+				t.Errorf("round trip: %q != %q", got.Root.String(), tree.String())
+			}
+			if withRegion {
+				if got.Constraint == nil || !got.Constraint.Equal(*q.Constraint) {
+					t.Errorf("constraint round trip: %v", got.Constraint)
+				}
+			} else if got.Constraint != nil {
+				t.Error("phantom constraint after decode")
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte{99, 0}); err == nil {
+		t.Error("bad version accepted")
+	}
+	q := &Query{Root: Leaf(1, OpGT, 0)}
+	enc := q.Encode()
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated leaf accepted")
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Corrupt the op byte to an invalid value.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-9] = 42
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad op accepted")
+	}
+}
+
+func TestPropertyNormalizeMatchesTreeSemantics(t *testing.T) {
+	// For a random 2-object tree and random values, DNF evaluation must
+	// equal direct tree evaluation.
+	var eval func(n *Node, vals map[object.ID]float64) bool
+	eval = func(n *Node, vals map[object.ID]float64) bool {
+		switch n.Kind {
+		case KindLeaf:
+			return FromLeaf(n.Op, n.Value).Contains(vals[n.Obj])
+		case KindAnd:
+			return eval(n.Left, vals) && eval(n.Right, vals)
+		case KindOr:
+			return eval(n.Left, vals) || eval(n.Right, vals)
+		}
+		return false
+	}
+	f := func(ops [5]uint8, cuts [5]int8, v1, v2 int8) bool {
+		mk := func(i int, obj object.ID) *Node {
+			return Leaf(obj, Op(ops[i]%5), float64(cuts[i]%10))
+		}
+		tree := Or(And(mk(0, 1), mk(1, 2)), And(mk(2, 1), Or(mk(3, 2), mk(4, 1))))
+		cs, err := Normalize(tree)
+		if err != nil {
+			return false
+		}
+		vals := map[object.ID]float64{1: float64(v1 % 12), 2: float64(v2 % 12)}
+		want := eval(tree, vals)
+		got := false
+		for _, c := range cs {
+			all := true
+			for id, iv := range c {
+				if !iv.Contains(vals[id]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				got = true
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package region implements the N-dimensional region algebra used by the
+// object model and the query service.
+//
+// A PDC object is an N-dimensional array stored row-major; large objects
+// are partitioned into regions, the basic unit of data placement and query
+// evaluation (§III-B of the paper). A region is a hyper-rectangle described
+// by per-dimension offsets and counts. Users may also attach an arbitrary
+// region as a spatial query constraint (PDCquery_set_region); it does not
+// need to match any internal partition, so the algebra here supports
+// intersection, containment, and linearization against any region.
+package region
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Region is a hyper-rectangle: for each dimension d, it spans
+// [Offset[d], Offset[d]+Count[d]). A Region with no dimensions is invalid
+// except as a zero placeholder.
+type Region struct {
+	Offset []uint64
+	Count  []uint64
+}
+
+// New returns a region with the given offsets and counts.
+func New(offset, count []uint64) Region {
+	return Region{Offset: offset, Count: count}
+}
+
+// Cover returns the region spanning an entire object with the given dims.
+func Cover(dims []uint64) Region {
+	r := Region{Offset: make([]uint64, len(dims)), Count: make([]uint64, len(dims))}
+	copy(r.Count, dims)
+	return r
+}
+
+// Rank returns the number of dimensions.
+func (r Region) Rank() int { return len(r.Offset) }
+
+// Validate checks structural invariants: matching rank, nonzero rank, and
+// nonzero counts in every dimension.
+func (r Region) Validate() error {
+	if len(r.Offset) == 0 {
+		return fmt.Errorf("region: zero rank")
+	}
+	if len(r.Offset) != len(r.Count) {
+		return fmt.Errorf("region: offset rank %d != count rank %d", len(r.Offset), len(r.Count))
+	}
+	for d, c := range r.Count {
+		if c == 0 {
+			return fmt.Errorf("region: zero count in dimension %d", d)
+		}
+	}
+	return nil
+}
+
+// NumElems returns the number of elements in the region.
+func (r Region) NumElems() uint64 {
+	if len(r.Count) == 0 {
+		return 0
+	}
+	n := uint64(1)
+	for _, c := range r.Count {
+		n *= c
+	}
+	return n
+}
+
+// Equal reports whether two regions are identical.
+func (r Region) Equal(o Region) bool {
+	if len(r.Offset) != len(o.Offset) {
+		return false
+	}
+	for d := range r.Offset {
+		if r.Offset[d] != o.Offset[d] || r.Count[d] != o.Count[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the region as [off:off+count)x... per dimension.
+func (r Region) String() string {
+	var b strings.Builder
+	for d := range r.Offset {
+		if d > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "[%d:%d)", r.Offset[d], r.Offset[d]+r.Count[d])
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy.
+func (r Region) Clone() Region {
+	c := Region{Offset: make([]uint64, len(r.Offset)), Count: make([]uint64, len(r.Count))}
+	copy(c.Offset, r.Offset)
+	copy(c.Count, r.Count)
+	return c
+}
+
+// Intersect returns the intersection of two same-rank regions and whether
+// it is non-empty.
+func Intersect(a, b Region) (Region, bool) {
+	if len(a.Offset) != len(b.Offset) {
+		return Region{}, false
+	}
+	out := Region{Offset: make([]uint64, len(a.Offset)), Count: make([]uint64, len(a.Offset))}
+	for d := range a.Offset {
+		lo := a.Offset[d]
+		if b.Offset[d] > lo {
+			lo = b.Offset[d]
+		}
+		aEnd := a.Offset[d] + a.Count[d]
+		bEnd := b.Offset[d] + b.Count[d]
+		hi := aEnd
+		if bEnd < hi {
+			hi = bEnd
+		}
+		if hi <= lo {
+			return Region{}, false
+		}
+		out.Offset[d] = lo
+		out.Count[d] = hi - lo
+	}
+	return out, true
+}
+
+// Contains reports whether region r fully contains region o.
+func (r Region) Contains(o Region) bool {
+	if len(r.Offset) != len(o.Offset) {
+		return false
+	}
+	for d := range r.Offset {
+		if o.Offset[d] < r.Offset[d] ||
+			o.Offset[d]+o.Count[d] > r.Offset[d]+r.Count[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsCoord reports whether the coordinate lies inside the region.
+func (r Region) ContainsCoord(coord []uint64) bool {
+	if len(coord) != len(r.Offset) {
+		return false
+	}
+	for d := range coord {
+		if coord[d] < r.Offset[d] || coord[d] >= r.Offset[d]+r.Count[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoordToLinear converts an absolute coordinate to the row-major linear
+// index within an object of the given dims.
+func CoordToLinear(dims, coord []uint64) uint64 {
+	var idx uint64
+	for d := range dims {
+		idx = idx*dims[d] + coord[d]
+	}
+	return idx
+}
+
+// LinearToCoord converts a row-major linear index within an object of the
+// given dims to an absolute coordinate, writing into buf (which must have
+// len(dims) capacity) and returning it.
+func LinearToCoord(dims []uint64, idx uint64, buf []uint64) []uint64 {
+	buf = buf[:len(dims)]
+	for d := len(dims) - 1; d >= 0; d-- {
+		buf[d] = idx % dims[d]
+		idx /= dims[d]
+	}
+	return buf
+}
+
+// LinearRun is a contiguous run of row-major linear indices
+// [Start, Start+Len).
+type LinearRun struct {
+	Start uint64
+	Len   uint64
+}
+
+// LinearRuns returns the contiguous row-major runs of linear indices
+// covered by region r inside an object with the given dims. For a 1-D
+// region this is a single run. The runs are produced in increasing order.
+func LinearRuns(dims []uint64, r Region) []LinearRun {
+	rank := len(dims)
+	if rank == 0 || len(r.Offset) != rank {
+		return nil
+	}
+	// The innermost dimension is contiguous; iterate the outer dims.
+	runLen := r.Count[rank-1]
+	if runLen == 0 {
+		return nil
+	}
+	outer := uint64(1)
+	for d := 0; d < rank-1; d++ {
+		outer *= r.Count[d]
+	}
+	runs := make([]LinearRun, 0, outer)
+	coord := make([]uint64, rank)
+	copy(coord, r.Offset)
+	for i := uint64(0); i < outer; i++ {
+		start := CoordToLinear(dims, coord)
+		runs = append(runs, LinearRun{Start: start, Len: runLen})
+		// Increment the outer coordinate (odometer order).
+		for d := rank - 2; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < r.Offset[d]+r.Count[d] {
+				break
+			}
+			coord[d] = r.Offset[d]
+		}
+	}
+	return runs
+}
+
+// Split1D partitions a 1-D object of total elements into consecutive
+// regions of at most elemsPerRegion elements. The last region may be
+// shorter. It panics if elemsPerRegion is zero.
+func Split1D(total, elemsPerRegion uint64) []Region {
+	if elemsPerRegion == 0 {
+		panic("region: Split1D with zero region size")
+	}
+	if total == 0 {
+		return nil
+	}
+	n := (total + elemsPerRegion - 1) / elemsPerRegion
+	out := make([]Region, 0, n)
+	for off := uint64(0); off < total; off += elemsPerRegion {
+		cnt := elemsPerRegion
+		if off+cnt > total {
+			cnt = total - off
+		}
+		out = append(out, Region{Offset: []uint64{off}, Count: []uint64{cnt}})
+	}
+	return out
+}
+
+// SplitRows partitions an N-D object along its first (slowest-varying)
+// dimension into regions of at most rowsPerRegion rows each; all other
+// dimensions are kept whole. For rank-1 objects this equals Split1D.
+func SplitRows(dims []uint64, rowsPerRegion uint64) []Region {
+	if rowsPerRegion == 0 {
+		panic("region: SplitRows with zero rows per region")
+	}
+	if len(dims) == 0 || dims[0] == 0 {
+		return nil
+	}
+	n := (dims[0] + rowsPerRegion - 1) / rowsPerRegion
+	out := make([]Region, 0, n)
+	for off := uint64(0); off < dims[0]; off += rowsPerRegion {
+		cnt := rowsPerRegion
+		if off+cnt > dims[0] {
+			cnt = dims[0] - off
+		}
+		r := Cover(dims)
+		r.Offset[0] = off
+		r.Count[0] = cnt
+		out = append(out, r)
+	}
+	return out
+}

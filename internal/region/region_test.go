@@ -1,0 +1,312 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		r    Region
+		ok   bool
+		name string
+	}{
+		{New([]uint64{0}, []uint64{10}), true, "1d"},
+		{New([]uint64{1, 2}, []uint64{3, 4}), true, "2d"},
+		{Region{}, false, "zero rank"},
+		{New([]uint64{0}, []uint64{0}), false, "zero count"},
+		{New([]uint64{0, 0}, []uint64{1}), false, "rank mismatch"},
+	}
+	for _, c := range cases {
+		if err := c.r.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNumElems(t *testing.T) {
+	if got := New([]uint64{5}, []uint64{10}).NumElems(); got != 10 {
+		t.Errorf("1d NumElems = %d, want 10", got)
+	}
+	if got := New([]uint64{0, 0, 0}, []uint64{2, 3, 4}).NumElems(); got != 24 {
+		t.Errorf("3d NumElems = %d, want 24", got)
+	}
+	if got := (Region{}).NumElems(); got != 0 {
+		t.Errorf("empty NumElems = %d, want 0", got)
+	}
+}
+
+func TestCover(t *testing.T) {
+	r := Cover([]uint64{7, 9})
+	if r.Offset[0] != 0 || r.Offset[1] != 0 || r.Count[0] != 7 || r.Count[1] != 9 {
+		t.Errorf("Cover = %v", r)
+	}
+	if r.NumElems() != 63 {
+		t.Errorf("Cover NumElems = %d", r.NumElems())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New([]uint64{0, 0}, []uint64{10, 10})
+	b := New([]uint64{5, 8}, []uint64{10, 10})
+	got, ok := Intersect(a, b)
+	if !ok {
+		t.Fatal("expected non-empty intersection")
+	}
+	want := New([]uint64{5, 8}, []uint64{5, 2})
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	// Disjoint.
+	c := New([]uint64{20, 0}, []uint64{5, 5})
+	if _, ok := Intersect(a, c); ok {
+		t.Error("disjoint regions intersected")
+	}
+	// Touching edges do not overlap.
+	d := New([]uint64{10, 0}, []uint64{5, 10})
+	if _, ok := Intersect(a, d); ok {
+		t.Error("touching regions intersected")
+	}
+	// Rank mismatch.
+	if _, ok := Intersect(a, New([]uint64{0}, []uint64{1})); ok {
+		t.Error("rank-mismatched regions intersected")
+	}
+}
+
+func TestIntersectCommutative(t *testing.T) {
+	f := func(ao, ac, bo, bc uint8) bool {
+		a := New([]uint64{uint64(ao)}, []uint64{uint64(ac) + 1})
+		b := New([]uint64{uint64(bo)}, []uint64{uint64(bc) + 1})
+		r1, ok1 := Intersect(a, b)
+		r2, ok2 := Intersect(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		return !ok1 || r1.Equal(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := New([]uint64{0, 0}, []uint64{10, 10})
+	if !outer.Contains(New([]uint64{2, 3}, []uint64{4, 5})) {
+		t.Error("inner region not contained")
+	}
+	if !outer.Contains(outer) {
+		t.Error("region does not contain itself")
+	}
+	if outer.Contains(New([]uint64{8, 0}, []uint64{5, 5})) {
+		t.Error("overflowing region contained")
+	}
+	if outer.Contains(New([]uint64{0}, []uint64{5})) {
+		t.Error("rank-mismatched region contained")
+	}
+}
+
+func TestContainsCoord(t *testing.T) {
+	r := New([]uint64{5, 10}, []uint64{5, 10})
+	if !r.ContainsCoord([]uint64{5, 10}) || !r.ContainsCoord([]uint64{9, 19}) {
+		t.Error("corner coords not contained")
+	}
+	if r.ContainsCoord([]uint64{10, 10}) || r.ContainsCoord([]uint64{5, 20}) {
+		t.Error("exclusive upper bound violated")
+	}
+	if r.ContainsCoord([]uint64{5}) {
+		t.Error("rank-mismatched coord contained")
+	}
+}
+
+func TestLinearCoordRoundTrip(t *testing.T) {
+	dims := []uint64{4, 5, 6}
+	buf := make([]uint64, 3)
+	for idx := uint64(0); idx < 120; idx++ {
+		coord := LinearToCoord(dims, idx, buf)
+		if got := CoordToLinear(dims, coord); got != idx {
+			t.Fatalf("round trip %d -> %v -> %d", idx, coord, got)
+		}
+	}
+}
+
+func TestLinearRuns1D(t *testing.T) {
+	runs := LinearRuns([]uint64{100}, New([]uint64{10}, []uint64{25}))
+	if len(runs) != 1 || runs[0].Start != 10 || runs[0].Len != 25 {
+		t.Errorf("1d runs = %v", runs)
+	}
+}
+
+func TestLinearRuns2D(t *testing.T) {
+	// 10x10 object, region rows 2..4, cols 3..6.
+	runs := LinearRuns([]uint64{10, 10}, New([]uint64{2, 3}, []uint64{2, 3}))
+	want := []LinearRun{{23, 3}, {33, 3}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Errorf("run %d = %v, want %v", i, runs[i], want[i])
+		}
+	}
+}
+
+func TestLinearRuns3D(t *testing.T) {
+	dims := []uint64{3, 4, 5}
+	r := New([]uint64{1, 1, 2}, []uint64{2, 2, 2})
+	runs := LinearRuns(dims, r)
+	// Verify by brute force: every element of the region appears in
+	// exactly the produced runs, in order.
+	var wantIdx []uint64
+	buf := make([]uint64, 3)
+	for idx := uint64(0); idx < 60; idx++ {
+		if r.ContainsCoord(LinearToCoord(dims, idx, buf)) {
+			wantIdx = append(wantIdx, idx)
+		}
+	}
+	var gotIdx []uint64
+	for _, run := range runs {
+		for i := uint64(0); i < run.Len; i++ {
+			gotIdx = append(gotIdx, run.Start+i)
+		}
+	}
+	if len(gotIdx) != len(wantIdx) {
+		t.Fatalf("runs cover %d elems, want %d", len(gotIdx), len(wantIdx))
+	}
+	for i := range wantIdx {
+		if gotIdx[i] != wantIdx[i] {
+			t.Fatalf("elem %d = %d, want %d", i, gotIdx[i], wantIdx[i])
+		}
+	}
+	if int(r.NumElems()) != len(wantIdx) {
+		t.Errorf("NumElems = %d, brute force = %d", r.NumElems(), len(wantIdx))
+	}
+}
+
+func TestLinearRunsRankMismatch(t *testing.T) {
+	if runs := LinearRuns([]uint64{10}, New([]uint64{0, 0}, []uint64{2, 2})); runs != nil {
+		t.Errorf("rank mismatch runs = %v, want nil", runs)
+	}
+	if runs := LinearRuns(nil, Region{}); runs != nil {
+		t.Errorf("empty dims runs = %v, want nil", runs)
+	}
+}
+
+func TestSplit1D(t *testing.T) {
+	regions := Split1D(100, 30)
+	if len(regions) != 4 {
+		t.Fatalf("split count = %d, want 4", len(regions))
+	}
+	var total uint64
+	var next uint64
+	for i, r := range regions {
+		if r.Offset[0] != next {
+			t.Errorf("region %d offset = %d, want %d", i, r.Offset[0], next)
+		}
+		next += r.Count[0]
+		total += r.NumElems()
+	}
+	if total != 100 {
+		t.Errorf("split total = %d, want 100", total)
+	}
+	if last := regions[3]; last.Count[0] != 10 {
+		t.Errorf("last region count = %d, want 10", last.Count[0])
+	}
+	if got := Split1D(0, 10); got != nil {
+		t.Errorf("Split1D(0) = %v, want nil", got)
+	}
+	// Exact division has no short tail.
+	if got := Split1D(90, 30); len(got) != 3 || got[2].Count[0] != 30 {
+		t.Errorf("exact split = %v", got)
+	}
+}
+
+func TestSplit1DPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split1D(_, 0) did not panic")
+		}
+	}()
+	Split1D(10, 0)
+}
+
+func TestSplitRows(t *testing.T) {
+	dims := []uint64{10, 7}
+	regions := SplitRows(dims, 4)
+	if len(regions) != 3 {
+		t.Fatalf("split count = %d, want 3", len(regions))
+	}
+	var total uint64
+	for _, r := range regions {
+		if r.Count[1] != 7 || r.Offset[1] != 0 {
+			t.Errorf("inner dim not whole: %v", r)
+		}
+		total += r.NumElems()
+	}
+	if total != 70 {
+		t.Errorf("total = %d, want 70", total)
+	}
+	if got := SplitRows(nil, 4); got != nil {
+		t.Errorf("SplitRows(nil) = %v", got)
+	}
+}
+
+func TestPropertySplit1DPartition(t *testing.T) {
+	f := func(total uint16, per uint8) bool {
+		p := uint64(per) + 1
+		regions := Split1D(uint64(total), p)
+		var sum uint64
+		var next uint64
+		for _, r := range regions {
+			if r.Offset[0] != next || r.Count[0] == 0 || r.Count[0] > p {
+				return false
+			}
+			next += r.Count[0]
+			sum += r.Count[0]
+		}
+		return sum == uint64(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIntersectWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		a := New(
+			[]uint64{uint64(rng.Intn(50)), uint64(rng.Intn(50))},
+			[]uint64{uint64(rng.Intn(50)) + 1, uint64(rng.Intn(50)) + 1})
+		b := New(
+			[]uint64{uint64(rng.Intn(50)), uint64(rng.Intn(50))},
+			[]uint64{uint64(rng.Intn(50)) + 1, uint64(rng.Intn(50)) + 1})
+		x, ok := Intersect(a, b)
+		if !ok {
+			continue
+		}
+		if !a.Contains(x) || !b.Contains(x) {
+			t.Fatalf("intersection %v not contained in %v and %v", x, a, b)
+		}
+		if x.NumElems() > a.NumElems() || x.NumElems() > b.NumElems() {
+			t.Fatalf("intersection larger than inputs")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := New([]uint64{1}, []uint64{2})
+	c := r.Clone()
+	c.Offset[0] = 99
+	if r.Offset[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if !r.Clone().Equal(r) {
+		t.Error("Clone not equal to original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New([]uint64{5, 0}, []uint64{5, 3}).String(); got != "[5:10)x[0:3)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package selection implements the PDC data selection: the set of
+// matching element locations a query returns (§III-A).
+//
+// A selection holds sorted row-major linear element indices plus the
+// object dimensions needed to convert them to array coordinates. Servers
+// produce partial selections for their assigned regions; the client's
+// aggregator merges them (and the OR path of the evaluator merges
+// selections with duplicate removal, the paper's merge-sort dedup).
+package selection
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+
+	"pdcquery/internal/region"
+)
+
+// Selection is a set of matching element locations. CountOnly selections
+// carry just NHits (the PDCquery_get_nhits fast path).
+type Selection struct {
+	// NHits is the number of matching elements.
+	NHits uint64
+	// Coords holds the sorted row-major linear indices of the matches;
+	// nil for count-only selections with NHits > 0 possible only when
+	// CountOnly is set.
+	Coords []uint64
+	// CountOnly marks a selection that deliberately omits locations.
+	CountOnly bool
+	// Dims are the object dimensions used to interpret Coords.
+	Dims []uint64
+}
+
+// New returns a selection over the given sorted linear indices.
+func New(coords []uint64, dims []uint64) *Selection {
+	return &Selection{NHits: uint64(len(coords)), Coords: coords, Dims: dims}
+}
+
+// NewCount returns a count-only selection.
+func NewCount(n uint64, dims []uint64) *Selection {
+	return &Selection{NHits: n, CountOnly: true, Dims: dims}
+}
+
+// Validate checks internal consistency: sorted unique coords matching
+// NHits.
+func (s *Selection) Validate() error {
+	if s.CountOnly {
+		if s.Coords != nil {
+			return fmt.Errorf("selection: count-only with coords")
+		}
+		return nil
+	}
+	if uint64(len(s.Coords)) != s.NHits {
+		return fmt.Errorf("selection: NHits %d != %d coords", s.NHits, len(s.Coords))
+	}
+	for i := 1; i < len(s.Coords); i++ {
+		if s.Coords[i] <= s.Coords[i-1] {
+			return fmt.Errorf("selection: coords not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Coord returns the i-th match as an array coordinate.
+func (s *Selection) Coord(i int, buf []uint64) []uint64 {
+	return region.LinearToCoord(s.Dims, s.Coords[i], buf)
+}
+
+// Merge unions two selections (same object space), removing duplicates —
+// the paper's OR combination. Count-only selections merge by adding hit
+// counts (callers must guarantee disjointness, which holds for partial
+// results from disjoint region sets).
+func Merge(a, b *Selection) *Selection {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.CountOnly || b.CountOnly {
+		return &Selection{NHits: a.NHits + b.NHits, CountOnly: true, Dims: a.Dims}
+	}
+	out := make([]uint64, 0, len(a.Coords)+len(b.Coords))
+	i, j := 0, 0
+	for i < len(a.Coords) && j < len(b.Coords) {
+		switch {
+		case a.Coords[i] < b.Coords[j]:
+			out = append(out, a.Coords[i])
+			i++
+		case a.Coords[i] > b.Coords[j]:
+			out = append(out, b.Coords[j])
+			j++
+		default:
+			out = append(out, a.Coords[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a.Coords[i:]...)
+	out = append(out, b.Coords[j:]...)
+	return New(out, a.Dims)
+}
+
+// MergeAll unions many selections.
+func MergeAll(ss []*Selection) *Selection {
+	var acc *Selection
+	for _, s := range ss {
+		acc = Merge(acc, s)
+	}
+	return acc
+}
+
+// Intersect returns the elements present in both selections (AND).
+func Intersect(a, b *Selection) *Selection {
+	if a == nil || b == nil {
+		return nil
+	}
+	if a.CountOnly || b.CountOnly {
+		panic("selection: cannot intersect count-only selections")
+	}
+	out := make([]uint64, 0, min(len(a.Coords), len(b.Coords)))
+	i, j := 0, 0
+	for i < len(a.Coords) && j < len(b.Coords) {
+		switch {
+		case a.Coords[i] < b.Coords[j]:
+			i++
+		case a.Coords[i] > b.Coords[j]:
+			j++
+		default:
+			out = append(out, a.Coords[i])
+			i++
+			j++
+		}
+	}
+	return New(out, a.Dims)
+}
+
+// FromUnsorted builds a selection from unordered, possibly duplicated
+// indices (sorting and deduplicating them).
+func FromUnsorted(coords []uint64, dims []uint64) *Selection {
+	slices.Sort(coords)
+	coords = slices.Compact(coords)
+	return New(coords, dims)
+}
+
+// Batches splits the selection into count-preserving chunks of at most
+// batchSize hits, supporting PDCquery_get_data_batch.
+func (s *Selection) Batches(batchSize uint64) []*Selection {
+	if s.CountOnly {
+		panic("selection: cannot batch count-only selection")
+	}
+	if batchSize == 0 {
+		batchSize = 1 << 20
+	}
+	var out []*Selection
+	for off := uint64(0); off < uint64(len(s.Coords)); off += batchSize {
+		end := off + batchSize
+		if end > uint64(len(s.Coords)) {
+			end = uint64(len(s.Coords))
+		}
+		out = append(out, New(s.Coords[off:end], s.Dims))
+	}
+	return out
+}
+
+// Encode serializes the selection for transport.
+func (s *Selection) Encode() []byte {
+	flags := byte(0)
+	if s.CountOnly {
+		flags = 1
+	}
+	n := 1 + 8 + 1 + 8*len(s.Dims) + 8*len(s.Coords)
+	out := make([]byte, 0, n)
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint64(out, s.NHits)
+	out = append(out, byte(len(s.Dims)))
+	for _, d := range s.Dims {
+		out = binary.LittleEndian.AppendUint64(out, d)
+	}
+	if !s.CountOnly {
+		for _, c := range s.Coords {
+			out = binary.LittleEndian.AppendUint64(out, c)
+		}
+	}
+	return out
+}
+
+// Decode deserializes a selection produced by Encode.
+func Decode(b []byte) (*Selection, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("selection: buffer too short")
+	}
+	s := &Selection{CountOnly: b[0] == 1}
+	s.NHits = binary.LittleEndian.Uint64(b[1:9])
+	rank := int(b[9])
+	pos := 10
+	if len(b) < pos+8*rank {
+		return nil, fmt.Errorf("selection: truncated dims")
+	}
+	s.Dims = make([]uint64, rank)
+	for d := 0; d < rank; d++ {
+		s.Dims[d] = binary.LittleEndian.Uint64(b[pos:])
+		pos += 8
+	}
+	if s.CountOnly {
+		if pos != len(b) {
+			return nil, fmt.Errorf("selection: trailing bytes")
+		}
+		return s, nil
+	}
+	if s.NHits != uint64(len(b)-pos)/8 || (len(b)-pos)%8 != 0 {
+		return nil, fmt.Errorf("selection: coord bytes %d do not match %d hits", len(b)-pos, s.NHits)
+	}
+	s.Coords = make([]uint64, s.NHits)
+	for i := range s.Coords {
+		s.Coords[i] = binary.LittleEndian.Uint64(b[pos:])
+		pos += 8
+	}
+	return s, nil
+}

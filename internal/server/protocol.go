@@ -1,0 +1,389 @@
+// Protocol: the message types and payload encodings exchanged between the
+// PDC client library and the query servers. Everything is little-endian
+// and hand-rolled (no reflection on the hot path).
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"time"
+
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/vclock"
+)
+
+// Message types.
+const (
+	MsgQuery        byte = 1  // client -> server: run a query over assigned regions
+	MsgQueryResult  byte = 2  // server -> client: partial selection + stats (+ values)
+	MsgGetData      byte = 3  // client -> server: fetch values for coords / stashed result
+	MsgDataResult   byte = 4  // server -> client: value bytes
+	MsgHistogram    byte = 5  // client -> server: global histogram request
+	MsgHistResult   byte = 6  // server -> client: encoded histogram (may be empty)
+	MsgTagQuery     byte = 7  // client -> server: metadata tag query
+	MsgTagResult    byte = 8  // server -> client: matching object IDs
+	MsgMetaSnapshot byte = 9  // client -> server: full metadata snapshot request
+	MsgMetaResult   byte = 10 // server -> client: gob snapshot
+	MsgError        byte = 11 // server -> client: error string
+	MsgShutdown     byte = 12 // client -> server: stop serving this connection
+)
+
+// Query request flags.
+const (
+	FlagWantSelection byte = 1 << 0
+	FlagWantValues    byte = 1 << 1
+)
+
+// encodeCost packs a cost breakdown as four u64 nanosecond counts.
+func encodeCost(buf []byte, k vclock.Cost) []byte {
+	for c := vclock.Storage; c <= vclock.Meta; c++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k.Part(c)))
+	}
+	return buf
+}
+
+func decodeCost(b []byte) (vclock.Cost, []byte, error) {
+	if len(b) < 32 {
+		return vclock.Cost{}, nil, fmt.Errorf("protocol: truncated cost")
+	}
+	var k vclock.Cost
+	for c := vclock.Storage; c <= vclock.Meta; c++ {
+		k = k.Add(vclock.CostOf(c, time.Duration(binary.LittleEndian.Uint64(b))))
+		b = b[8:]
+	}
+	return k, b, nil
+}
+
+func encodeStats(buf []byte, s exec.Stats) []byte {
+	for _, v := range []int64{
+		s.RegionsEvaluated, s.RegionsPruned, s.SortedRegions, s.ElementsScanned,
+		s.Probes, s.IndexBinsRead, s.IndexBytesRead, s.CandChecks, s.StorageBytes,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+func decodeStats(b []byte) (exec.Stats, []byte, error) {
+	if len(b) < 72 {
+		return exec.Stats{}, nil, fmt.Errorf("protocol: truncated stats")
+	}
+	get := func() int64 {
+		v := int64(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		return v
+	}
+	var s exec.Stats
+	s.RegionsEvaluated = get()
+	s.RegionsPruned = get()
+	s.SortedRegions = get()
+	s.ElementsScanned = get()
+	s.Probes = get()
+	s.IndexBinsRead = get()
+	s.IndexBytesRead = get()
+	s.CandChecks = get()
+	s.StorageBytes = get()
+	return s, b, nil
+}
+
+// EncodeQueryRequest builds a MsgQuery payload.
+func EncodeQueryRequest(flags byte, encodedQuery []byte) []byte {
+	out := make([]byte, 0, 1+len(encodedQuery))
+	out = append(out, flags)
+	return append(out, encodedQuery...)
+}
+
+// DecodeQueryRequest splits a MsgQuery payload.
+func DecodeQueryRequest(b []byte) (flags byte, encodedQuery []byte, err error) {
+	if len(b) < 1 {
+		return 0, nil, fmt.Errorf("protocol: empty query request")
+	}
+	return b[0], b[1:], nil
+}
+
+// QueryResponse is one server's answer to a MsgQuery.
+type QueryResponse struct {
+	Cost   vclock.Cost // incremental virtual cost of evaluating this request
+	Stats  exec.Stats
+	Sel    *selection.Selection
+	Values map[object.ID][]byte
+}
+
+// Encode serializes the response.
+func (r *QueryResponse) Encode() []byte {
+	selBytes := r.Sel.Encode()
+	out := make([]byte, 0, 32+64+8+len(selBytes)+64)
+	out = encodeCost(out, r.Cost)
+	out = encodeStats(out, r.Stats)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(selBytes)))
+	out = append(out, selBytes...)
+	out = append(out, byte(len(r.Values)))
+	for _, id := range sortedObjIDs(r.Values) {
+		out = binary.LittleEndian.AppendUint64(out, uint64(id))
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(r.Values[id])))
+		out = append(out, r.Values[id]...)
+	}
+	return out
+}
+
+func sortedObjIDs(m map[object.ID][]byte) []object.ID {
+	out := make([]object.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// DecodeQueryResponse parses a MsgQueryResult payload.
+func DecodeQueryResponse(b []byte) (*QueryResponse, error) {
+	r := &QueryResponse{}
+	var err error
+	r.Cost, b, err = decodeCost(b)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats, b, err = decodeStats(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("protocol: truncated selection length")
+	}
+	selLen := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if uint64(len(b)) < selLen {
+		return nil, fmt.Errorf("protocol: truncated selection")
+	}
+	r.Sel, err = selection.Decode(b[:selLen])
+	if err != nil {
+		return nil, err
+	}
+	b = b[selLen:]
+	if len(b) < 1 {
+		return nil, fmt.Errorf("protocol: truncated value count")
+	}
+	nvals := int(b[0])
+	b = b[1:]
+	if nvals > 0 {
+		r.Values = make(map[object.ID][]byte, nvals)
+	}
+	for i := 0; i < nvals; i++ {
+		if len(b) < 16 {
+			return nil, fmt.Errorf("protocol: truncated value header")
+		}
+		id := object.ID(binary.LittleEndian.Uint64(b))
+		n := binary.LittleEndian.Uint64(b[8:])
+		b = b[16:]
+		if uint64(len(b)) < n {
+			return nil, fmt.Errorf("protocol: truncated value bytes")
+		}
+		r.Values[id] = b[:n]
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in query response", len(b))
+	}
+	return r, nil
+}
+
+// DataRequest asks a server for values of one object. When QueryReq is
+// non-zero and Coords is nil, the server answers from the stashed result
+// of that earlier query; otherwise it extracts the explicit coords.
+type DataRequest struct {
+	Obj      object.ID
+	QueryReq uint64
+	Coords   []uint64
+}
+
+// Encode serializes the request.
+func (r *DataRequest) Encode() []byte {
+	out := make([]byte, 0, 24+8*len(r.Coords))
+	out = binary.LittleEndian.AppendUint64(out, uint64(r.Obj))
+	out = binary.LittleEndian.AppendUint64(out, r.QueryReq)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.Coords)))
+	for _, c := range r.Coords {
+		out = binary.LittleEndian.AppendUint64(out, c)
+	}
+	return out
+}
+
+// DecodeDataRequest parses a MsgGetData payload.
+func DecodeDataRequest(b []byte) (*DataRequest, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("protocol: truncated data request")
+	}
+	r := &DataRequest{
+		Obj:      object.ID(binary.LittleEndian.Uint64(b)),
+		QueryReq: binary.LittleEndian.Uint64(b[8:]),
+	}
+	n := binary.LittleEndian.Uint64(b[16:])
+	b = b[24:]
+	if n != uint64(len(b))/8 || uint64(len(b))%8 != 0 {
+		return nil, fmt.Errorf("protocol: data request coords mismatch")
+	}
+	if n > 0 {
+		r.Coords = make([]uint64, n)
+		for i := range r.Coords {
+			r.Coords[i] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+	}
+	return r, nil
+}
+
+// DataResponse returns value bytes (aligned with the server's partial
+// selection for stash answers, or with the requested coords).
+type DataResponse struct {
+	Cost vclock.Cost
+	// Coords are the absolute coordinates the values correspond to (the
+	// server's stashed partial for stash answers; echoed coords
+	// otherwise).
+	Coords []uint64
+	Data   []byte
+}
+
+// Encode serializes the response.
+func (r *DataResponse) Encode() []byte {
+	out := make([]byte, 0, 48+8*len(r.Coords)+len(r.Data))
+	out = encodeCost(out, r.Cost)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.Coords)))
+	for _, c := range r.Coords {
+		out = binary.LittleEndian.AppendUint64(out, c)
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.Data)))
+	return append(out, r.Data...)
+}
+
+// DecodeDataResponse parses a MsgDataResult payload.
+func DecodeDataResponse(b []byte) (*DataResponse, error) {
+	r := &DataResponse{}
+	var err error
+	r.Cost, b, err = decodeCost(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("protocol: truncated data response")
+	}
+	n := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if n > uint64(len(b))/8 || uint64(len(b)) < 8*n+8 {
+		return nil, fmt.Errorf("protocol: truncated data coords")
+	}
+	if n > 0 {
+		r.Coords = make([]uint64, n)
+		for i := range r.Coords {
+			r.Coords[i] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+	}
+	b = b[8*n:]
+	dn := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if uint64(len(b)) != dn {
+		return nil, fmt.Errorf("protocol: truncated data bytes")
+	}
+	r.Data = b
+	return r, nil
+}
+
+// EncodeTagQuery serializes tag conditions.
+func EncodeTagQuery(conds []metadata.TagCond) []byte {
+	out := []byte{byte(len(conds))}
+	for _, c := range conds {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(c.Key)))
+		out = append(out, c.Key...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(c.Value)))
+		out = append(out, c.Value...)
+	}
+	return out
+}
+
+// DecodeTagQuery parses a MsgTagQuery payload.
+func DecodeTagQuery(b []byte) ([]metadata.TagCond, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("protocol: empty tag query")
+	}
+	n := int(b[0])
+	b = b[1:]
+	conds := make([]metadata.TagCond, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("protocol: truncated tag key length")
+		}
+		kl := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint64(len(b)) < uint64(kl)+4 {
+			return nil, fmt.Errorf("protocol: truncated tag key")
+		}
+		k := string(b[:kl])
+		b = b[kl:]
+		vl := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint64(len(b)) < uint64(vl) {
+			return nil, fmt.Errorf("protocol: truncated tag value")
+		}
+		v := string(b[:vl])
+		b = b[vl:]
+		conds = append(conds, metadata.TagCond{Key: k, Value: v})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("protocol: trailing bytes in tag query")
+	}
+	return conds, nil
+}
+
+// EncodeTagResult serializes matching IDs with the lookup cost.
+func EncodeTagResult(cost vclock.Cost, ids []object.ID) []byte {
+	out := encodeCost(nil, cost)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(ids)))
+	for _, id := range ids {
+		out = binary.LittleEndian.AppendUint64(out, uint64(id))
+	}
+	return out
+}
+
+// DecodeTagResult parses a MsgTagResult payload.
+func DecodeTagResult(b []byte) (vclock.Cost, []object.ID, error) {
+	cost, b, err := decodeCost(b)
+	if err != nil {
+		return vclock.Cost{}, nil, err
+	}
+	if len(b) < 8 {
+		return vclock.Cost{}, nil, fmt.Errorf("protocol: truncated tag result")
+	}
+	n := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if n != uint64(len(b))/8 || uint64(len(b))%8 != 0 {
+		return vclock.Cost{}, nil, fmt.Errorf("protocol: tag result length mismatch")
+	}
+	ids := make([]object.ID, n)
+	for i := range ids {
+		ids[i] = object.ID(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return cost, ids, nil
+}
+
+// EncodeHistResult wraps an optional histogram.
+func EncodeHistResult(h *histogram.Histogram) []byte {
+	if h == nil {
+		return []byte{0}
+	}
+	return append([]byte{1}, h.Encode()...)
+}
+
+// DecodeHistResult parses a MsgHistResult payload (nil when the object
+// has no histogram).
+func DecodeHistResult(b []byte) (*histogram.Histogram, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("protocol: empty histogram result")
+	}
+	if b[0] == 0 {
+		return nil, nil
+	}
+	return histogram.Decode(b[1:])
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/vclock"
+)
+
+func sampleCost() vclock.Cost {
+	return vclock.CostOf(vclock.Storage, 3*time.Second).
+		Add(vclock.CostOf(vclock.Compute, time.Millisecond)).
+		Add(vclock.CostOf(vclock.Network, time.Microsecond))
+}
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	enc := EncodeQueryRequest(FlagWantSelection|FlagWantValues, []byte("querybytes"))
+	flags, q, err := DecodeQueryRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != (FlagWantSelection|FlagWantValues) || string(q) != "querybytes" {
+		t.Errorf("round trip = %d %q", flags, q)
+	}
+	if _, _, err := DecodeQueryRequest(nil); err == nil {
+		t.Error("empty request accepted")
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	resp := &QueryResponse{
+		Cost: sampleCost(),
+		Stats: exec.Stats{
+			RegionsEvaluated: 5, RegionsPruned: 7, SortedRegions: 1,
+			ElementsScanned: 1000, Probes: 50, IndexBinsRead: 3,
+			IndexBytesRead: 4096, CandChecks: 2,
+		},
+		Sel: selection.New([]uint64{3, 9, 100}, []uint64{1000}),
+		Values: map[object.ID][]byte{
+			2: {1, 2, 3, 4},
+			7: {9, 8},
+		},
+	}
+	got, err := DecodeQueryResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != resp.Cost {
+		t.Errorf("cost = %v, want %v", got.Cost, resp.Cost)
+	}
+	if got.Stats != resp.Stats {
+		t.Errorf("stats = %+v", got.Stats)
+	}
+	if got.Sel.NHits != 3 || !reflect.DeepEqual(got.Sel.Coords, resp.Sel.Coords) {
+		t.Errorf("selection = %+v", got.Sel)
+	}
+	if len(got.Values) != 2 || !reflect.DeepEqual(got.Values[2], resp.Values[2]) || !reflect.DeepEqual(got.Values[7], resp.Values[7]) {
+		t.Errorf("values = %v", got.Values)
+	}
+}
+
+func TestQueryResponseCountOnly(t *testing.T) {
+	resp := &QueryResponse{Sel: selection.NewCount(42, []uint64{10})}
+	got, err := DecodeQueryResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Sel.CountOnly || got.Sel.NHits != 42 || got.Values != nil {
+		t.Errorf("count-only round trip = %+v", got)
+	}
+}
+
+func TestQueryResponseDecodeErrors(t *testing.T) {
+	resp := &QueryResponse{Sel: selection.New([]uint64{1}, []uint64{10})}
+	enc := resp.Encode()
+	for _, n := range []int{0, 16, 40, 96, len(enc) - 1} {
+		if n >= len(enc) {
+			continue
+		}
+		if _, err := DecodeQueryResponse(enc[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	if _, err := DecodeQueryResponse(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDataRequestRoundTrip(t *testing.T) {
+	for _, req := range []*DataRequest{
+		{Obj: 7, QueryReq: 99},
+		{Obj: 1, Coords: []uint64{5, 10, 15}},
+	} {
+		got, err := DecodeDataRequest(req.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Obj != req.Obj || got.QueryReq != req.QueryReq || !reflect.DeepEqual(got.Coords, req.Coords) {
+			t.Errorf("round trip = %+v, want %+v", got, req)
+		}
+	}
+	if _, err := DecodeDataRequest(nil); err == nil {
+		t.Error("empty request accepted")
+	}
+	bad := (&DataRequest{Coords: []uint64{1, 2}}).Encode()
+	if _, err := DecodeDataRequest(bad[:len(bad)-4]); err == nil {
+		t.Error("truncated coords accepted")
+	}
+}
+
+func TestDataResponseRoundTrip(t *testing.T) {
+	resp := &DataResponse{
+		Cost:   sampleCost(),
+		Coords: []uint64{1, 5},
+		Data:   []byte{10, 20, 30, 40, 50, 60, 70, 80},
+	}
+	got, err := DecodeDataResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != resp.Cost || !reflect.DeepEqual(got.Coords, resp.Coords) || !reflect.DeepEqual(got.Data, resp.Data) {
+		t.Errorf("round trip = %+v", got)
+	}
+	// Empty payloads round trip too.
+	got, err = DecodeDataResponse((&DataResponse{}).Encode())
+	if err != nil || len(got.Coords) != 0 || len(got.Data) != 0 {
+		t.Errorf("empty round trip = %+v, %v", got, err)
+	}
+	enc := resp.Encode()
+	if _, err := DecodeDataResponse(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestTagQueryRoundTrip(t *testing.T) {
+	conds := []metadata.TagCond{
+		{Key: "RADEG", Value: "153.17"},
+		{Key: "DECDEG", Value: "23.06"},
+	}
+	got, err := DecodeTagQuery(EncodeTagQuery(conds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, conds) {
+		t.Errorf("round trip = %v", got)
+	}
+	if got, err := DecodeTagQuery(EncodeTagQuery(nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty conds = %v, %v", got, err)
+	}
+	if _, err := DecodeTagQuery(nil); err == nil {
+		t.Error("nil payload accepted")
+	}
+	enc := EncodeTagQuery(conds)
+	if _, err := DecodeTagQuery(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated tag value accepted")
+	}
+	if _, err := DecodeTagQuery(append(enc, 'x')); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestTagResultRoundTrip(t *testing.T) {
+	ids := []object.ID{3, 7, 11}
+	cost, got, err := DecodeTagResult(EncodeTagResult(sampleCost(), ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != sampleCost() || !reflect.DeepEqual(got, ids) {
+		t.Errorf("round trip = %v %v", cost, got)
+	}
+	if _, _, err := DecodeTagResult(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestHistResultRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	h := histogram.Build(vals, 32)
+	got, err := DecodeHistResult(EncodeHistResult(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != h.Total || got.Width != h.Width {
+		t.Errorf("histogram round trip mismatch")
+	}
+	// Nil histogram.
+	got, err = DecodeHistResult(EncodeHistResult(nil))
+	if err != nil || got != nil {
+		t.Errorf("nil round trip = %v, %v", got, err)
+	}
+	if _, err := DecodeHistResult(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}

@@ -1,0 +1,328 @@
+// Package server implements the PDC query server process (§III-C): it
+// receives broadcast queries, derives its load-balanced region
+// assignment, evaluates its share with the exec engine, and answers
+// get-data requests from its region cache or stashed results.
+//
+// One Server instance corresponds to one PDC server process on a compute
+// node; a deployment runs N of them (each with its own virtual-time
+// account and region cache) over in-process pipes or TCP. After the
+// metadata distribution at startup servers never talk to each other —
+// only to the client — matching the paper's communication structure.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/simio"
+	"pdcquery/internal/sortstore"
+	"pdcquery/internal/transport"
+	"pdcquery/internal/vclock"
+)
+
+// Config describes one server of an N-server deployment.
+type Config struct {
+	// ID is this server's rank in [0, N).
+	ID int
+	// N is the total number of servers.
+	N int
+	// Store is the shared storage substrate (the parallel file system).
+	Store *simio.Store
+	// Meta is the metadata service view (distributed at startup).
+	Meta *metadata.Service
+	// Replicas maps objects to their sorted-replica metadata.
+	Replicas map[object.ID]*sortstore.Replica
+	// Strategy selects the evaluation optimization.
+	Strategy exec.Strategy
+	// CacheBytes bounds the in-memory region cache (the paper limits each
+	// server to 64 GB).
+	CacheBytes int64
+}
+
+// Server is one PDC query server. It may serve several client
+// connections concurrently; per-query result stashes are scoped to the
+// connection that issued the query.
+type Server struct {
+	cfg    Config
+	acct   *vclock.Account
+	engine *exec.Engine
+}
+
+// stashEntry keeps one query's partial result for subsequent get-data
+// requests (the server-side caching behind §VI-A's get-data numbers).
+type stashEntry struct {
+	coords []uint64
+	values map[object.ID][]byte
+}
+
+// New constructs a server.
+func New(cfg Config) *Server {
+	if cfg.N <= 0 {
+		cfg.N = 1
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 1 << 30
+	}
+	s := &Server{
+		cfg:  cfg,
+		acct: vclock.NewAccount(),
+	}
+	s.engine = &exec.Engine{
+		Store: cfg.Store,
+		Acct:  s.acct,
+		Lookup: func(id object.ID) (*object.Object, bool) {
+			return cfg.Meta.Get(id)
+		},
+		Global: func(id object.ID) *histogram.Histogram {
+			if o, ok := cfg.Meta.Get(id); ok {
+				return o.Global
+			}
+			return nil
+		},
+		Replica: func(id object.ID) *sortstore.Replica {
+			return cfg.Replicas[id]
+		},
+		Strategy: cfg.Strategy,
+		Cache:    exec.NewCache(cfg.CacheBytes),
+	}
+	return s
+}
+
+// Account exposes the server's virtual-time account (used by deployments
+// to compose parallel costs).
+func (s *Server) Account() *vclock.Account { return s.acct }
+
+// Cache exposes the region cache (inspected by experiments).
+func (s *Server) Cache() *exec.Cache { return s.engine.Cache }
+
+// SetStrategy switches the evaluation strategy (the paper switches via an
+// environment variable before starting servers; deployments switch
+// between experiment runs).
+func (s *Server) SetStrategy(st exec.Strategy) {
+	s.cfg.Strategy = st
+	s.engine.Strategy = st
+}
+
+// assignment derives this server's share of regions for the query's
+// anchor object: region r belongs to server r mod N ("assigned to the
+// servers in a load-balanced fashion", §III-C), and likewise for sorted
+// replica regions.
+// The mapping is offset by the object ID so that single-region objects
+// (e.g. the millions of small BOSS fibers) spread across servers instead
+// of all landing on server 0.
+func (s *Server) assignment(anchor *object.Object, rep *sortstore.Replica) exec.Assignment {
+	var a exec.Assignment
+	n := s.cfg.N
+	start := ((s.cfg.ID-int(uint64(anchor.ID)%uint64(n)))%n + n) % n
+	for r := start; r < len(anchor.Regions); r += n {
+		a.Orig = append(a.Orig, r)
+	}
+	if rep != nil {
+		sStart := ((s.cfg.ID-int(uint64(rep.Key)%uint64(n)))%n + n) % n
+		for r := sStart; r < len(rep.Regions); r += n {
+			a.Sorted = append(a.Sorted, r)
+		}
+	}
+	return a
+}
+
+// session is one client connection's state: the stash of recent query
+// results served to its later get-data requests (the server-side caching
+// behind §VI-A's get-data numbers).
+type session struct {
+	mu    sync.Mutex
+	stash map[uint64]*stashEntry
+}
+
+func (ss *session) put(req uint64, e *stashEntry) {
+	ss.mu.Lock()
+	ss.stash[req] = e
+	// Bound the stash: keep only the most recent handful of queries.
+	if len(ss.stash) > 16 {
+		for k := range ss.stash {
+			if k != req {
+				delete(ss.stash, k)
+				break
+			}
+		}
+	}
+	ss.mu.Unlock()
+}
+
+func (ss *session) get(req uint64) *stashEntry {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.stash[req]
+}
+
+// Serve processes messages on one client connection until EOF or
+// shutdown. It is the paper's server event loop; call it once per
+// accepted connection.
+func (s *Server) Serve(conn transport.Conn) error {
+	ss := &session{stash: make(map[uint64]*stashEntry)}
+	for {
+		m, err := conn.Recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if m.Type == MsgShutdown {
+			return nil
+		}
+		reply := s.handle(ss, m)
+		reply.ReqID = m.ReqID
+		if err := conn.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+func errMsg(err error) transport.Message {
+	return transport.Message{Type: MsgError, Payload: []byte(err.Error())}
+}
+
+func (s *Server) handle(ss *session, m transport.Message) transport.Message {
+	switch m.Type {
+	case MsgQuery:
+		return s.handleQuery(ss, m)
+	case MsgGetData:
+		return s.handleGetData(ss, m)
+	case MsgHistogram:
+		return s.handleHistogram(m)
+	case MsgTagQuery:
+		return s.handleTagQuery(m)
+	case MsgMetaSnapshot:
+		snap, err := s.cfg.Meta.Snapshot()
+		if err != nil {
+			return errMsg(err)
+		}
+		return transport.Message{Type: MsgMetaResult, Payload: snap}
+	}
+	return errMsg(fmt.Errorf("server: unknown message type %d", m.Type))
+}
+
+func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message {
+	flags, qbytes, err := DecodeQueryRequest(m.Payload)
+	if err != nil {
+		return errMsg(err)
+	}
+	q, err := query.Decode(qbytes)
+	if err != nil {
+		return errMsg(err)
+	}
+	if err := q.Validate(s.cfg.Meta.Get); err != nil {
+		return errMsg(err)
+	}
+	ids := q.Root.Objects()
+	anchor, _ := s.cfg.Meta.Get(ids[0])
+	var rep *sortstore.Replica
+	for _, id := range ids {
+		if r := s.cfg.Replicas[id]; r != nil {
+			rep = r
+			break
+		}
+	}
+	assign := s.assignment(anchor, rep)
+
+	// Always let the engine capture values it has in hand: that is the
+	// paper's server-side result caching, which the stash serves to later
+	// get-data requests. The response only carries the values when the
+	// client explicitly asked for them inline.
+	before := s.acct.Cost()
+	beforeBytes := s.acct.Counter("read.bytes")
+	res, err := s.engine.Evaluate(q, assign, true)
+	if err != nil {
+		return errMsg(err)
+	}
+	cost := s.acct.Cost().Sub(before)
+	res.Stats.StorageBytes = s.acct.Counter("read.bytes") - beforeBytes
+
+	ss.put(m.ReqID, &stashEntry{coords: res.Sel.Coords, values: res.Values})
+
+	resp := &QueryResponse{Cost: cost, Stats: res.Stats, Sel: res.Sel}
+	if flags&FlagWantSelection == 0 {
+		resp.Sel = selection.NewCount(res.Sel.NHits, res.Sel.Dims)
+	}
+	if flags&FlagWantValues != 0 {
+		resp.Values = res.Values
+	}
+	return transport.Message{Type: MsgQueryResult, Payload: resp.Encode()}
+}
+
+func (s *Server) handleGetData(ss *session, m transport.Message) transport.Message {
+	req, err := DecodeDataRequest(m.Payload)
+	if err != nil {
+		return errMsg(err)
+	}
+	before := s.acct.Cost()
+	var coords []uint64
+	var data []byte
+	if req.Coords == nil && req.QueryReq != 0 {
+		entry := ss.get(req.QueryReq)
+		if entry == nil {
+			return errMsg(fmt.Errorf("server %d: no stashed result for request %d", s.cfg.ID, req.QueryReq))
+		}
+		coords = entry.coords
+		if v, ok := entry.values[req.Obj]; ok {
+			// Values were captured during evaluation: a pure memory send.
+			data = v
+			model := s.cfg.Store.Model()
+			s.acct.ChargeCost(model.ReadCost(simio.Memory, int64(len(v))))
+		} else {
+			data, err = s.engine.ExtractValues(req.Obj, coords)
+			if err != nil {
+				return errMsg(err)
+			}
+		}
+	} else {
+		coords = req.Coords
+		data, err = s.engine.ExtractValues(req.Obj, coords)
+		if err != nil {
+			return errMsg(err)
+		}
+	}
+	cost := s.acct.Cost().Sub(before)
+	resp := &DataResponse{Cost: cost, Coords: coords, Data: data}
+	return transport.Message{Type: MsgDataResult, Payload: resp.Encode()}
+}
+
+func (s *Server) handleHistogram(m transport.Message) transport.Message {
+	if len(m.Payload) != 8 {
+		return errMsg(fmt.Errorf("server: bad histogram request"))
+	}
+	id := object.ID(binary.LittleEndian.Uint64(m.Payload))
+	o, ok := s.cfg.Meta.Get(id)
+	if !ok {
+		return errMsg(fmt.Errorf("server: object %d not found", id))
+	}
+	return transport.Message{Type: MsgHistResult, Payload: EncodeHistResult(o.Global)}
+}
+
+func (s *Server) handleTagQuery(m transport.Message) transport.Message {
+	conds, err := DecodeTagQuery(m.Payload)
+	if err != nil {
+		return errMsg(err)
+	}
+	before := s.acct.Cost()
+	all := s.cfg.Meta.TagQuery(s.acct, conds)
+	// Each server answers only for the metadata objects it owns (§II:
+	// one owner per metadata object); the client unions the shards.
+	var owned []object.ID
+	for _, id := range all {
+		if metadata.OwnerOf(id, s.cfg.N) == s.cfg.ID {
+			owned = append(owned, id)
+		}
+	}
+	cost := s.acct.Cost().Sub(before)
+	return transport.Message{Type: MsgTagResult, Payload: EncodeTagResult(cost, owned)}
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/region"
+	"pdcquery/internal/simio"
+	"pdcquery/internal/transport"
+)
+
+// testServer builds a 1-object deployment slice: metadata, store, and one
+// server of n, served over an in-process pipe.
+func testServer(t *testing.T, id, n int) (*Server, transport.Conn, object.ID) {
+	t.Helper()
+	st := simio.New(simio.DefaultModel())
+	meta := metadata.NewService()
+	cont := meta.CreateContainer("c")
+	o, err := meta.CreateObject(cont.ID, object.Property{
+		Name: "energy", Type: dtype.Float32, Dims: []uint64{1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = float32(i) / 100
+	}
+	var hists []*histogram.Histogram
+	for i, r := range region.Split1D(1000, 250) {
+		lo, hi := r.Offset[0], r.Offset[0]+r.Count[0]
+		raw := dtype.Bytes(vals[lo:hi])
+		key := object.ExtentKey(o.ID, i)
+		st.Write(nil, key, simio.PFS, raw)
+		h := histogram.BuildBytes(o.Type, raw, 16)
+		mn, mx := dtype.MinMax(o.Type, raw)
+		o.Regions = append(o.Regions, object.RegionMeta{
+			Index: i, Region: r, ExtentKey: key, Min: mn, Max: mx, Hist: h,
+		})
+		hists = append(hists, h)
+	}
+	o.Global = histogram.MergeAll(hists)
+
+	srv := New(Config{ID: id, N: n, Store: st, Meta: meta, Strategy: exec.Histogram})
+	clientSide, serverSide := transport.Pipe()
+	go func() {
+		srv.Serve(serverSide)
+		serverSide.Close()
+	}()
+	t.Cleanup(func() {
+		clientSide.Send(transport.Message{Type: MsgShutdown})
+		clientSide.Close()
+	})
+	return srv, clientSide, o.ID
+}
+
+func call(t *testing.T, c transport.Conn, m transport.Message) transport.Message {
+	t.Helper()
+	m.ReqID = 77
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.ReqID != 77 {
+		t.Fatalf("reply reqID = %d", reply.ReqID)
+	}
+	return reply
+}
+
+func TestServeQueryAndGetData(t *testing.T) {
+	_, conn, oid := testServer(t, 0, 1)
+	q := &query.Query{Root: query.Between(oid, 1.0, 2.0, false, false)}
+	reply := call(t, conn, transport.Message{
+		Type:    MsgQuery,
+		Payload: EncodeQueryRequest(FlagWantSelection, q.Encode()),
+	})
+	if reply.Type != MsgQueryResult {
+		t.Fatalf("reply type = %d payload=%s", reply.Type, reply.Payload)
+	}
+	qr, err := DecodeQueryResponse(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Sel.NHits != 99 { // values 1.01..1.99
+		t.Errorf("hits = %d, want 99", qr.Sel.NHits)
+	}
+	if qr.Cost.Total() <= 0 {
+		t.Error("no cost reported")
+	}
+
+	// Data from the stash of that query.
+	dreply := call(t, conn, transport.Message{
+		Type:    MsgGetData,
+		Payload: (&DataRequest{Obj: oid, QueryReq: 77}).Encode(),
+	})
+	if dreply.Type != MsgDataResult {
+		t.Fatalf("data reply = %d payload=%s", dreply.Type, dreply.Payload)
+	}
+	dr, err := DecodeDataResponse(dreply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Coords) != 99 || len(dr.Data) != 99*4 {
+		t.Errorf("data = %d coords, %d bytes", len(dr.Coords), len(dr.Data))
+	}
+	vals := dtype.View[float32](dr.Data)
+	for i, c := range dr.Coords {
+		if want := float32(c) / 100; vals[i] != want {
+			t.Fatalf("value[%d] = %v, want %v", i, vals[i], want)
+		}
+	}
+}
+
+func TestServeCountOnly(t *testing.T) {
+	_, conn, oid := testServer(t, 0, 1)
+	q := &query.Query{Root: query.Leaf(oid, query.OpGE, 9.0)}
+	reply := call(t, conn, transport.Message{
+		Type:    MsgQuery,
+		Payload: EncodeQueryRequest(0, q.Encode()),
+	})
+	qr, err := DecodeQueryResponse(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Sel.CountOnly || qr.Sel.NHits != 100 {
+		t.Errorf("count-only = %+v", qr.Sel)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	_, conn, oid := testServer(t, 0, 1)
+	cases := []transport.Message{
+		{Type: MsgQuery, Payload: nil},
+		{Type: MsgQuery, Payload: EncodeQueryRequest(0, []byte("garbage"))},
+		{Type: MsgQuery, Payload: EncodeQueryRequest(0, (&query.Query{Root: query.Leaf(999, query.OpGT, 0)}).Encode())},
+		{Type: MsgGetData, Payload: nil},
+		{Type: MsgGetData, Payload: (&DataRequest{Obj: oid, QueryReq: 12345}).Encode()},
+		{Type: MsgHistogram, Payload: []byte{1, 2}},
+		{Type: MsgTagQuery, Payload: nil},
+		{Type: 99},
+	}
+	for i, m := range cases {
+		if reply := call(t, conn, m); reply.Type != MsgError {
+			t.Errorf("case %d: reply type = %d, want error", i, reply.Type)
+		}
+	}
+}
+
+func TestServeHistogram(t *testing.T) {
+	_, conn, oid := testServer(t, 0, 1)
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(oid))
+	reply := call(t, conn, transport.Message{Type: MsgHistogram, Payload: payload[:]})
+	if reply.Type != MsgHistResult {
+		t.Fatalf("reply = %d", reply.Type)
+	}
+	h, err := DecodeHistResult(reply.Payload)
+	if err != nil || h == nil || h.Total != 1000 {
+		t.Errorf("histogram = %v, %v", h, err)
+	}
+}
+
+func TestServeMetaSnapshot(t *testing.T) {
+	_, conn, _ := testServer(t, 0, 1)
+	reply := call(t, conn, transport.Message{Type: MsgMetaSnapshot})
+	if reply.Type != MsgMetaResult {
+		t.Fatalf("reply = %d", reply.Type)
+	}
+	svc := metadata.NewService()
+	if err := svc.Restore(reply.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if svc.NumObjects() != 1 {
+		t.Errorf("snapshot objects = %d", svc.NumObjects())
+	}
+}
+
+func TestTagQuerySharding(t *testing.T) {
+	// Each server of an N-server deployment reports only the objects it
+	// owns; the shards must partition the full answer.
+	st := simio.New(simio.DefaultModel())
+	meta := metadata.NewService()
+	cont := meta.CreateContainer("c")
+	var all []object.ID
+	for i := 0; i < 50; i++ {
+		o, err := meta.CreateObject(cont.ID, object.Property{
+			Name: fmt.Sprintf("o%d", i), Type: dtype.Float32, Dims: []uint64{4},
+			Tags: map[string]string{"grp": "a"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, o.ID)
+	}
+	const n = 4
+	seen := map[object.ID]int{}
+	for id := 0; id < n; id++ {
+		srv := New(Config{ID: id, N: n, Store: st, Meta: meta})
+		clientSide, serverSide := transport.Pipe()
+		go srv.Serve(serverSide)
+		reply := call(t, clientSide, transport.Message{
+			Type: MsgTagQuery, Payload: EncodeTagQuery([]metadata.TagCond{{Key: "grp", Value: "a"}}),
+		})
+		_, ids, err := DecodeTagResult(reply.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, oid := range ids {
+			seen[oid]++
+		}
+		clientSide.Send(transport.Message{Type: MsgShutdown})
+		clientSide.Close()
+	}
+	if len(seen) != len(all) {
+		t.Fatalf("shards cover %d of %d objects", len(seen), len(all))
+	}
+	for oid, cnt := range seen {
+		if cnt != 1 {
+			t.Errorf("object %d reported by %d servers", oid, cnt)
+		}
+	}
+}
+
+func TestAssignmentPartition(t *testing.T) {
+	// The region assignments of an N-server deployment partition the
+	// region set, for both plain and sorted regions.
+	st := simio.New(simio.DefaultModel())
+	meta := metadata.NewService()
+	cont := meta.CreateContainer("c")
+	o, _ := meta.CreateObject(cont.ID, object.Property{Name: "o", Type: dtype.Float32, Dims: []uint64{1000}})
+	for i, r := range region.Split1D(1000, 100) {
+		o.Regions = append(o.Regions, object.RegionMeta{Index: i, Region: r})
+	}
+	const n = 3
+	counts := make([]int, len(o.Regions))
+	for id := 0; id < n; id++ {
+		srv := New(Config{ID: id, N: n, Store: st, Meta: meta})
+		a := srv.assignment(o, nil)
+		for _, r := range a.Orig {
+			counts[r]++
+		}
+	}
+	for r, c := range counts {
+		if c != 1 {
+			t.Errorf("region %d assigned %d times", r, c)
+		}
+	}
+}
+
+func TestStashEviction(t *testing.T) {
+	_, conn, oid := testServer(t, 0, 1)
+	// Issue more queries than the stash retains; an evicted query's
+	// stashed result must no longer answer get-data, while a recent one
+	// still does.
+	for i := 0; i < 40; i++ {
+		q := &query.Query{Root: query.Leaf(oid, query.OpGT, float64(i%9))}
+		m := transport.Message{Type: MsgQuery, Payload: EncodeQueryRequest(0, q.Encode()), ReqID: uint64(i + 1)}
+		if err := conn.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The most recent query's stash must be present.
+	reply := call(t, conn, transport.Message{
+		Type:    MsgGetData,
+		Payload: (&DataRequest{Obj: oid, QueryReq: 40}).Encode(),
+	})
+	if reply.Type != MsgDataResult {
+		t.Errorf("recent stash missing: %s", reply.Payload)
+	}
+	// The first query's stash has been evicted.
+	reply = call(t, conn, transport.Message{
+		Type:    MsgGetData,
+		Payload: (&DataRequest{Obj: oid, QueryReq: 1}).Encode(),
+	})
+	if reply.Type != MsgError {
+		t.Error("evicted stash still answered")
+	}
+}
+
+func TestConnectionsHaveIsolatedStashes(t *testing.T) {
+	// Two clients with colliding request IDs must not see each other's
+	// stashed results.
+	srv, connA, oid := testServer(t, 0, 1)
+	clientB, serverB := transport.Pipe()
+	go srv.Serve(serverB)
+	t.Cleanup(func() {
+		clientB.Send(transport.Message{Type: MsgShutdown})
+		clientB.Close()
+	})
+
+	// Client A runs a query under ReqID 77.
+	qa := &query.Query{Root: query.Between(oid, 1.0, 2.0, false, false)}
+	if r := call(t, connA, transport.Message{Type: MsgQuery, Payload: EncodeQueryRequest(0, qa.Encode())}); r.Type != MsgQueryResult {
+		t.Fatalf("query A failed: %s", r.Payload)
+	}
+	// Client B asks for ReqID 77's data without having run a query.
+	reply := call(t, clientB, transport.Message{
+		Type:    MsgGetData,
+		Payload: (&DataRequest{Obj: oid, QueryReq: 77}).Encode(),
+	})
+	if reply.Type != MsgError {
+		t.Error("client B read client A's stash")
+	}
+	// Client A still can.
+	reply = call(t, connA, transport.Message{
+		Type:    MsgGetData,
+		Payload: (&DataRequest{Obj: oid, QueryReq: 77}).Encode(),
+	})
+	if reply.Type != MsgDataResult {
+		t.Errorf("client A lost its stash: %s", reply.Payload)
+	}
+}

@@ -1,0 +1,112 @@
+package simio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot format: the paper persists metadata periodically for fault
+// tolerance (§II); this extends the same idea to the whole extent store
+// so a deployment can be checkpointed to a file and reloaded (see
+// cmd/pdc-import and cmd/pdc-server).
+const (
+	snapMagic   = uint32(0x50444353) // "PDCS"
+	snapVersion = uint32(1)
+)
+
+// WriteTo serializes every extent (key, tier, bytes) to w.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], snapVersion)
+	keys := s.Keys()
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(keys)))
+	if err := put(hdr[:]); err != nil {
+		return n, err
+	}
+	for _, key := range keys {
+		data, err := s.ReadAll(nil, key)
+		if err != nil {
+			return n, err
+		}
+		tier, err := s.TierOf(key)
+		if err != nil {
+			return n, err
+		}
+		var meta [13]byte
+		binary.LittleEndian.PutUint32(meta[0:4], uint32(len(key)))
+		meta[4] = byte(tier)
+		binary.LittleEndian.PutUint64(meta[5:13], uint64(len(data)))
+		if err := put(meta[:]); err != nil {
+			return n, err
+		}
+		if err := put([]byte(key)); err != nil {
+			return n, err
+		}
+		if err := put(data); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom replaces the store's extents with a snapshot written by
+// WriteTo. The cost model is unchanged.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var n int64
+	read := func(b []byte) error {
+		m, err := io.ReadFull(br, b)
+		n += int64(m)
+		return err
+	}
+	var hdr [16]byte
+	if err := read(hdr[:]); err != nil {
+		return n, fmt.Errorf("simio: snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != snapMagic {
+		return n, fmt.Errorf("simio: bad snapshot magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapVersion {
+		return n, fmt.Errorf("simio: unsupported snapshot version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	extents := make(map[string]*extent, count)
+	for i := uint64(0); i < count; i++ {
+		var meta [13]byte
+		if err := read(meta[:]); err != nil {
+			return n, fmt.Errorf("simio: extent %d header: %w", i, err)
+		}
+		keyLen := binary.LittleEndian.Uint32(meta[0:4])
+		tier := Tier(meta[4])
+		dataLen := binary.LittleEndian.Uint64(meta[5:13])
+		if keyLen > 1<<16 {
+			return n, fmt.Errorf("simio: extent %d key length %d", i, keyLen)
+		}
+		if tier < 0 || tier >= numTiers {
+			return n, fmt.Errorf("simio: extent %d bad tier %d", i, tier)
+		}
+		key := make([]byte, keyLen)
+		if err := read(key); err != nil {
+			return n, err
+		}
+		data := make([]byte, dataLen)
+		if err := read(data); err != nil {
+			return n, err
+		}
+		extents[string(key)] = &extent{data: data, tier: tier}
+	}
+	s.mu.Lock()
+	s.extents = extents
+	s.mu.Unlock()
+	return n, nil
+}

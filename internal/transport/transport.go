@@ -1,0 +1,222 @@
+// Package transport is the message layer between PDC clients and servers:
+// typed, request-correlated frames over either in-process channel pairs
+// (the default deployment, one goroutine per server) or TCP (the
+// cmd/pdc-server daemon).
+//
+// The paper's client library serializes query conditions and broadcasts
+// them to all servers, then aggregates responses asynchronously (§III-C);
+// this package provides the duplex connections those flows run on, plus
+// the modeled wire cost used for virtual-time accounting.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Message is one frame: an application-defined type, a request
+// correlation ID, and an opaque payload.
+type Message struct {
+	Type    byte
+	ReqID   uint64
+	Payload []byte
+}
+
+// Conn is a duplex message connection. Send and Recv may be used
+// concurrently with each other; concurrent Sends are serialized.
+type Conn interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// Wire cost model: a Cray-Aries-class interconnect.
+const (
+	// DefaultLatency is the per-message one-way latency.
+	DefaultLatency = 5 * time.Microsecond
+	// DefaultBW is the link bandwidth in bytes/second.
+	DefaultBW = 10e9
+)
+
+// WireCost returns the modeled time to move one message of n payload
+// bytes between client and server at the default parameters.
+func WireCost(n int) time.Duration {
+	return WireCostWith(DefaultLatency, DefaultBW, n)
+}
+
+// WireCostWith models a message of n bytes under explicit parameters
+// (scaled deployments shrink the latency along with their storage
+// latencies; see internal/bench).
+func WireCostWith(latency time.Duration, bw float64, n int) time.Duration {
+	d := latency
+	if bw > 0 {
+		d += time.Duration(float64(n) / bw * 1e9)
+	}
+	return d
+}
+
+// --- in-process transport --------------------------------------------------
+
+type pipeConn struct {
+	send      chan<- Message
+	recv      <-chan Message
+	closeOnce sync.Once
+	closed    chan struct{}
+	peer      *pipeConn
+}
+
+// Pipe returns two connected in-process endpoints. Messages sent on one
+// side are received on the other, in order.
+func Pipe() (Conn, Conn) {
+	ab := make(chan Message, 64)
+	ba := make(chan Message, 64)
+	a := &pipeConn{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &pipeConn{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *pipeConn) Send(m Message) error {
+	// Check for closure first: the select below chooses randomly among
+	// ready cases, and a buffered send could otherwise win over a
+	// closed-channel case.
+	select {
+	case <-c.closed:
+		return fmt.Errorf("transport: send on closed connection")
+	case <-c.peer.closed:
+		return fmt.Errorf("transport: peer closed")
+	default:
+	}
+	select {
+	case <-c.closed:
+		return fmt.Errorf("transport: send on closed connection")
+	case <-c.peer.closed:
+		return fmt.Errorf("transport: peer closed")
+	case c.send <- m:
+		return nil
+	}
+}
+
+func (c *pipeConn) Recv() (Message, error) {
+	select {
+	case <-c.closed:
+		return Message{}, io.EOF
+	case m := <-c.recv:
+		return m, nil
+	case <-c.peer.closed:
+		// Drain any messages the peer sent before closing.
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// --- TCP transport -----------------------------------------------------------
+
+// maxFrame guards against corrupt length prefixes.
+const maxFrame = 1 << 30
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	mu sync.Mutex // serializes Send
+}
+
+// frame layout: u32 payload length | u8 type | u64 reqID | payload.
+const frameHeader = 4 + 1 + 8
+
+func (c *tcpConn) Send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Payload)))
+	hdr[4] = m.Type
+	binary.LittleEndian.PutUint64(hdr[5:13], m.ReqID)
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(m.Payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *tcpConn) Recv() (Message, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	m := Message{
+		Type:  hdr[4],
+		ReqID: binary.LittleEndian.Uint64(hdr[5:13]),
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(c.br, m.Payload); err != nil {
+			return Message{}, err
+		}
+	}
+	return m, nil
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+func wrapTCP(nc net.Conn) Conn {
+	return &tcpConn{c: nc, br: bufio.NewReaderSize(nc, 1<<16), bw: bufio.NewWriterSize(nc, 1<<16)}
+}
+
+// Listener accepts message connections over TCP.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return wrapTCP(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Dial connects to a Listener.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return wrapTCP(nc), nil
+}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRoundTrip(t *testing.T, a, b Conn) {
+	t.Helper()
+	want := Message{Type: 3, ReqID: 42, Payload: []byte("hello")}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+		t.Errorf("round trip: %+v != %+v", got, want)
+	}
+	// And the reverse direction.
+	reply := Message{Type: 4, ReqID: 42, Payload: []byte("world")}
+	if err := b.Send(reply); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != 4 || string(got.Payload) != "world" {
+		t.Errorf("reverse = %+v", got)
+	}
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	testRoundTrip(t, a, b)
+}
+
+func TestPipeOrdering(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		if err := a.Send(Message{ReqID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ReqID != uint64(i) {
+			t.Fatalf("out of order: got %d, want %d", m.ReqID, i)
+		}
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b := Pipe()
+	a.Send(Message{ReqID: 1})
+	a.Close()
+	// Message sent before close is still deliverable.
+	if m, err := b.Recv(); err != nil || m.ReqID != 1 {
+		t.Fatalf("pre-close message lost: %v %v", m, err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Errorf("Recv after peer close = %v, want EOF", err)
+	}
+	if err := b.Send(Message{}); err == nil {
+		t.Error("Send to closed peer succeeded")
+	}
+	if err := a.Send(Message{}); err == nil {
+		t.Error("Send on closed conn succeeded")
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeConcurrentSenders(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if err := a.Send(Message{ReqID: uint64(g)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if _, err := b.Recv(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver did not drain")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done <- c
+	}()
+	a, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := <-done
+	defer b.Close()
+	testRoundTrip(t, a, b)
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	a, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := <-accepted
+	defer b.Close()
+
+	payload := make([]byte, 3<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		if err := a.Send(Message{Type: 9, ReqID: 7, Payload: payload}); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestTCPRecvAfterClose(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	a, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := <-accepted
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Error("Recv on closed TCP conn succeeded")
+	}
+	b.Close()
+}
+
+func TestTCPEmptyPayload(t *testing.T) {
+	l, _ := Listen("127.0.0.1:0")
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	a, _ := Dial(l.Addr())
+	defer a.Close()
+	b := <-accepted
+	defer b.Close()
+	if err := a.Send(Message{Type: 1, ReqID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != 1 || m.ReqID != 2 || len(m.Payload) != 0 {
+		t.Errorf("empty payload frame = %+v", m)
+	}
+}
+
+func TestWireCost(t *testing.T) {
+	small := WireCost(0)
+	if small != DefaultLatency {
+		t.Errorf("WireCost(0) = %v", small)
+	}
+	big := WireCost(1 << 30)
+	if big < 100*time.Millisecond || big > 200*time.Millisecond {
+		t.Errorf("WireCost(1GB) = %v, want ~107ms", big)
+	}
+	if WireCost(100) <= small {
+		t.Error("WireCost not monotone")
+	}
+}

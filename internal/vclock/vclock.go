@@ -1,0 +1,213 @@
+// Package vclock provides deterministic virtual-time cost accounting for
+// the simulated storage and network substrate.
+//
+// The paper's evaluation ran on Cori against Lustre; elapsed time there is
+// dominated by bytes moved and the number of non-contiguous operations.
+// Instead of sleeping, every simulated component charges virtual
+// nanoseconds to an Account. Accounts belonging to servers that work in
+// parallel are combined with Max (the slowest server determines elapsed
+// time); sequential phases are combined with Add. The result is a
+// deterministic model of end-to-end elapsed time that preserves the cost
+// drivers the paper's conclusions depend on.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Category labels a cost component so experiment output can break down
+// where modeled time is spent.
+type Category int
+
+const (
+	// Storage is time spent in storage reads/writes (latency + transfer).
+	Storage Category = iota
+	// Compute is time spent scanning, probing, or decoding in memory.
+	Compute
+	// Network is time spent moving bytes between client and servers.
+	Network
+	// Meta is time spent in metadata operations.
+	Meta
+	numCategories
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case Storage:
+		return "storage"
+	case Compute:
+		return "compute"
+	case Network:
+		return "network"
+	case Meta:
+		return "meta"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Cost is a virtual duration with a per-category breakdown. The zero value
+// is a zero cost, ready to use.
+type Cost struct {
+	parts [numCategories]time.Duration
+}
+
+// CostOf returns a Cost with d charged to category c.
+func CostOf(c Category, d time.Duration) Cost {
+	var k Cost
+	k.parts[c] = d
+	return k
+}
+
+// Total returns the summed duration across categories.
+func (k Cost) Total() time.Duration {
+	var t time.Duration
+	for _, p := range k.parts {
+		t += p
+	}
+	return t
+}
+
+// Part returns the duration charged to category c.
+func (k Cost) Part(c Category) time.Duration { return k.parts[c] }
+
+// Add returns the sequential combination of two costs.
+func (k Cost) Add(o Cost) Cost {
+	for i := range k.parts {
+		k.parts[i] += o.parts[i]
+	}
+	return k
+}
+
+// Sub returns the component-wise difference k - o (used to compute the
+// incremental cost of one request from a running account).
+func (k Cost) Sub(o Cost) Cost {
+	for i := range k.parts {
+		k.parts[i] -= o.parts[i]
+	}
+	return k
+}
+
+// Scale returns the cost multiplied by f (f must be >= 0).
+func (k Cost) Scale(f float64) Cost {
+	for i := range k.parts {
+		k.parts[i] = time.Duration(float64(k.parts[i]) * f)
+	}
+	return k
+}
+
+// Max returns the parallel combination of two costs: the one with the
+// larger total wins outright (its breakdown is kept), modeling two
+// components running concurrently.
+func (k Cost) Max(o Cost) Cost {
+	if o.Total() > k.Total() {
+		return o
+	}
+	return k
+}
+
+// String formats the cost as a total with a breakdown.
+func (k Cost) String() string {
+	s := fmt.Sprintf("%v", k.Total())
+	for c := Category(0); c < numCategories; c++ {
+		if k.parts[c] > 0 {
+			s += fmt.Sprintf(" %s=%v", c, k.parts[c])
+		}
+	}
+	return s
+}
+
+// Account accumulates virtual time for one simulated execution context
+// (e.g. one PDC server). Accounts are safe for concurrent use.
+type Account struct {
+	mu   sync.Mutex
+	cost Cost
+	ops  map[string]int64
+}
+
+// NewAccount returns an empty account.
+func NewAccount() *Account {
+	return &Account{ops: make(map[string]int64)}
+}
+
+// Charge adds d to category c.
+func (a *Account) Charge(c Category, d time.Duration) {
+	a.mu.Lock()
+	a.cost.parts[c] += d
+	a.mu.Unlock()
+}
+
+// ChargeCost adds an entire cost breakdown.
+func (a *Account) ChargeCost(k Cost) {
+	a.mu.Lock()
+	a.cost = a.cost.Add(k)
+	a.mu.Unlock()
+}
+
+// Count increments a named operation counter by n (e.g. "read.ops",
+// "read.bytes"). Counters are reported by Snapshot for diagnostics.
+func (a *Account) Count(name string, n int64) {
+	a.mu.Lock()
+	a.ops[name] += n
+	a.mu.Unlock()
+}
+
+// Cost returns the accumulated cost so far.
+func (a *Account) Cost() Cost {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cost
+}
+
+// Counter returns the current value of a named counter.
+func (a *Account) Counter(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ops[name]
+}
+
+// Reset zeroes the account.
+func (a *Account) Reset() {
+	a.mu.Lock()
+	a.cost = Cost{}
+	a.ops = make(map[string]int64)
+	a.mu.Unlock()
+}
+
+// Snapshot returns a human-readable dump of counters in sorted order.
+func (a *Account) Snapshot() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.ops))
+	for n := range a.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := a.cost.String()
+	for _, n := range names {
+		s += fmt.Sprintf(" %s=%d", n, a.ops[n])
+	}
+	return s
+}
+
+// MaxOf combines the costs of parallel accounts: the elapsed virtual time
+// of a fan-out phase is the maximum total across participants.
+func MaxOf(accounts ...*Account) Cost {
+	var m Cost
+	for _, a := range accounts {
+		m = m.Max(a.Cost())
+	}
+	return m
+}
+
+// SumOf combines the costs of sequential accounts.
+func SumOf(accounts ...*Account) Cost {
+	var s Cost
+	for _, a := range accounts {
+		s = s.Add(a.Cost())
+	}
+	return s
+}

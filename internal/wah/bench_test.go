@@ -1,0 +1,63 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBitmap(n int, density float64, seed int64) *Bitmap {
+	rng := rand.New(rand.NewSource(seed))
+	var idx []uint64
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			idx = append(idx, uint64(i))
+		}
+	}
+	return FromIndices(idx, uint64(n))
+}
+
+func BenchmarkFromIndicesSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var idx []uint64
+	for i := 0; i < 1<<20; i++ {
+		if rng.Float64() < 0.001 {
+			idx = append(idx, uint64(i))
+		}
+	}
+	b.SetBytes(1 << 17) // bitmap bits in bytes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromIndices(idx, 1<<20)
+	}
+}
+
+func BenchmarkAnd(b *testing.B) {
+	x := benchBitmap(1<<20, 0.01, 3)
+	y := benchBitmap(1<<20, 0.01, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(x, y)
+	}
+}
+
+func BenchmarkOrClustered(b *testing.B) {
+	var bd1, bd2 Builder
+	bd1.AppendRun(false, 1<<19)
+	bd1.AppendRun(true, 1<<10)
+	bd1.AppendRun(false, (1<<20)-(1<<19)-(1<<10))
+	bd2.AppendRun(true, 1<<10)
+	bd2.AppendRun(false, (1<<20)-(1<<10))
+	x, y := bd1.Build(), bd2.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Or(x, y)
+	}
+}
+
+func BenchmarkCardinality(b *testing.B) {
+	x := benchBitmap(1<<20, 0.05, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Cardinality()
+	}
+}

@@ -1,0 +1,410 @@
+// Package wah implements 32-bit Word-Aligned Hybrid (WAH) compressed
+// bitmaps, the compression used by FastBit and by the paper's bitmap index
+// (§III-D4).
+//
+// A WAH bitmap is a sequence of 32-bit words. A word with its most
+// significant bit clear is a literal holding the next 31 bits of the
+// bitmap. A word with its MSB set is a fill: bit 30 is the fill value and
+// the low 30 bits count how many 31-bit groups the fill spans. Long runs
+// of identical bits — the common case for bin bitmaps over clustered
+// scientific data — compress to a single word.
+package wah
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+const (
+	groupBits  = 31
+	fillFlag   = uint32(1) << 31
+	fillValue  = uint32(1) << 30
+	maxFillLen = fillValue - 1 // max groups representable by one fill word
+	literalAll = uint32(1)<<groupBits - 1
+)
+
+// Bitmap is an immutable WAH-compressed bitmap. Build one with a Builder
+// or FromIndices. The zero value is an empty bitmap.
+type Bitmap struct {
+	words []uint32
+	nbits uint64
+}
+
+// NumBits returns the logical length of the bitmap in bits.
+func (b *Bitmap) NumBits() uint64 { return b.nbits }
+
+// SizeBytes returns the compressed size in bytes.
+func (b *Bitmap) SizeBytes() int { return 4 * len(b.words) }
+
+// Cardinality returns the number of set bits.
+func (b *Bitmap) Cardinality() uint64 {
+	var n uint64
+	for _, w := range b.words {
+		if w&fillFlag != 0 {
+			if w&fillValue != 0 {
+				n += uint64(w&maxFillLen) * groupBits
+			}
+		} else {
+			n += uint64(bits.OnesCount32(w))
+		}
+	}
+	// Tail bits beyond nbits are kept zero by the builder, so no
+	// correction is needed.
+	return n
+}
+
+// ForEach calls fn with the index of every set bit in increasing order.
+func (b *Bitmap) ForEach(fn func(idx uint64)) {
+	var pos uint64
+	for _, w := range b.words {
+		if w&fillFlag != 0 {
+			span := uint64(w&maxFillLen) * groupBits
+			if w&fillValue != 0 {
+				end := pos + span
+				if end > b.nbits {
+					end = b.nbits
+				}
+				for i := pos; i < end; i++ {
+					fn(i)
+				}
+			}
+			pos += span
+		} else {
+			for g := w; g != 0; {
+				t := bits.TrailingZeros32(g)
+				idx := pos + uint64(t)
+				if idx < b.nbits {
+					fn(idx)
+				}
+				g &^= 1 << t
+			}
+			pos += groupBits
+		}
+	}
+}
+
+// ToIndices returns the sorted indices of all set bits.
+func (b *Bitmap) ToIndices() []uint64 {
+	out := make([]uint64, 0, b.Cardinality())
+	b.ForEach(func(i uint64) { out = append(out, i) })
+	return out
+}
+
+// Builder assembles a WAH bitmap by appending bits or runs in order.
+// The zero value is ready to use.
+type Builder struct {
+	words []uint32
+	cur   uint32 // partial literal group being filled
+	curN  uint8  // bits in cur
+	nbits uint64
+}
+
+// appendGroup appends one full 31-bit group, compressing runs.
+func (bd *Builder) appendGroup(g uint32) {
+	switch g {
+	case 0:
+		bd.appendFill(false, 1)
+	case literalAll:
+		bd.appendFill(true, 1)
+	default:
+		bd.words = append(bd.words, g)
+	}
+}
+
+// appendFill appends n groups of the given fill value, merging with a
+// trailing fill word of the same value.
+func (bd *Builder) appendFill(v bool, n uint64) {
+	for n > 0 {
+		if last := len(bd.words) - 1; last >= 0 {
+			w := bd.words[last]
+			if w&fillFlag != 0 && ((w&fillValue != 0) == v) {
+				room := uint64(maxFillLen - w&maxFillLen)
+				take := n
+				if take > room {
+					take = room
+				}
+				if take > 0 {
+					bd.words[last] = w + uint32(take)
+					n -= take
+					continue
+				}
+			}
+		}
+		take := n
+		if take > uint64(maxFillLen) {
+			take = uint64(maxFillLen)
+		}
+		w := fillFlag | uint32(take)
+		if v {
+			w |= fillValue
+		}
+		bd.words = append(bd.words, w)
+		n -= take
+	}
+}
+
+// AppendBit appends a single bit.
+func (bd *Builder) AppendBit(v bool) {
+	if v {
+		bd.cur |= 1 << bd.curN
+	}
+	bd.curN++
+	bd.nbits++
+	if bd.curN == groupBits {
+		bd.appendGroup(bd.cur)
+		bd.cur, bd.curN = 0, 0
+	}
+}
+
+// AppendRun appends n copies of bit v.
+func (bd *Builder) AppendRun(v bool, n uint64) {
+	// Fill the partial group first.
+	for n > 0 && bd.curN != 0 {
+		bd.AppendBit(v)
+		n--
+	}
+	if groups := n / groupBits; groups > 0 {
+		bd.appendFill(v, groups)
+		bd.nbits += groups * groupBits
+		n -= groups * groupBits
+	}
+	for ; n > 0; n-- {
+		bd.AppendBit(v)
+	}
+}
+
+// Build finalizes and returns the bitmap. The builder is reset.
+func (bd *Builder) Build() *Bitmap {
+	if bd.curN > 0 {
+		// Pad the tail group with zeros; nbits records the logical length.
+		bd.appendGroup(bd.cur)
+	}
+	bm := &Bitmap{words: bd.words, nbits: bd.nbits}
+	*bd = Builder{}
+	return bm
+}
+
+// FromIndices builds a bitmap of nbits bits with the given sorted set-bit
+// indices. It panics if indices are unsorted, duplicated, or out of range.
+func FromIndices(indices []uint64, nbits uint64) *Bitmap {
+	var bd Builder
+	var pos uint64
+	for _, i := range indices {
+		if i < pos {
+			panic(fmt.Sprintf("wah: indices not strictly increasing at %d", i))
+		}
+		if i >= nbits {
+			panic(fmt.Sprintf("wah: index %d out of range %d", i, nbits))
+		}
+		bd.AppendRun(false, i-pos)
+		bd.AppendBit(true)
+		pos = i + 1
+	}
+	bd.AppendRun(false, nbits-pos)
+	return bd.Build()
+}
+
+// Empty returns an all-zero bitmap of nbits bits.
+func Empty(nbits uint64) *Bitmap { return FromIndices(nil, nbits) }
+
+// Full returns an all-one bitmap of nbits bits.
+func Full(nbits uint64) *Bitmap {
+	var bd Builder
+	bd.AppendRun(true, nbits)
+	return bd.Build()
+}
+
+// groupIter iterates a bitmap group by group, exposing fills without
+// materializing them.
+type groupIter struct {
+	words []uint32
+	wi    int
+	// remaining groups in the current fill (0 when on a literal)
+	fillLeft uint32
+	fillVal  bool
+}
+
+func (it *groupIter) done() bool { return it.wi >= len(it.words) && it.fillLeft == 0 }
+
+// peek returns the current state: if onFill, the fill value and the number
+// of remaining groups in it; otherwise the literal group payload.
+func (it *groupIter) peek() (onFill bool, val bool, groups uint32, lit uint32) {
+	if it.fillLeft > 0 {
+		return true, it.fillVal, it.fillLeft, 0
+	}
+	w := it.words[it.wi]
+	if w&fillFlag != 0 {
+		it.fillVal = w&fillValue != 0
+		it.fillLeft = w & maxFillLen
+		it.wi++
+		return true, it.fillVal, it.fillLeft, 0
+	}
+	return false, false, 1, w
+}
+
+// advance consumes n groups (n must not exceed the current run for fills;
+// for literals n must be 1).
+func (it *groupIter) advance(n uint32) {
+	if it.fillLeft > 0 {
+		it.fillLeft -= n
+		return
+	}
+	it.wi++
+}
+
+// binary combines two bitmaps group-wise with the given 32-bit operation.
+// Both bitmaps must have the same logical length.
+func binary2(a, b *Bitmap, op func(x, y uint32) uint32) *Bitmap {
+	if a.nbits != b.nbits {
+		panic(fmt.Sprintf("wah: length mismatch %d vs %d", a.nbits, b.nbits))
+	}
+	ia := groupIter{words: a.words}
+	ib := groupIter{words: b.words}
+	var bd Builder
+	for !ia.done() && !ib.done() {
+		fa, va, ga, la := ia.peek()
+		fb, vb, gb, lb := ib.peek()
+		if fa && fb {
+			n := ga
+			if gb < n {
+				n = gb
+			}
+			var x, y uint32
+			if va {
+				x = literalAll
+			}
+			if vb {
+				y = literalAll
+			}
+			bd.appendFill2(op(x, y), uint64(n))
+			ia.advance(n)
+			ib.advance(n)
+			continue
+		}
+		// Materialize exactly one group from each side.
+		x := la
+		if fa {
+			if va {
+				x = literalAll
+			} else {
+				x = 0
+			}
+		}
+		y := lb
+		if fb {
+			if vb {
+				y = literalAll
+			} else {
+				y = 0
+			}
+		}
+		bd.appendGroup(op(x, y) & literalAll)
+		ia.advance(1)
+		ib.advance(1)
+	}
+	bm := bd.Build()
+	bm.nbits = a.nbits
+	return bm
+}
+
+// appendFill2 appends n groups whose 31-bit payload is g (either all zeros
+// or all ones after an op on fills).
+func (bd *Builder) appendFill2(g uint32, n uint64) {
+	g &= literalAll
+	switch g {
+	case 0:
+		bd.appendFill(false, n)
+	case literalAll:
+		bd.appendFill(true, n)
+	default:
+		for i := uint64(0); i < n; i++ {
+			bd.words = append(bd.words, g)
+		}
+	}
+	bd.nbits += n * groupBits
+}
+
+// And returns the bitwise AND of two equal-length bitmaps.
+func And(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x & y }) }
+
+// Or returns the bitwise OR of two equal-length bitmaps.
+func Or(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x | y }) }
+
+// AndNot returns a AND NOT b.
+func AndNot(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x &^ y }) }
+
+// Xor returns the bitwise XOR of two equal-length bitmaps.
+func Xor(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x ^ y }) }
+
+// Not returns the complement of b (within its logical length).
+func Not(b *Bitmap) *Bitmap {
+	f := Full(b.nbits)
+	return AndNot(f, b)
+}
+
+// OrAll returns the union of the given bitmaps (nil for an empty list).
+func OrAll(bms []*Bitmap) *Bitmap {
+	if len(bms) == 0 {
+		return nil
+	}
+	acc := bms[0]
+	for _, b := range bms[1:] {
+		acc = Or(acc, b)
+	}
+	return acc
+}
+
+// Test reports whether bit i is set. It is O(words) and intended for
+// tests and spot checks, not bulk scans.
+func (b *Bitmap) Test(i uint64) bool {
+	if i >= b.nbits {
+		return false
+	}
+	var pos uint64
+	for _, w := range b.words {
+		if w&fillFlag != 0 {
+			span := uint64(w&maxFillLen) * groupBits
+			if i < pos+span {
+				return w&fillValue != 0
+			}
+			pos += span
+		} else {
+			if i < pos+groupBits {
+				return w&(1<<(i-pos)) != 0
+			}
+			pos += groupBits
+		}
+	}
+	return false
+}
+
+// Encode serializes the bitmap.
+func (b *Bitmap) Encode() []byte {
+	out := make([]byte, 12+4*len(b.words))
+	binary.LittleEndian.PutUint64(out[0:8], b.nbits)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(b.words)))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint32(out[12+4*i:], w)
+	}
+	return out
+}
+
+// Decode deserializes a bitmap produced by Encode.
+func Decode(data []byte) (*Bitmap, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("wah: encoded buffer too short")
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	if len(data) != 12+4*n {
+		return nil, fmt.Errorf("wah: encoded length %d does not match %d words", len(data), n)
+	}
+	b := &Bitmap{
+		nbits: binary.LittleEndian.Uint64(data[0:8]),
+		words: make([]uint32, n),
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] = binary.LittleEndian.Uint32(data[12+4*i:])
+	}
+	return b, nil
+}

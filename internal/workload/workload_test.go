@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pdcquery/internal/query"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	c := newRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if newRNG(42).next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds produce correlated streams")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestEnergySurvivalAnchors(t *testing.T) {
+	// The paper's two endpoint selectivities.
+	s21 := EnergySurvival(2.1) - EnergySurvival(2.2)
+	if s21 < 0.011 || s21 > 0.015 {
+		t.Errorf("P(2.1<E<2.2) = %.4f, want ~0.0130", s21)
+	}
+	s35 := EnergySurvival(3.5) - EnergySurvival(3.6)
+	if s35 < 2e-6 || s35 > 8e-6 {
+		t.Errorf("P(3.5<E<3.6) = %.6f%%, want ~0.0004%%", s35*100)
+	}
+	if EnergySurvival(0) != 1 || EnergySurvival(-1) != 1 {
+		t.Error("survival at 0 must be 1")
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for e := 0.0; e < 5; e += 0.1 {
+		s := EnergySurvival(e)
+		if s > prev {
+			t.Fatalf("survival not monotone at %v", e)
+		}
+		prev = s
+	}
+	// Continuity at the knee.
+	if d := math.Abs(EnergySurvival(2.1-1e-9) - EnergySurvival(2.1+1e-9)); d > 1e-6 {
+		t.Errorf("survival discontinuous at knee: %v", d)
+	}
+}
+
+func TestGenerateVPICMatchesModel(t *testing.T) {
+	const n = 400000
+	v := GenerateVPIC(n, 1)
+	if v.N != n || len(v.Vars) != 7 {
+		t.Fatalf("N=%d vars=%d", v.N, len(v.Vars))
+	}
+	for _, name := range VPICNames {
+		if len(v.Vars[name]) != n {
+			t.Fatalf("var %s has %d elements", name, len(v.Vars[name]))
+		}
+	}
+	count := func(lo, hi float64) float64 {
+		c := 0
+		for _, e := range v.Vars["Energy"] {
+			if float64(e) > lo && float64(e) < hi {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+	// Empirical windows within 3x of the model (wide tolerance for the
+	// rare tail at this sample size).
+	got := count(2.1, 2.2)
+	want := EnergySurvival(2.1) - EnergySurvival(2.2)
+	if got < want/1.5 || got > want*1.5 {
+		t.Errorf("empirical P(2.1<E<2.2) = %.5f, model %.5f", got, want)
+	}
+	got = count(2.5, 2.6)
+	want = EnergySurvival(2.5) - EnergySurvival(2.6)
+	if got < want/2 || got > want*2 {
+		t.Errorf("empirical P(2.5<E<2.6) = %.6f, model %.6f", got, want)
+	}
+}
+
+func TestVPICSpatialBounds(t *testing.T) {
+	v := GenerateVPIC(50000, 2)
+	for i := 0; i < v.N; i++ {
+		x, y, z := float64(v.Vars["x"][i]), float64(v.Vars["y"][i]), float64(v.Vars["z"][i])
+		if x < 0 || x > XMax {
+			t.Fatalf("x out of domain: %v", x)
+		}
+		if y < YMin || y > YMax {
+			t.Fatalf("y out of domain: %v", y)
+		}
+		if z < 0 || z > ZMax {
+			t.Fatalf("z out of domain: %v", z)
+		}
+		if v.Vars["Energy"][i] < 0 {
+			t.Fatalf("negative energy")
+		}
+	}
+}
+
+func TestVPICHotParticlesInSheet(t *testing.T) {
+	v := GenerateVPIC(300000, 3)
+	hotIn, hotTotal := 0, 0
+	for i := 0; i < v.N; i++ {
+		if v.Vars["Energy"][i] > 2.5 {
+			hotTotal++
+			x := float64(v.Vars["x"][i])
+			if x > SheetLo && x < SheetHi {
+				hotIn++
+			}
+		}
+	}
+	if hotTotal == 0 {
+		t.Fatal("no hot particles generated")
+	}
+	// Nearly every energetic particle lives in the reconnection sheet.
+	if frac := float64(hotIn) / float64(hotTotal); frac < 0.95 {
+		t.Errorf("only %.2f of hot particles inside the sheet", frac)
+	}
+}
+
+func TestVPICStorageOrderFollowsX(t *testing.T) {
+	// Particles are stored in x-cell order (the property that makes
+	// region min/max pruning effective), so x is near-monotone in the
+	// particle index.
+	v := GenerateVPIC(100000, 8)
+	violations := 0
+	for i := 1; i < v.N; i++ {
+		if v.Vars["x"][i]+0.1 < v.Vars["x"][i-1] {
+			violations++
+		}
+	}
+	if violations > v.N/100 {
+		t.Errorf("x order violations: %d of %d", violations, v.N)
+	}
+}
+
+func TestVPICDeterministic(t *testing.T) {
+	a := GenerateVPIC(1000, 9)
+	b := GenerateVPIC(1000, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Vars["Energy"][i] != b.Vars["Energy"][i] || a.Vars["Ux"][i] != b.Vars["Ux"][i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestSingleObjectQueries(t *testing.T) {
+	qs := SingleObjectQueries(1)
+	if len(qs) != 15 {
+		t.Fatalf("queries = %d, want 15", len(qs))
+	}
+	// First window is (2.1, 2.2), last is (3.5, 3.6).
+	cs, err := query.Normalize(qs[0].Root)
+	if err != nil || len(cs) != 1 {
+		t.Fatal(err)
+	}
+	iv := cs[0][1]
+	if iv.Lo != 2.1 || iv.Hi != 2.2 || iv.LoIncl || iv.HiIncl {
+		t.Errorf("first window = %v", iv)
+	}
+	cs, _ = query.Normalize(qs[14].Root)
+	iv = cs[0][1]
+	if math.Abs(iv.Lo-3.5) > 1e-12 || math.Abs(iv.Hi-3.6) > 1e-12 {
+		t.Errorf("last window = %v", iv)
+	}
+	if SingleQueryLabel(0) != "2.1<E<2.2" {
+		t.Errorf("label = %q", SingleQueryLabel(0))
+	}
+}
+
+func TestMultiObjectQueries(t *testing.T) {
+	qs := MultiObjectQueries(1, 2, 3, 4)
+	if len(qs) != 6 {
+		t.Fatalf("queries = %d, want 6", len(qs))
+	}
+	for i, q := range qs {
+		ids := q.Root.Objects()
+		if len(ids) != 4 {
+			t.Errorf("query %d references %d objects", i, len(ids))
+		}
+		cs, err := query.Normalize(q.Root)
+		if err != nil || len(cs) != 1 {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(cs[0]) != 4 {
+			t.Errorf("query %d conjunct has %d objects", i, len(cs[0]))
+		}
+	}
+	if MultiQueryLabel(0) == "" {
+		t.Error("empty label")
+	}
+}
+
+func TestGenerateBOSS(t *testing.T) {
+	objs := GenerateBOSS(3000, 500, 4)
+	if len(objs) != 3000 {
+		t.Fatalf("objects = %d", len(objs))
+	}
+	// Groups of 1000 share sky position.
+	if objs[0].RADeg != objs[999].RADeg || objs[0].DECDeg != objs[999].DECDeg {
+		t.Error("group 0 does not share a sky position")
+	}
+	if objs[0].RADeg == objs[1000].RADeg && objs[0].DECDeg == objs[1000].DECDeg {
+		t.Error("groups 0 and 1 share a sky position")
+	}
+	// Names unique.
+	seen := map[string]bool{}
+	for _, o := range objs {
+		if seen[o.Name] {
+			t.Fatalf("duplicate name %s", o.Name)
+		}
+		seen[o.Name] = true
+		if len(o.Flux) != 500 {
+			t.Fatalf("flux length %d", len(o.Flux))
+		}
+	}
+}
+
+func TestBOSSFluxSelectivityRange(t *testing.T) {
+	objs := GenerateBOSS(200, 2000, 5)
+	sel := func(lo float64) float64 {
+		in, total := 0, 0
+		for _, o := range objs {
+			for _, f := range o.Flux {
+				total++
+				if float64(f) > lo && float64(f) < 20 {
+					in++
+				}
+			}
+		}
+		return float64(in) / float64(total)
+	}
+	s5, s0 := sel(5.0), sel(0.0)
+	// The paper's span: ~11% for 5<flux<20, ~65% for 0<flux<20.
+	if s5 < 0.06 || s5 > 0.20 {
+		t.Errorf("P(5<flux<20) = %.3f, want ~0.11", s5)
+	}
+	if s0 < 0.5 || s0 > 0.8 {
+		t.Errorf("P(0<flux<20) = %.3f, want ~0.65", s0)
+	}
+	if s0 <= s5 {
+		t.Error("selectivity not monotone in lower bound")
+	}
+	if len(BOSSDataBounds) != 6 || BOSSQueryLabel(0) != "5.0<flux<20" {
+		t.Errorf("bounds/labels wrong: %v %q", BOSSDataBounds, BOSSQueryLabel(0))
+	}
+}
+
+func TestMultiSpecSelectivityRegimes(t *testing.T) {
+	// The set must span the paper's two regimes: the first query is most
+	// selective on Energy (the sorted key) and the last on x, which is
+	// what flips the planner's evaluation order in Fig. 4.
+	xFrac := func(s MultiObjectSpec) float64 { return (s.X1 - s.X0) / XMax }
+	first, last := MultiObjectSpecs[0], MultiObjectSpecs[len(MultiObjectSpecs)-1]
+	if e := EnergySurvival(first.E); e >= xFrac(first) {
+		t.Errorf("first spec: energy marginal %.5f not below x fraction %.5f", e, xFrac(first))
+	}
+	if e := EnergySurvival(last.E); e <= xFrac(last) {
+		t.Errorf("last spec: energy marginal %.5f not above x fraction %.5f", e, xFrac(last))
+	}
+	// Energy thresholds are monotone decreasing across the set.
+	for i := 1; i < len(MultiObjectSpecs); i++ {
+		if MultiObjectSpecs[i].E >= MultiObjectSpecs[i-1].E {
+			t.Errorf("spec %d threshold %v not below previous %v", i, MultiObjectSpecs[i].E, MultiObjectSpecs[i-1].E)
+		}
+	}
+}
+
+func TestFig6QueryShape(t *testing.T) {
+	q := Fig6Query(1, 2, 3, 4)
+	ids := q.Root.Objects()
+	if len(ids) != 4 {
+		t.Fatalf("fig6 query objects = %v", ids)
+	}
+	cs, err := query.Normalize(q.Root)
+	if err != nil || len(cs) != 1 || len(cs[0]) != 4 {
+		t.Fatalf("fig6 query shape: %v, %v", cs, err)
+	}
+}

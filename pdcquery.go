@@ -1,0 +1,167 @@
+// Package pdcquery is a Go reproduction of "Parallel Query Service for
+// Object-centric Data Management Systems" (Tang, Byna, Dong, Koziol —
+// IPDPS 2020): PDC-Query, a parallel querying service that operates
+// directly on the objects of an object-centric data management system.
+//
+// The public API mirrors the paper's Fig. 1 interface:
+//
+//	d := pdcquery.NewDeployment(pdcquery.Options{Servers: 64})
+//	cont := d.CreateContainer("vpic")
+//	energy, _ := d.ImportObject(cont.ID, pdcquery.Property{
+//		Name: "Energy", Type: pdcquery.Float32, Dims: []uint64{n},
+//	}, raw)
+//	_ = d.Start()
+//
+//	// PDCquery_create / PDCquery_and / PDCquery_or
+//	q := pdcquery.NewQuery(pdcquery.And(
+//		pdcquery.QueryCreate(energy.ID, pdcquery.OpGT, 2.1),
+//		pdcquery.QueryCreate(energy.ID, pdcquery.OpLT, 2.2)))
+//
+//	res, _ := d.Client().Run(q)        // PDCquery_get_selection
+//	data, _, _ := res.GetData(energy.ID) // PDCquery_get_data
+//
+// Four evaluation strategies are available (§III-D): full scan (PDC-F),
+// global-histogram pruning and ordering (PDC-H, the default), bitmap
+// indexes (PDC-HI), and sorted reorganization (PDC-SH). The experiment
+// harness under cmd/pdc-bench regenerates every figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package pdcquery
+
+import (
+	"pdcquery/internal/client"
+	"pdcquery/internal/core"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/region"
+	"pdcquery/internal/selection"
+)
+
+// Deployment assembles N PDC servers, a metadata service, the storage
+// substrate, and a connected client.
+type Deployment = core.Deployment
+
+// Options configures a deployment (server count, strategy, region size,
+// index construction, cost model).
+type Options = core.Options
+
+// NewDeployment creates an empty deployment; import objects, then Start.
+func NewDeployment(opts Options) *Deployment { return core.NewDeployment(opts) }
+
+// Client is the application-facing library (the paper's PDC client).
+type Client = client.Client
+
+// QueryResult is a completed query with its merged selection.
+type QueryResult = client.QueryResult
+
+// Info reports the modeled execution profile of a client call.
+type Info = client.Info
+
+// Future is an in-flight asynchronous query (Client.RunAsync).
+type Future = client.Future
+
+// Plan is a query's evaluation plan (Client.Explain).
+type Plan = client.Plan
+
+// Object model ---------------------------------------------------------------
+
+// ObjectID identifies a data object.
+type ObjectID = object.ID
+
+// ContainerID identifies a container.
+type ContainerID = object.ContainerID
+
+// Object is a data object with its region metadata.
+type Object = object.Object
+
+// Property describes an object at creation time.
+type Property = object.Property
+
+// Region is an N-dimensional hyper-rectangle (for spatial constraints).
+type Region = region.Region
+
+// NewRegion builds a region from offsets and counts.
+func NewRegion(offset, count []uint64) Region { return region.New(offset, count) }
+
+// Selection is the set of matching element locations a query returns.
+type Selection = selection.Selection
+
+// Histogram is the mergeable (global) histogram of §IV.
+type Histogram = histogram.Histogram
+
+// TagCond is one metadata equality condition for QueryTag.
+type TagCond = metadata.TagCond
+
+// Element types supported by data objects.
+const (
+	Float32 = dtype.Float32
+	Float64 = dtype.Float64
+	Int8    = dtype.Int8
+	Int16   = dtype.Int16
+	Int32   = dtype.Int32
+	Int64   = dtype.Int64
+	Uint8   = dtype.Uint8
+	Uint16  = dtype.Uint16
+	Uint32  = dtype.Uint32
+	Uint64  = dtype.Uint64
+)
+
+// Query construction ---------------------------------------------------------
+
+// Query is a condition tree plus an optional spatial constraint.
+type Query = query.Query
+
+// Node is one node of the condition tree.
+type Node = query.Node
+
+// Op is a comparison operator.
+type Op = query.Op
+
+// Comparison operators for QueryCreate.
+const (
+	OpGT = query.OpGT
+	OpGE = query.OpGE
+	OpLT = query.OpLT
+	OpLE = query.OpLE
+	OpEQ = query.OpEQ
+)
+
+// QueryCreate builds a one-sided comparison on an object
+// (PDCquery_create).
+func QueryCreate(obj ObjectID, op Op, value float64) *Node {
+	return query.Leaf(obj, op, value)
+}
+
+// And combines two conditions (PDCquery_and).
+func And(l, r *Node) *Node { return query.And(l, r) }
+
+// Or combines two conditions (PDCquery_or).
+func Or(l, r *Node) *Node { return query.Or(l, r) }
+
+// Between builds lo < obj < hi with the given bound inclusivity.
+func Between(obj ObjectID, lo, hi float64, loIncl, hiIncl bool) *Node {
+	return query.Between(obj, lo, hi, loIncl, hiIncl)
+}
+
+// NewQuery wraps a condition tree into an executable query.
+func NewQuery(root *Node) *Query { return &Query{Root: root} }
+
+// Strategies -----------------------------------------------------------------
+
+// Strategy selects the query evaluation optimization (§III-D).
+type Strategy = exec.Strategy
+
+// The paper's four approaches.
+const (
+	StrategyFullScan  = exec.FullScan        // PDC-F
+	StrategyHistogram = exec.Histogram       // PDC-H (default)
+	StrategyIndex     = exec.HistogramIndex  // PDC-HI
+	StrategySorted    = exec.SortedHistogram // PDC-SH
+)
+
+// ParseStrategy accepts "PDC-F", "PDC-H", "PDC-HI", "PDC-SH" and plain
+// names ("fullscan", "histogram", "index", "sorted").
+func ParseStrategy(s string) (Strategy, error) { return exec.ParseStrategy(s) }
