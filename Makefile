@@ -2,19 +2,31 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures verify examples clean
+.PHONY: all build lint test race fuzz bench figures verify examples clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Project-specific invariant checkers (see internal/lint): determinism,
+# mutex guarding, protocol exhaustiveness, no panics on request paths.
+# Also usable as `go vet -vettool=$$(pwd)/bin/pdc-lint ./...`.
+lint:
+	$(GO) run ./cmd/pdc-lint ./...
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzz smoke on the serialization-heavy packages; CI runs this.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzWAHRoundTrip -fuzztime=$(FUZZTIME) ./internal/wah/
+	$(GO) test -fuzz=FuzzHistogramMerge -fuzztime=$(FUZZTIME) ./internal/histogram/
 
 # One benchmark per paper figure + ablations + throughput benches.
 bench:

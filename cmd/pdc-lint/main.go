@@ -1,0 +1,96 @@
+// pdc-lint is the repo's multichecker: it runs the custom invariant
+// analyzers in internal/lint over Go packages.
+//
+// Standalone:
+//
+//	go run ./cmd/pdc-lint ./...
+//	go run ./cmd/pdc-lint -nondeterminism=false ./internal/server
+//
+// As a vet tool (unitchecker mode — the go command hands the tool one
+// *.cfg file per package):
+//
+//	go build -o bin/pdc-lint ./cmd/pdc-lint
+//	go vet -vettool=$(pwd)/bin/pdc-lint ./...
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdcquery/internal/lint"
+)
+
+func main() {
+	// The go command probes vet tools before using them: -V=full for a
+	// cache key, -flags for the JSON flag inventory. Answer both before
+	// normal flag parsing.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			printFlagsJSON(lint.All())
+			return
+		}
+	}
+
+	analyzers := lint.All()
+	enabled := make(map[string]*bool, len(analyzers))
+	fs := flag.NewFlagSet("pdc-lint", flag.ExitOnError)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i > 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, doc)
+	}
+	jsonOut := fs.Bool("json", false, "ignored (accepted for go vet compatibility)")
+	_ = jsonOut
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pdc-lint [flags] packages...\n       pdc-lint config.cfg  (go vet -vettool mode)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+	var active []*lint.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	// Unitchecker mode: a single JSON config file from `go vet`.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitcheck(args[0], active)
+		return
+	}
+
+	pkgs, err := lint.Load("", args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdc-lint:", err)
+		os.Exit(1)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdc-lint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pdc-lint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}

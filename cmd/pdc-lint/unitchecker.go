@@ -1,0 +1,125 @@
+// Unitchecker mode: the protocol `go vet -vettool` speaks. For every
+// package in the build, the go command invokes the tool with a JSON
+// config file describing the unit (files, import map, export data
+// locations) and expects per-package "facts" output at VetxOutput plus
+// diagnostics on stderr (nonzero exit when any are found).
+//
+// This is a dependency-free re-implementation of the subset of
+// golang.org/x/tools/go/analysis/unitchecker that pdc-lint needs: our
+// analyzers exchange no facts, so dependency passes (VetxOnly) only
+// touch the facts file and skip analysis entirely.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"pdcquery/internal/lint"
+)
+
+// vetConfig mirrors the fields of the go command's vet config
+// (cmd/go/internal/work's vetConfig, also unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string, analyzers []*lint.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing vet config %s: %v", cfgFile, err))
+	}
+	// The go command requires the facts file to exist even though our
+	// analyzers produce none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, and we have none
+	}
+
+	fset := token.NewFileSet()
+	imp := lint.NewVetImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := lint.TypecheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdc-lint:", err)
+	os.Exit(1)
+}
+
+// printFlagsJSON answers the go command's -flags probe: a JSON array of
+// the flags the tool accepts (cmd/go/internal/vet/vetflag.go).
+func printFlagsJSON(analyzers []*lint.Analyzer) {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	descs := []flagDesc{{Name: "json", Bool: true, Usage: "accepted for compatibility; ignored"}}
+	for _, a := range analyzers {
+		descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(descs); err != nil {
+		fatal(err)
+	}
+}
+
+// printVersion answers the go command's -V=full probe. The reply's last
+// word must be a content hash of the tool so vet results are cached
+// correctly across rebuilds (see cmd/go/internal/work.(*Builder).toolID).
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pdc-lint version devel buildID=%02x\n", h.Sum(nil))
+}

@@ -403,7 +403,11 @@ func (r *QueryResult) GetDataBatch(obj object.ID, batchSize uint64, fn func(batc
 	o, _ := r.client.meta.Get(obj)
 	info := &Info{NHits: r.Sel.NHits}
 	n := r.client.NumServers()
-	for _, batch := range r.Sel.Batches(batchSize) {
+	batches, err := r.Sel.Batches(batchSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, batch := range batches {
 		// Group the batch coords by owning server (region r -> server
 		// r mod N, the same mapping the servers derive).
 		groups := make([][]uint64, n)

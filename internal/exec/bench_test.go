@@ -20,7 +20,7 @@ func BenchmarkScanKernelFloat32(b *testing.B) {
 	b.ResetTimer()
 	var out []uint64
 	for i := 0; i < b.N; i++ {
-		out = scanRegion(dtype.Float32, data, runs, iv, out[:0])
+		out, _ = scanRegion(dtype.Float32, data, runs, iv, out[:0])
 	}
 	_ = out
 }
@@ -41,6 +41,7 @@ func BenchmarkProbeKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(hits, base)
-		probeRegion(dtype.Float32, data, hits, iv)
+		hits, _ = probeRegion(dtype.Float32, data, hits, iv)
+		hits = hits[:cap(hits)]
 	}
 }

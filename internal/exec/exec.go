@@ -466,7 +466,10 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 	if err != nil {
 		return nil, err
 	}
-	hits := scanRegion(first.Type, data, runs, c[order[0]], buf)
+	hits, err := scanRegion(first.Type, data, runs, c[order[0]], buf)
+	if err != nil {
+		return nil, err
+	}
 	n := runsElems(runs)
 	stats.ElementsScanned += n
 	if e.Acct != nil {
@@ -485,7 +488,10 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 		if e.Acct != nil {
 			e.Acct.Charge(vclock.Compute, computeCost(int64(len(hits)), probeNsPerElem))
 		}
-		hits = probeRegion(o.Type, data, hits, c[id])
+		hits, err = probeRegion(o.Type, data, hits, c[id])
+		if err != nil {
+			return nil, err
+		}
 	}
 	return hits, nil
 }
@@ -510,7 +516,10 @@ func (e *Engine) evalRegionIndex(c query.Conjunct, order []object.ID, objs map[o
 				return nil, err
 			}
 			all := []localRun{{Start: 0, Len: rm.Region.NumElems()}}
-			idxs := scanRegion(o.Type, data, all, iv, nil)
+			idxs, err := scanRegion(o.Type, data, all, iv, nil)
+			if err != nil {
+				return nil, err
+			}
 			stats.ElementsScanned += runsElems(all)
 			if e.Acct != nil {
 				e.Acct.Charge(vclock.Compute, computeCost(runsElems(all), scanNsPerElem))
@@ -695,7 +704,10 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 				return nil, nil, err
 			}
 			civ := c[id]
-			ct := companionType(rep, id)
+			ct, err := companionType(rep, id)
+			if err != nil {
+				return nil, nil, err
+			}
 			stats.Probes += int64(len(alive))
 			if e.Acct != nil {
 				e.Acct.Charge(vclock.Compute, computeCost(int64(len(alive)), probeNsPerElem))
@@ -849,14 +861,16 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 	return sel, out, nil
 }
 
-// companionType returns the element type of a companion copy.
-func companionType(rep *sortstore.Replica, id object.ID) dtype.Type {
+// companionType returns the element type of a companion copy. A missing
+// companion means the replica metadata and the query disagree (corrupt
+// or stale metadata): reported as an error so the request fails cleanly.
+func companionType(rep *sortstore.Replica, id object.ID) (dtype.Type, error) {
 	for _, comp := range rep.Companions {
 		if comp.Obj == id {
-			return comp.Type
+			return comp.Type, nil
 		}
 	}
-	panic("exec: missing companion")
+	return 0, fmt.Errorf("exec: replica %d has no companion copy of object %d", rep.Key, id)
 }
 
 // probeValues returns the values of object o's region r at the given

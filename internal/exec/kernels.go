@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"pdcquery/internal/dtype"
 	"pdcquery/internal/query"
 )
@@ -29,31 +31,34 @@ func scanTyped[E dtype.Native](vals []E, runs []localRun, iv query.Interval, out
 	return out
 }
 
-// scanRegion dispatches scanTyped on the region's element type.
-func scanRegion(t dtype.Type, data []byte, runs []localRun, iv query.Interval, out []uint64) []uint64 {
+// scanRegion dispatches scanTyped on the region's element type. An
+// unknown type means corrupt metadata reached the evaluation engine; it
+// is reported as an error, not a panic, so one bad request cannot take
+// the server down.
+func scanRegion(t dtype.Type, data []byte, runs []localRun, iv query.Interval, out []uint64) ([]uint64, error) {
 	switch t {
 	case dtype.Float32:
-		return scanTyped(dtype.View[float32](data), runs, iv, out)
+		return scanTyped(dtype.View[float32](data), runs, iv, out), nil
 	case dtype.Float64:
-		return scanTyped(dtype.View[float64](data), runs, iv, out)
+		return scanTyped(dtype.View[float64](data), runs, iv, out), nil
 	case dtype.Int8:
-		return scanTyped(dtype.View[int8](data), runs, iv, out)
+		return scanTyped(dtype.View[int8](data), runs, iv, out), nil
 	case dtype.Int16:
-		return scanTyped(dtype.View[int16](data), runs, iv, out)
+		return scanTyped(dtype.View[int16](data), runs, iv, out), nil
 	case dtype.Int32:
-		return scanTyped(dtype.View[int32](data), runs, iv, out)
+		return scanTyped(dtype.View[int32](data), runs, iv, out), nil
 	case dtype.Int64:
-		return scanTyped(dtype.View[int64](data), runs, iv, out)
+		return scanTyped(dtype.View[int64](data), runs, iv, out), nil
 	case dtype.Uint8:
-		return scanTyped(dtype.View[uint8](data), runs, iv, out)
+		return scanTyped(dtype.View[uint8](data), runs, iv, out), nil
 	case dtype.Uint16:
-		return scanTyped(dtype.View[uint16](data), runs, iv, out)
+		return scanTyped(dtype.View[uint16](data), runs, iv, out), nil
 	case dtype.Uint32:
-		return scanTyped(dtype.View[uint32](data), runs, iv, out)
+		return scanTyped(dtype.View[uint32](data), runs, iv, out), nil
 	case dtype.Uint64:
-		return scanTyped(dtype.View[uint64](data), runs, iv, out)
+		return scanTyped(dtype.View[uint64](data), runs, iv, out), nil
 	}
-	panic("exec: scan on invalid type")
+	return nil, fmt.Errorf("exec: scan on invalid element type %v", t)
 }
 
 // probeTyped filters local hit indices in place, keeping those whose value
@@ -69,31 +74,32 @@ func probeTyped[E dtype.Native](vals []E, hits []uint64, iv query.Interval) []ui
 	return out
 }
 
-// probeRegion dispatches probeTyped on the region's element type.
-func probeRegion(t dtype.Type, data []byte, hits []uint64, iv query.Interval) []uint64 {
+// probeRegion dispatches probeTyped on the region's element type; like
+// scanRegion it reports unknown types as errors.
+func probeRegion(t dtype.Type, data []byte, hits []uint64, iv query.Interval) ([]uint64, error) {
 	switch t {
 	case dtype.Float32:
-		return probeTyped(dtype.View[float32](data), hits, iv)
+		return probeTyped(dtype.View[float32](data), hits, iv), nil
 	case dtype.Float64:
-		return probeTyped(dtype.View[float64](data), hits, iv)
+		return probeTyped(dtype.View[float64](data), hits, iv), nil
 	case dtype.Int8:
-		return probeTyped(dtype.View[int8](data), hits, iv)
+		return probeTyped(dtype.View[int8](data), hits, iv), nil
 	case dtype.Int16:
-		return probeTyped(dtype.View[int16](data), hits, iv)
+		return probeTyped(dtype.View[int16](data), hits, iv), nil
 	case dtype.Int32:
-		return probeTyped(dtype.View[int32](data), hits, iv)
+		return probeTyped(dtype.View[int32](data), hits, iv), nil
 	case dtype.Int64:
-		return probeTyped(dtype.View[int64](data), hits, iv)
+		return probeTyped(dtype.View[int64](data), hits, iv), nil
 	case dtype.Uint8:
-		return probeTyped(dtype.View[uint8](data), hits, iv)
+		return probeTyped(dtype.View[uint8](data), hits, iv), nil
 	case dtype.Uint16:
-		return probeTyped(dtype.View[uint16](data), hits, iv)
+		return probeTyped(dtype.View[uint16](data), hits, iv), nil
 	case dtype.Uint32:
-		return probeTyped(dtype.View[uint32](data), hits, iv)
+		return probeTyped(dtype.View[uint32](data), hits, iv), nil
 	case dtype.Uint64:
-		return probeTyped(dtype.View[uint64](data), hits, iv)
+		return probeTyped(dtype.View[uint64](data), hits, iv), nil
 	}
-	panic("exec: probe on invalid type")
+	return nil, fmt.Errorf("exec: probe on invalid element type %v", t)
 }
 
 // filterRuns keeps the sorted local indices that fall inside the sorted,

@@ -1,0 +1,25 @@
+package exec
+
+import (
+	"testing"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/query"
+)
+
+// Corrupt metadata can carry an element type the kernels do not know;
+// the dispatchers must report it as an error rather than panicking in
+// the middle of a request.
+func TestScanRegionInvalidType(t *testing.T) {
+	iv := query.Interval{Lo: 0, Hi: 1}
+	if _, err := scanRegion(dtype.Type(200), []byte{1, 2, 3, 4}, []localRun{{Start: 0, Len: 1}}, iv, nil); err == nil {
+		t.Error("scanRegion accepted an invalid element type")
+	}
+}
+
+func TestProbeRegionInvalidType(t *testing.T) {
+	iv := query.Interval{Lo: 0, Hi: 1}
+	if _, err := probeRegion(dtype.Type(200), []byte{1, 2, 3, 4}, []uint64{0}, iv); err == nil {
+		t.Error("probeRegion accepted an invalid element type")
+	}
+}

@@ -14,7 +14,7 @@ func Example() {
 	regionA := make([]float64, 0, 1000)
 	regionB := make([]float64, 0, 1000)
 	for i := 0; i < 1000; i++ {
-		regionA = append(regionA, float64(i)/100)  // 0.00 .. 9.99
+		regionA = append(regionA, float64(i)/100)   // 0.00 .. 9.99
 		regionB = append(regionB, 50+float64(i)/10) // 50.0 .. 149.9
 	}
 	ha := histogram.Build(regionA, 64)

@@ -57,7 +57,9 @@ func powFloor(w float64) float64 {
 
 // sampleMinMax estimates min and max from a deterministic ~10% sample
 // (every 10th element), the reproducible stand-in for the paper's random
-// 10% sample. Small inputs are scanned fully. NaNs are skipped.
+// 10% sample. Small inputs are scanned fully. NaNs and infinities are
+// skipped: the bin grid must be built from finite values (±Inf data is
+// clamped into the edge bins by add).
 func sampleMinMax(values []float64) (lo, hi float64) {
 	lo, hi = math.Inf(1), math.Inf(-1)
 	stride := 10
@@ -66,7 +68,7 @@ func sampleMinMax(values []float64) (lo, hi float64) {
 	}
 	for i := 0; i < len(values); i += stride {
 		v := values[i]
-		if math.IsNaN(v) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			continue
 		}
 		if v < lo {
@@ -91,8 +93,10 @@ func Build(values []float64, nbin int) *Histogram {
 	}
 	lo, hi := sampleMinMax(values)
 	if math.IsInf(lo, 1) {
-		// No usable values.
-		return &Histogram{Width: 1, Min: math.Inf(1), Max: math.Inf(-1)}
+		// No finite values in the sample. Any non-NaN values (±Inf) are
+		// still binned below on a trivial one-bin grid so Total and the
+		// exact Min/Max reflect them and region elimination stays sound.
+		lo, hi = 0, 0
 	}
 	w := powFloor((hi - lo) / float64(nbin))
 	start := math.Floor(lo/w) * w
@@ -132,30 +136,41 @@ func BuildBytes(t dtype.Type, data []byte, nbin int) *Histogram {
 // approximate, tracked via Min/Max widening in BinRange).
 const maxGrow = 1 << 16
 
+// maxMergeBins bounds the merged grid size. Two histograms whose data
+// lies far apart (narrow local ranges at distant values) would otherwise
+// need span/width bins — easily gigabytes for a few elements. Merge
+// doubles the bin width until the span fits, trading resolution for a
+// bounded footprint while keeping the power-of-two/aligned invariants.
+const maxMergeBins = 1 << 16
+
 // add places v on the histogram grid. Values outside the sampled range
 // extend the grid by whole bins — Algorithm 1 instead adjusts the edge
 // boundary (lines 12–17), but extension keeps every bin's nominal range
 // truthful so that merged histograms still bracket exact counts; the
 // grid stays power-of-two aligned either way.
 func (h *Histogram) add(v float64) {
-	j := int(math.Floor((v - h.Start) / h.Width))
-	if j < 0 {
-		if grow := -j; grow <= maxGrow {
-			h.Counts = append(make([]uint64, grow, grow+len(h.Counts)), h.Counts...)
-			h.Start -= float64(grow) * h.Width
-			j = 0
-		} else {
-			j = 0
+	// Compute the bin index in float space: converting ±Inf or a value
+	// further than maxInt bins from the grid straight to int overflows
+	// the conversion (the result is platform-specific, e.g. minInt),
+	// which used to turn the grow amount negative and panic in make.
+	fj := math.Floor((v - h.Start) / h.Width)
+	if fj < 0 {
+		if grow := -fj; grow <= maxGrow {
+			g := int(grow)
+			h.Counts = append(make([]uint64, g, g+len(h.Counts)), h.Counts...)
+			h.Start -= float64(g) * h.Width
+		}
+		fj = 0
+	}
+	if fj >= float64(len(h.Counts)) {
+		if grow := fj - float64(len(h.Counts)) + 1; grow <= maxGrow {
+			h.Counts = append(h.Counts, make([]uint64, int(grow))...)
+		}
+		if fj >= float64(len(h.Counts)) {
+			fj = float64(len(h.Counts) - 1)
 		}
 	}
-	if j >= len(h.Counts) {
-		if grow := j - len(h.Counts) + 1; grow <= maxGrow {
-			h.Counts = append(h.Counts, make([]uint64, grow)...)
-		} else {
-			j = len(h.Counts) - 1
-		}
-	}
-	h.Counts[j]++
+	h.Counts[int(fj)]++
 	h.Total++
 	if v < h.Min {
 		h.Min = v
@@ -211,7 +226,15 @@ func (h *Histogram) Merge(o *Histogram) {
 	if endO > end {
 		end = endO
 	}
-	n := int(math.Ceil((end - start) / w))
+	// Size the merged grid in float space (the span/width ratio can
+	// exceed maxInt), coarsening the width until it fits maxMergeBins.
+	fn := math.Ceil((end - start) / w)
+	for fn > maxMergeBins {
+		w *= 2
+		start = math.Floor(start/w) * w
+		fn = math.Ceil((end - start) / w)
+	}
+	n := int(fn)
 	if n < 1 {
 		n = 1
 	}

@@ -83,6 +83,57 @@ func TestBuildEmptyAndNaN(t *testing.T) {
 	}
 }
 
+func TestBuildInfinities(t *testing.T) {
+	// ±Inf values must be clamped into the edge bins, not crash the
+	// grid-growing int conversion, and must widen the exact Min/Max so
+	// region elimination never prunes a region that holds them.
+	h := Build([]float64{math.Inf(-1), 1, 2, 3, math.Inf(1)}, 64)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 5 {
+		t.Errorf("total = %d, want 5", h.Total)
+	}
+	if !math.IsInf(h.Min, -1) || !math.IsInf(h.Max, 1) {
+		t.Errorf("min/max = %v/%v, want -Inf/+Inf", h.Min, h.Max)
+	}
+	if !h.Overlaps(1e300, math.Inf(1), true, true) {
+		t.Error("region with +Inf values eliminated for a huge-value query")
+	}
+
+	// All-infinite input: no finite grid, but the values still count.
+	h = Build([]float64{math.Inf(1), math.Inf(1)}, 8)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 2 {
+		t.Errorf("all-Inf total = %d, want 2", h.Total)
+	}
+	if h.Overlaps(5, 10, true, true) {
+		t.Error("finite-range query overlaps an all-+Inf region")
+	}
+	if !h.Overlaps(5, math.Inf(1), true, true) {
+		t.Error("unbounded query misses an all-+Inf region")
+	}
+}
+
+func TestMergeFarApartHistograms(t *testing.T) {
+	// Regression: two narrow histograms at distant values used to make
+	// Merge allocate span/width bins (hundreds of GB for two elements).
+	a := Build([]float64{1.5e-76}, 64)
+	b := Build([]float64{6.9e10}, 64)
+	a.Merge(b)
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 2 {
+		t.Errorf("total = %d, want 2", a.Total)
+	}
+	if a.NumBins() > maxMergeBins {
+		t.Errorf("merged grid has %d bins, cap %d", a.NumBins(), maxMergeBins)
+	}
+}
+
 func TestBuildConstantData(t *testing.T) {
 	vals := make([]float64, 1000)
 	for i := range vals {

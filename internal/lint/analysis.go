@@ -1,0 +1,218 @@
+// Package lint is the repo's static-analysis subsystem: a small,
+// dependency-free re-implementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus a package
+// loader, so custom invariant checkers can run offline with nothing but
+// the Go toolchain.
+//
+// The checkers enforce the two load-bearing conventions of this
+// codebase (see DESIGN.md "Correctness tooling"):
+//
+//   - determinism: all time and randomness flows through internal/vclock
+//     and internal/simio, never the wall clock or the global rand source;
+//   - mutex discipline: struct fields declared after a sync.Mutex /
+//     sync.RWMutex field are guarded by it, and methods that touch them
+//     must take the lock.
+//
+// plus two structural invariants: protocol message kinds must be wired
+// on both the encode and dispatch sides, and server request paths must
+// return errors rather than panic.
+//
+// Diagnostics can be suppressed with a directive comment on the
+// offending line or the line above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] reason
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects a package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass connects one analyzer run to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the package import path (fixture packages use their
+	// testdata-relative path).
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file; the
+// determinism rules apply only to production code.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the analyzers shipped with pdc-lint, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		MutexGuardAnalyzer,
+		ProtoExhaustiveAnalyzer,
+		NopanicAnalyzer,
+	}
+}
+
+// RunAnalyzers applies each analyzer to each package, filters
+// //lint:ignore'd findings, and returns the remainder sorted by
+// position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			for _, d := range pass.diags {
+				if !ig.suppressed(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreSet records which (file, line) pairs are exempt per analyzer.
+type ignoreSet struct {
+	// byAnalyzer maps analyzer name -> "file:line" set.
+	byAnalyzer map[string]map[string]bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores parses //lint:ignore directives. A directive on its own
+// line exempts the next line; a trailing directive exempts its own line.
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{byAnalyzer: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// A directive without a reason is ignored (the reason
+					// is mandatory, like staticcheck's).
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Own-line directive: no code before the comment.
+				line := pos.Line
+				if startsLine(fset, f, c) {
+					line = pos.Line + 1
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if ig.byAnalyzer[name] == nil {
+						ig.byAnalyzer[name] = make(map[string]bool)
+					}
+					ig.byAnalyzer[name][key] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// startsLine reports whether the comment is the first token on its line
+// (heuristic: its column is where any preceding run of whitespace ends —
+// we approximate by checking nothing in the file's code overlaps the
+// line before the comment's column; a column of 1 is always a line
+// start; otherwise we scan the declarations).
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	if pos.Column == 1 {
+		return true
+	}
+	// If any non-comment node ends on the same line before the comment
+	// starts, the directive is trailing.
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		end := fset.Position(n.End())
+		if end.Filename == pos.Filename && end.Line == pos.Line && end.Column <= pos.Column {
+			switch n.(type) {
+			case *ast.Comment, *ast.CommentGroup, *ast.File:
+			default:
+				trailing = true
+			}
+		}
+		return true
+	})
+	return !trailing
+}
+
+func (ig *ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	m := ig.byAnalyzer[analyzer]
+	if m == nil {
+		return false
+	}
+	return m[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go command, type-checks every
+// matched (non-dependency) package from source against the export data
+// of its imports, and returns them sorted by import path. dir is the
+// module root the go command runs in ("" for the current directory).
+//
+// Only non-test files are loaded: the invariants pdc-lint enforces
+// apply to production code, and test files are free to use wall time.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && len(e.GoFiles) > 0 {
+			ee := e
+			targets = append(targets, &ee)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) (string, error) {
+		f, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("lint: no export data for %q", path)
+		}
+		return f, nil
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typecheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Name = t.Name
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single package from the .go files directly inside dir
+// (used by linttest for testdata fixtures, which live outside the module
+// build graph). pkgPath becomes the package's import path for scope
+// checks. Fixture imports must resolve through the toolchain (stdlib);
+// fixtures cannot import each other.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	// First parse pass just to gather the imports to resolve.
+	imports := make(map[string]bool)
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+		for p := range imports {
+			args = append(args, p)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list (fixture imports): %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e listEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, func(path string) (string, error) {
+		f, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("lint: fixture import %q has no export data", path)
+		}
+		return f, nil
+	})
+	return typecheck(fset, pkgPath, filenames, imp)
+}
+
+// typecheck parses the files and type-checks them as one package.
+func typecheck(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// TypecheckFiles parses and type-checks the given files as one package
+// (unitchecker mode: the file list and importer come from the go
+// command's vet config).
+func TypecheckFiles(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) (*Package, error) {
+	return typecheck(fset, pkgPath, filenames, imp)
+}
+
+// NewVetImporter builds an importer from a vet config's ImportMap
+// (source import path -> canonical package path) and PackageFile
+// (canonical package path -> export data file).
+func NewVetImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	return newExportImporter(fset, func(path string) (string, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := packageFile[path]
+		if !ok {
+			return "", fmt.Errorf("lint: vet config has no export data for %q", path)
+		}
+		return f, nil
+	})
+}
+
+// exportImporter resolves imports from gc export data files located by
+// the resolve callback (either `go list -export` output or a vet config's
+// PackageFile map).
+type exportImporter struct {
+	gc      types.ImporterFrom
+	resolve func(path string) (string, error)
+}
+
+func newExportImporter(fset *token.FileSet, resolve func(path string) (string, error)) types.Importer {
+	ei := &exportImporter{resolve: resolve}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	}).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.Import(path)
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MutexGuardAnalyzer enforces the repo's position-after-mutex convention:
+// in a struct that declares a sync.Mutex / sync.RWMutex field, every
+// field declared AFTER the mutex is guarded by it, and any method that
+// reads or writes a guarded field must mention the mutex (Lock/RLock or
+// passing it to a helper). Fields declared before the mutex are
+// unguarded (immutable-after-construction configuration).
+//
+// Escapes: methods whose name ends in "Locked" are assumed to be called
+// with the lock already held, and //lint:ignore mutexguard <reason>
+// suppresses individual accesses.
+var MutexGuardAnalyzer = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "fields declared after a mutex are guarded: methods touching them must take the lock",
+	Run:  runMutexGuard,
+}
+
+// guardedStruct records one struct type with a mutex field.
+type guardedStruct struct {
+	typeName string
+	mutex    string          // mutex field name, e.g. "mu"
+	guarded  map[string]bool // fields declared after the mutex
+}
+
+func runMutexGuard(pass *Pass) error {
+	structs := make(map[string]*guardedStruct)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := scanStruct(pass, ts.Name.Name, st)
+			if gs != nil {
+				structs[ts.Name.Name] = gs
+			}
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			gs := structs[recvTypeName(fd.Recv.List[0].Type)]
+			if gs == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller-holds-lock convention
+			}
+			if len(fd.Recv.List[0].Names) == 0 {
+				continue // receiver unnamed: fields unreachable
+			}
+			recvIdent := fd.Recv.List[0].Names[0]
+			recvObj := pass.Info.Defs[recvIdent]
+			if recvObj == nil {
+				continue
+			}
+			checkMethod(pass, fd, gs, recvObj)
+		}
+	}
+	return nil
+}
+
+// scanStruct returns the guard info for a struct, or nil when it has no
+// named mutex field or no fields after it.
+func scanStruct(pass *Pass, name string, st *ast.StructType) *guardedStruct {
+	var gs *guardedStruct
+	for _, field := range st.Fields.List {
+		if gs != nil {
+			for _, n := range field.Names {
+				gs.guarded[n.Name] = true
+			}
+			continue
+		}
+		if len(field.Names) != 1 {
+			continue
+		}
+		if isMutexType(pass.Info.Types[field.Type].Type) {
+			gs = &guardedStruct{
+				typeName: name,
+				mutex:    field.Names[0].Name,
+				guarded:  make(map[string]bool),
+			}
+		}
+	}
+	if gs == nil || len(gs.guarded) == 0 {
+		return nil
+	}
+	return gs
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// checkMethod flags guarded-field accesses in methods that never mention
+// the mutex. Mentioning the mutex at all (locking it, passing &recv.mu
+// to a helper) counts as handling synchronization: the check is a
+// convention linter, not a race detector — go test -race is the backstop.
+func checkMethod(pass *Pass, fd *ast.FuncDecl, gs *guardedStruct, recvObj types.Object) {
+	mentionsMutex := false
+	type access struct {
+		sel   *ast.SelectorExpr
+		field string
+	}
+	var accesses []access
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !usesObject(pass, sel.X, recvObj) {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == gs.mutex:
+			mentionsMutex = true
+		case gs.guarded[sel.Sel.Name]:
+			accesses = append(accesses, access{sel, sel.Sel.Name})
+		}
+		return true
+	})
+	if mentionsMutex {
+		return
+	}
+	for _, a := range accesses {
+		pass.Reportf(a.sel.Pos(),
+			"%s.%s is guarded by %q (declared after it) but method %s never locks it",
+			gs.typeName, a.field, gs.mutex, fd.Name.Name)
+	}
+}

@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestMutexGuard(t *testing.T) {
+	linttest.Run(t, lint.MutexGuardAnalyzer, "mutexguard")
+}
+
+// TestMutexGuardValueReceiver checks value receivers are held to the
+// same rule (a copied mutex is its own bug, but the unlocked read is
+// what we can see syntactically).
+func TestMutexGuardValueReceiver(t *testing.T) {
+	dir := linttest.WriteTempFixture(t, "valrecv", map[string]string{
+		"v.go": `package valrecv
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+func (b box) Leak() int { return b.v }
+`,
+	})
+	pkg, err := lint.LoadDir(dir, "valrecv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.MutexGuardAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the Leak finding, got %v", diags)
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NondeterminismAnalyzer forbids wall-clock time and the global math/rand
+// source in production code. The reproduction's results are bit-for-bit
+// deterministic because every duration is virtual (internal/vclock) and
+// every random stream is explicitly seeded; one stray time.Now() or
+// rand.Intn() silently breaks that.
+//
+// Allowed: time.Duration arithmetic and constants, explicitly seeded
+// generators (rand.New(rand.NewSource(seed))), anything in _test.go
+// files, and the blessed wrappers internal/vclock and internal/simio.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall-clock time and global math/rand in production code; use internal/vclock / seeded sources",
+	Run:  runNondeterminism,
+}
+
+// nondetExemptSuffixes are package paths allowed to touch real entropy
+// sources (they are the deterministic wrappers everything else must use).
+var nondetExemptSuffixes = []string{
+	"internal/vclock",
+	"internal/simio",
+}
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// wait on the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRandFuncs are math/rand package-level functions that do NOT
+// draw from the global (non-deterministically seeded) source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func runNondeterminism(pass *Pass) error {
+	for _, sfx := range nondetExemptSuffixes {
+		if strings.HasSuffix(pass.PkgPath, sfx) {
+			return nil
+		}
+	}
+	type finding struct {
+		pos  token.Pos
+		what string
+		hint string
+	}
+	var found []finding
+	for id, obj := range pass.Info.Uses {
+		if pass.InTestFile(id.Pos()) {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		// Only package-level functions: methods on rand.Rand / time.Timer
+		// etc. operate on explicitly constructed values.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if forbiddenTimeFuncs[fn.Name()] {
+				found = append(found, finding{id.Pos(), "time." + fn.Name(),
+					"route time through internal/vclock virtual accounts"})
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				found = append(found, finding{id.Pos(), "rand." + fn.Name(),
+					"use an explicitly seeded rand.New(rand.NewSource(seed))"})
+			}
+		}
+	}
+	// Map iteration order is random; sort for deterministic reports.
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, f := range found {
+		pass.Reportf(f.pos, "nondeterministic call %s in production code; %s", f.what, f.hint)
+	}
+	return nil
+}
+
+// identIsPkgFunc is kept for mutexguard and protoexhaustive: it reports
+// whether the identifier resolves to the given object.
+func usesObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Info.Uses[id] == obj
+}

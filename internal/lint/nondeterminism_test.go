@@ -1,0 +1,61 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, lint.NondeterminismAnalyzer, "nondet")
+}
+
+// TestNondeterminismExemptPackages checks the blessed wrappers are out
+// of scope even when they touch the wall clock.
+func TestNondeterminismExemptPackages(t *testing.T) {
+	dir := linttest.WriteTempFixture(t, "x/internal/vclock", map[string]string{
+		"clock.go": `package vclock
+
+import "time"
+
+// Now is the one place wall time may be read.
+func Now() time.Time { return time.Now() }
+`,
+	})
+	pkg, err := lint.LoadDir(dir, "x/internal/vclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.NondeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("vclock should be exempt, got %v", diags)
+	}
+}
+
+// TestRepoIsDeterministic runs the analyzer over the real production
+// packages: the tree must stay clean.
+func TestRepoIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := lint.Load("..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.NondeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.String())
+	}
+	if len(msgs) > 0 {
+		t.Errorf("nondeterminism crept into production code:\n%s", strings.Join(msgs, "\n"))
+	}
+}

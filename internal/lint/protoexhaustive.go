@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ProtoExhaustiveAnalyzer keeps the wire protocol honest: every Msg*
+// message-kind constant a package declares must be wired on the side the
+// declaration promises. The declaration's trailing comment states the
+// direction (the convention in internal/server/protocol.go):
+//
+//	MsgQuery  byte = 1 // client -> server: ...
+//	MsgResult byte = 2 // server -> client: ...
+//
+// A "client -> server" kind must be dispatched somewhere in the package
+// (a switch case or ==/!= comparison against a received message type);
+// a "server -> client" kind must be encoded (used as the Type of a
+// constructed message or assigned to a .Type field). A kind without a
+// direction comment must be used at least once either way. Adding an
+// RPC kind without wiring both sides therefore fails `make lint`.
+var ProtoExhaustiveAnalyzer = &Analyzer{
+	Name: "protoexhaustive",
+	Doc:  "every declared Msg* protocol kind must be dispatched (client->server) or encoded (server->client)",
+	Run:  runProtoExhaustive,
+}
+
+type msgConst struct {
+	obj     types.Object
+	pos     token.Pos
+	inbound bool // client -> server
+	outward bool // server -> client
+}
+
+func runProtoExhaustive(pass *Pass) error {
+	var consts []*msgConst
+	byObj := make(map[types.Object]*msgConst)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Msg") {
+						continue
+					}
+					obj := pass.Info.Defs[name]
+					if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+						continue
+					}
+					mc := &msgConst{obj: obj, pos: name.Pos()}
+					if vs.Comment != nil {
+						text := vs.Comment.Text()
+						mc.inbound = strings.Contains(text, "client -> server")
+						mc.outward = strings.Contains(text, "server -> client")
+					}
+					consts = append(consts, mc)
+					byObj[obj] = mc
+				}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	dispatched := make(map[types.Object]bool)
+	encoded := make(map[types.Object]bool)
+	resolve := func(e ast.Expr) types.Object {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if mc := byObj[pass.Info.Uses[v]]; mc != nil {
+				return mc.obj
+			}
+		case *ast.SelectorExpr:
+			if mc := byObj[pass.Info.Uses[v.Sel]]; mc != nil {
+				return mc.obj
+			}
+		}
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range v.List {
+					if obj := resolve(e); obj != nil {
+						dispatched[obj] = true
+					}
+				}
+			case *ast.BinaryExpr:
+				if v.Op == token.EQL || v.Op == token.NEQ {
+					if obj := resolve(v.X); obj != nil {
+						dispatched[obj] = true
+					}
+					if obj := resolve(v.Y); obj != nil {
+						dispatched[obj] = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := v.Key.(*ast.Ident); ok && key.Name == "Type" {
+					if obj := resolve(v.Value); obj != nil {
+						encoded[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Type" || i >= len(v.Rhs) {
+						continue
+					}
+					if obj := resolve(v.Rhs[i]); obj != nil {
+						encoded[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	sort.Slice(consts, func(i, j int) bool { return consts[i].pos < consts[j].pos })
+	for _, mc := range consts {
+		name := mc.obj.Name()
+		switch {
+		case mc.inbound && !dispatched[mc.obj]:
+			pass.Reportf(mc.pos,
+				"message kind %s is declared client -> server but no dispatch switch or comparison handles it", name)
+		case mc.outward && !encoded[mc.obj]:
+			pass.Reportf(mc.pos,
+				"message kind %s is declared server -> client but is never encoded as a message Type", name)
+		case !mc.inbound && !mc.outward && !dispatched[mc.obj] && !encoded[mc.obj]:
+			pass.Reportf(mc.pos,
+				"message kind %s is declared but never dispatched or encoded; wire it or delete it", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestProtoExhaustive(t *testing.T) {
+	linttest.Run(t, lint.ProtoExhaustiveAnalyzer, "protoexh")
+}
+
+// TestProtoExhaustiveRealProtocol runs the checker on the real server
+// package: every wire kind must stay fully wired.
+func TestProtoExhaustiveRealProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := lint.Load("..", "pdcquery/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.ProtoExhaustiveAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("internal/server protocol not fully wired: %v", diags)
+	}
+}

@@ -1,0 +1,62 @@
+// Package mutexguard exercises the position-after-mutex convention
+// checker.
+package mutexguard
+
+import "sync"
+
+// counter follows the convention: cap is configuration (before mu),
+// n and hot are guarded (after mu).
+type counter struct {
+	cap int
+	mu  sync.Mutex
+	n   int
+	hot map[string]int
+}
+
+func (c *counter) Cap() int { return c.cap } // before the mutex: unguarded
+
+func (c *counter) Inc() { // locks: fine
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Peek() int {
+	return c.n // want `counter\.n is guarded by "mu" .* method Peek never locks it`
+}
+
+func (c *counter) bump(k string) {
+	c.hot[k]++ // want `counter\.hot is guarded by "mu" .* method bump never locks it`
+	c.n++      // want `counter\.n is guarded by "mu" .* method bump never locks it`
+}
+
+// incLocked is exempt by naming convention: the caller holds the lock.
+func (c *counter) incLocked() { c.n++ }
+
+func (c *counter) excused() int {
+	//lint:ignore mutexguard single-writer phase before serving starts
+	return c.n
+}
+
+// rwstate uses an RWMutex; same rules.
+type rwstate struct {
+	mu   sync.RWMutex
+	rows []int
+}
+
+func (s *rwstate) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+func (s *rwstate) Raw() []int {
+	return s.rows // want `rwstate\.rows is guarded by "mu" .* method Raw never locks it`
+}
+
+// unguarded has no mutex at all: nothing to check.
+type unguarded struct {
+	a, b int
+}
+
+func (u *unguarded) Sum() int { return u.a + u.b }

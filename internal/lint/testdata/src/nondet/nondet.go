@@ -1,0 +1,37 @@
+// Package nondet exercises the nondeterminism analyzer: wall-clock and
+// global-rand calls are flagged; durations, seeded sources, and ignored
+// lines are not.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+const tick = 5 * time.Microsecond // durations are fine
+
+func clocky() time.Time {
+	time.Sleep(tick)            // want `nondeterministic call time\.Sleep`
+	_ = time.Since(time.Time{}) // want `nondeterministic call time\.Since`
+	return time.Now()           // want `nondeterministic call time\.Now`
+}
+
+func granular() time.Duration {
+	d := 3 * tick // arithmetic on durations: allowed
+	return d
+}
+
+func randy() int {
+	r := rand.New(rand.NewSource(7)) // explicitly seeded: allowed
+	_ = r.Intn(5)
+	return rand.Intn(10) // want `nondeterministic call rand\.Intn`
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `nondeterministic call rand\.Shuffle`
+}
+
+func excused() time.Time {
+	//lint:ignore nondeterminism boot banner timestamp, not on a modeled path
+	return time.Now()
+}

@@ -1,0 +1,27 @@
+// Package server (fixture) exercises the nopanic checker: its import
+// path ends in internal/server, putting it in scope.
+package server
+
+import "fmt"
+
+type frame struct {
+	kind    byte
+	payload []byte
+}
+
+func handle(f frame) ([]byte, error) {
+	if f.kind == 0 {
+		panic("bad frame") // want `panic on a request-handling path`
+	}
+	if len(f.payload) == 0 {
+		return nil, fmt.Errorf("empty payload")
+	}
+	return f.payload, nil
+}
+
+func invariant(ok bool) {
+	if !ok {
+		//lint:ignore nopanic startup-only assertion, not reachable from a request
+		panic("broken invariant")
+	}
+}

@@ -1,0 +1,33 @@
+// Package protoexh exercises the protocol-exhaustiveness checker with a
+// miniature message protocol shaped like internal/server's.
+package protoexh
+
+// Message mirrors transport.Message.
+type Message struct {
+	Type    byte
+	Payload []byte
+}
+
+// Message kinds.
+const (
+	MsgPing    byte = 1 // client -> server: liveness probe
+	MsgPong    byte = 2 // server -> client: liveness answer
+	MsgEval    byte = 3 // client -> server: run a request  // want `message kind MsgEval is declared client -> server but no dispatch switch or comparison handles it`
+	MsgResult  byte = 4 // server -> client: request answer // want `message kind MsgResult is declared server -> client but is never encoded as a message Type`
+	MsgStop    byte = 5 // client -> server: stop serving
+	MsgOrphan  byte = 6 // want `message kind MsgOrphan is declared but never dispatched or encoded`
+	MsgCounted byte = 7
+)
+
+func dispatch(m Message) Message {
+	if m.Type == MsgStop {
+		return Message{}
+	}
+	switch m.Type {
+	case MsgPing:
+		return Message{Type: MsgPong}
+	case MsgCounted:
+		return Message{Type: MsgCounted, Payload: m.Payload}
+	}
+	return Message{}
+}

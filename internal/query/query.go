@@ -50,6 +50,9 @@ func (op Op) String() string {
 	return fmt.Sprintf("Op(%d)", uint8(op))
 }
 
+// Valid reports whether op is one of the defined comparison operators.
+func (op Op) Valid() bool { return op <= OpEQ }
+
 // Kind discriminates tree nodes.
 type Kind uint8
 
@@ -173,6 +176,25 @@ func (q *Query) Validate(lookup func(object.ID) (*object.Object, bool)) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("query: no objects referenced")
 	}
+	var badOp error
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil || badOp != nil {
+			return
+		}
+		if n.Kind == KindLeaf {
+			if !n.Op.Valid() {
+				badOp = fmt.Errorf("query: bad op %d on object %d", n.Op, n.Obj)
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(q.Root)
+	if badOp != nil {
+		return badOp
+	}
 	var dims []uint64
 	for _, id := range ids {
 		o, ok := lookup(id)
@@ -215,7 +237,11 @@ func Full() Interval {
 	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1), LoIncl: true, HiIncl: true}
 }
 
-// FromLeaf converts a leaf comparison into an interval.
+// FromLeaf converts a leaf comparison into an interval. FromLeaf is
+// total: an invalid op yields the empty interval (matching nothing).
+// Invalid ops never reach evaluation from the wire — Decode and
+// Query.Validate reject them with an error first — so the empty
+// interval is only defense-in-depth for direct programmatic misuse.
 func FromLeaf(op Op, v float64) Interval {
 	switch op {
 	case OpGT:
@@ -229,7 +255,7 @@ func FromLeaf(op Op, v float64) Interval {
 	case OpEQ:
 		return Interval{Lo: v, Hi: v, LoIncl: true, HiIncl: true}
 	}
-	panic(fmt.Sprintf("query: bad op %d", op))
+	return Interval{Lo: 1, Hi: -1} // empty: Lo > Hi
 }
 
 // Empty reports whether no value can satisfy the interval.

@@ -281,6 +281,18 @@ func TestValidate(t *testing.T) {
 	if err := q.Validate(look); err == nil {
 		t.Error("out-of-bounds constraint accepted")
 	}
+	// Invalid operator (e.g. from a corrupted wire message).
+	q = &Query{Root: Leaf(1, Op(99), 0)}
+	if err := q.Validate(look); err == nil {
+		t.Error("invalid operator accepted")
+	}
+}
+
+func TestFromLeafInvalidOpIsEmpty(t *testing.T) {
+	iv := FromLeaf(Op(99), 0)
+	if iv.Contains(0) || iv.Contains(99) {
+		t.Errorf("invalid-op interval matches values: %+v", iv)
+	}
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {

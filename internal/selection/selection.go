@@ -111,12 +111,15 @@ func MergeAll(ss []*Selection) *Selection {
 }
 
 // Intersect returns the elements present in both selections (AND).
-func Intersect(a, b *Selection) *Selection {
+// Count-only selections carry no coordinates to intersect; asking for
+// their intersection is an error, not a panic, because selections on the
+// server side come from the wire.
+func Intersect(a, b *Selection) (*Selection, error) {
 	if a == nil || b == nil {
-		return nil
+		return nil, nil
 	}
 	if a.CountOnly || b.CountOnly {
-		panic("selection: cannot intersect count-only selections")
+		return nil, fmt.Errorf("selection: cannot intersect count-only selections")
 	}
 	out := make([]uint64, 0, min(len(a.Coords), len(b.Coords)))
 	i, j := 0, 0
@@ -132,7 +135,7 @@ func Intersect(a, b *Selection) *Selection {
 			j++
 		}
 	}
-	return New(out, a.Dims)
+	return New(out, a.Dims), nil
 }
 
 // FromUnsorted builds a selection from unordered, possibly duplicated
@@ -144,10 +147,11 @@ func FromUnsorted(coords []uint64, dims []uint64) *Selection {
 }
 
 // Batches splits the selection into count-preserving chunks of at most
-// batchSize hits, supporting PDCquery_get_data_batch.
-func (s *Selection) Batches(batchSize uint64) []*Selection {
+// batchSize hits, supporting PDCquery_get_data_batch. A count-only
+// selection has no coordinates to batch and is reported as an error.
+func (s *Selection) Batches(batchSize uint64) ([]*Selection, error) {
 	if s.CountOnly {
-		panic("selection: cannot batch count-only selection")
+		return nil, fmt.Errorf("selection: cannot batch count-only selection")
 	}
 	if batchSize == 0 {
 		batchSize = 1 << 20
@@ -160,7 +164,7 @@ func (s *Selection) Batches(batchSize uint64) []*Selection {
 		}
 		out = append(out, New(s.Coords[off:end], s.Dims))
 	}
-	return out
+	return out, nil
 }
 
 // Encode serializes the selection for transport.

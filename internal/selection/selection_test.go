@@ -94,27 +94,33 @@ func TestMergeAll(t *testing.T) {
 func TestIntersect(t *testing.T) {
 	a := New([]uint64{1, 3, 5, 7}, dims)
 	b := New([]uint64{3, 4, 7, 9}, dims)
-	x := Intersect(a, b)
+	x, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []uint64{3, 7}
 	if !reflect.DeepEqual(x.Coords, want) {
 		t.Errorf("Intersect = %v", x.Coords)
 	}
-	if Intersect(nil, a) != nil {
-		t.Error("Intersect with nil")
+	if nilSel, err := Intersect(nil, a); err != nil || nilSel != nil {
+		t.Errorf("Intersect with nil = %v, %v", nilSel, err)
 	}
-	empty := Intersect(New([]uint64{1}, dims), New([]uint64{2}, dims))
+	empty, err := Intersect(New([]uint64{1}, dims), New([]uint64{2}, dims))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if empty.NHits != 0 {
 		t.Errorf("disjoint intersect = %v", empty.Coords)
 	}
 }
 
-func TestIntersectCountOnlyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Intersect(count-only) did not panic")
-		}
-	}()
-	Intersect(NewCount(1, dims), New([]uint64{1}, dims))
+func TestIntersectCountOnlyErrors(t *testing.T) {
+	if _, err := Intersect(NewCount(1, dims), New([]uint64{1}, dims)); err == nil {
+		t.Error("Intersect(count-only) did not error")
+	}
+	if _, err := Intersect(New([]uint64{1}, dims), NewCount(1, dims)); err == nil {
+		t.Error("Intersect(_, count-only) did not error")
+	}
 }
 
 func TestFromUnsorted(t *testing.T) {
@@ -134,7 +140,10 @@ func TestBatches(t *testing.T) {
 		coords[i] = uint64(i)
 	}
 	s := New(coords, dims)
-	bs := s.Batches(4)
+	bs, err := s.Batches(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bs) != 3 {
 		t.Fatalf("batches = %d", len(bs))
 	}
@@ -149,18 +158,15 @@ func TestBatches(t *testing.T) {
 		t.Error("batches do not reassemble the selection")
 	}
 	// Default batch size.
-	if got := s.Batches(0); len(got) != 1 {
-		t.Errorf("default batch = %d parts", len(got))
+	if got, err := s.Batches(0); err != nil || len(got) != 1 {
+		t.Errorf("default batch = %d parts, err %v", len(got), err)
 	}
 }
 
-func TestBatchesCountOnlyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Batches on count-only did not panic")
-		}
-	}()
-	NewCount(5, dims).Batches(2)
+func TestBatchesCountOnlyErrors(t *testing.T) {
+	if _, err := NewCount(5, dims).Batches(2); err == nil {
+		t.Error("Batches on count-only did not error")
+	}
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {

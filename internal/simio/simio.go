@@ -180,7 +180,11 @@ func New(model Model) *Store {
 }
 
 // Model returns a copy of the store's cost model.
-func (s *Store) Model() Model { return s.model }
+func (s *Store) Model() Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model
+}
 
 // SetStreams updates the contention stream count (number of concurrent
 // server readers for the current experiment).

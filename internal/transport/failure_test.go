@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptConn is a net.Conn whose reads come from a fixed byte script and
+// whose writes can be made to fail after a budget of accepted bytes. It
+// lets the failure tests drive the framed transport without goroutines
+// or real sockets.
+type scriptConn struct {
+	r          *bytes.Reader
+	wrote      bytes.Buffer
+	writeQuota int // bytes accepted before writes fail; -1 means unlimited
+	writeErr   error
+	closed     bool
+}
+
+func newScriptConn(read []byte) *scriptConn {
+	return &scriptConn{r: bytes.NewReader(read), writeQuota: -1}
+}
+
+func (c *scriptConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	if c.writeQuota < 0 {
+		return c.wrote.Write(p)
+	}
+	if len(p) <= c.writeQuota {
+		c.writeQuota -= len(p)
+		return c.wrote.Write(p)
+	}
+	n := c.writeQuota
+	c.writeQuota = 0
+	c.wrote.Write(p[:n])
+	if c.writeErr == nil {
+		c.writeErr = errors.New("short write")
+	}
+	return n, c.writeErr
+}
+
+func (c *scriptConn) Close() error                     { c.closed = true; return nil }
+func (c *scriptConn) LocalAddr() net.Addr              { return nil }
+func (c *scriptConn) RemoteAddr() net.Addr             { return nil }
+func (c *scriptConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(time.Time) error { return nil }
+
+// frameBytes builds a raw frame with an arbitrary claimed payload length,
+// independent of the actual payload bytes appended.
+func frameBytes(claimed uint32, typ byte, reqID uint64, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], claimed)
+	hdr[4] = typ
+	binary.LittleEndian.PutUint64(hdr[5:13], reqID)
+	return append(hdr[:], payload...)
+}
+
+func TestRecvOversizedFrame(t *testing.T) {
+	c := NewNetConn(newScriptConn(frameBytes(maxFrame+1, 1, 7, nil)))
+	if _, err := c.Recv(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame: err = %v, want limit error", err)
+	}
+}
+
+func TestRecvTruncatedPayload(t *testing.T) {
+	// Header promises 64 payload bytes; only 10 arrive before EOF.
+	c := NewNetConn(newScriptConn(frameBytes(64, 2, 9, make([]byte, 10))))
+	if _, err := c.Recv(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated payload: err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestRecvTruncatedHeader(t *testing.T) {
+	c := NewNetConn(newScriptConn([]byte{1, 2, 3}))
+	if _, err := c.Recv(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated header: err = %v, want unexpected EOF", err)
+	}
+	c = NewNetConn(newScriptConn(nil))
+	if _, err := c.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: err = %v, want EOF", err)
+	}
+}
+
+func TestSendShortWrite(t *testing.T) {
+	// The connection accepts a handful of bytes, then fails. The payload
+	// exceeds the bufio buffer so the failure surfaces during Send's
+	// writes, not only at Flush.
+	sc := newScriptConn(nil)
+	sc.writeQuota = 5
+	c := NewNetConn(sc)
+	err := c.Send(Message{Type: 1, ReqID: 3, Payload: make([]byte, 1<<17)})
+	if err == nil || !strings.Contains(err.Error(), "short write") {
+		t.Errorf("Send on failing conn: err = %v, want short write error", err)
+	}
+	// A small message only fails at Flush; the error must still surface.
+	sc2 := newScriptConn(nil)
+	sc2.writeQuota = 0
+	c2 := NewNetConn(sc2)
+	if err := c2.Send(Message{Type: 1}); err == nil {
+		t.Error("Send with failing flush returned nil")
+	}
+}
+
+func TestSendOnClosedTCPConn(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan Conn, 1)
+	go func() {
+		sc, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- sc
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-done
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	defer srv.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(Message{Type: 1, Payload: []byte("x")}); err == nil {
+		t.Error("Send on closed connection returned nil")
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Error("Recv on closed connection returned nil")
+	}
+}

@@ -183,6 +183,12 @@ func wrapTCP(nc net.Conn) Conn {
 	return &tcpConn{c: nc, br: bufio.NewReaderSize(nc, 1<<16), bw: bufio.NewWriterSize(nc, 1<<16)}
 }
 
+// NewNetConn wraps an established net.Conn in the framed message
+// protocol used by the TCP transport. It lets callers (and failure-path
+// tests) supply their own connection — e.g. one with injected faults —
+// instead of going through Listen/Dial.
+func NewNetConn(nc net.Conn) Conn { return wrapTCP(nc) }
+
 // Listener accepts message connections over TCP.
 type Listener struct {
 	l net.Listener

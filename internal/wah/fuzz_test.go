@@ -1,0 +1,60 @@
+package wah
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWAHRoundTrip drives the builder with an arbitrary bit pattern plus
+// an arbitrary run, then checks that Encode/Decode is lossless and that
+// the compressed form agrees with a bitmap rebuilt from the extracted
+// indices. The raw input is also fed straight to Decode to exercise the
+// malformed-buffer paths.
+func FuzzWAHRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{0xff, 0x00, 0xaa}, uint64(3))
+	f.Add([]byte{0x01}, uint64(1<<20))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint64(31))
+	f.Fuzz(func(t *testing.T, raw []byte, run uint64) {
+		var bd Builder
+		for _, b := range raw {
+			for j := 0; j < 8; j++ {
+				bd.AppendBit(b&(1<<j) != 0)
+			}
+		}
+		bd.AppendRun(run%2 == 0, run%(1<<16))
+		bm := bd.Build()
+
+		enc := bm.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode()) failed: %v", err)
+		}
+		if got.NumBits() != bm.NumBits() {
+			t.Fatalf("nbits %d != %d after round trip", got.NumBits(), bm.NumBits())
+		}
+		if got.Cardinality() != bm.Cardinality() {
+			t.Fatalf("cardinality %d != %d after round trip", got.Cardinality(), bm.Cardinality())
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatal("re-encoding is not stable")
+		}
+
+		idx := bm.ToIndices()
+		if uint64(len(idx)) != bm.Cardinality() {
+			t.Fatalf("ToIndices returned %d indices, cardinality %d", len(idx), bm.Cardinality())
+		}
+		rebuilt := FromIndices(idx, bm.NumBits())
+		if rebuilt.Cardinality() != bm.Cardinality() {
+			t.Fatalf("FromIndices(ToIndices()) cardinality %d != %d", rebuilt.Cardinality(), bm.Cardinality())
+		}
+
+		// Arbitrary bytes must never crash the decoder; on success the
+		// result must re-encode to the same bytes.
+		if alt, err := Decode(raw); err == nil {
+			if !bytes.Equal(alt.Encode(), raw) {
+				t.Fatal("accepted buffer does not re-encode identically")
+			}
+		}
+	})
+}
