@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench figures verify examples clean
+.PHONY: all build lint test cover race fuzz bench figures verify examples clean
 
 all: build lint test
 
@@ -18,6 +18,11 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# Coverage over all packages; writes cover.out and prints the total.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 race:
 	$(GO) test -race ./...

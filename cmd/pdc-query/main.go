@@ -5,6 +5,15 @@
 //	pdc-query -servers 127.0.0.1:7100,127.0.0.1:7101 \
 //	          -query "Energy > 2.0 and 100 < x and x < 200" \
 //	          -data Energy -limit 10
+//
+// Subcommands:
+//
+//	pdc-query trace -servers ... -query "..."   run the query traced and
+//	                                            print the plan with
+//	                                            actuals plus the span tree
+//	pdc-query stats -servers ...                print the fleet's merged
+//	                                            telemetry registry
+//	                                            (Prometheus text format)
 package main
 
 import (
@@ -17,18 +26,25 @@ import (
 	"pdcquery/internal/dtype"
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/transport"
 )
 
 func main() {
+	mode := ""
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "trace" || args[0] == "stats") {
+		mode = args[0]
+		args = args[1:]
+	}
 	servers := flag.String("servers", "127.0.0.1:7100", "comma-separated server addresses")
 	qstr := flag.String("query", "", "query text, e.g. \"Energy > 2.0 and x < 200\"")
 	dataObj := flag.String("data", "", "also fetch the matching values of this object")
 	limit := flag.Int("limit", 10, "print at most this many matches")
 	countOnly := flag.Bool("count", false, "only report the number of hits")
 	explain := flag.Bool("explain", false, "print the evaluation plan (condition order + selectivity estimates) and exit")
-	flag.Parse()
-	if *qstr == "" {
+	flag.CommandLine.Parse(args)
+	if *qstr == "" && mode != "stats" {
 		fmt.Fprintln(os.Stderr, "pdc-query: -query is required")
 		os.Exit(2)
 	}
@@ -43,6 +59,17 @@ func main() {
 	}
 	cli := client.New(conns, nil)
 	defer cli.Close()
+
+	if mode == "stats" {
+		perServer, merged, err := cli.ServerStats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %d servers\n", len(perServer))
+		telemetry.WritePrometheus(os.Stdout, merged)
+		return
+	}
+
 	if err := cli.SyncMeta(); err != nil {
 		fatal(err)
 	}
@@ -59,6 +86,17 @@ func main() {
 		fatal(err)
 	}
 	q := &query.Query{Root: root}
+
+	if mode == "trace" {
+		a, err := cli.ExplainAnalyze(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a)
+		fmt.Println()
+		fmt.Print(a.Res.Trace().Render(true))
+		return
+	}
 
 	if *explain {
 		plan, err := cli.Explain(q)

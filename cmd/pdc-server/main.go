@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -23,6 +25,7 @@ import (
 	"pdcquery/internal/core"
 	"pdcquery/internal/exec"
 	"pdcquery/internal/server"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/transport"
 )
 
@@ -37,6 +40,8 @@ func main() {
 	regionKB := flag.Int64("region-kb", 64, "region size in KiB")
 	index := flag.Bool("index", true, "build bitmap indexes at import")
 	sorted := flag.Bool("sorted", true, "build the Energy sorted replica at import")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty disables)")
+	queryLog := flag.Bool("querylog", false, "emit a structured JSON record per handled query on stderr")
 	flag.Parse()
 
 	strat, err := exec.ParseStrategy(*strategy)
@@ -69,17 +74,37 @@ func main() {
 			log.Fatalf("pdc-server: import: %v", err)
 		}
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		ID: *id, N: *n,
 		Store:    d.Store(),
 		Meta:     d.Meta(),
 		Replicas: d.Replicas(),
 		Strategy: strat,
-	})
+		// The daemon is a real deployment: traced queries may carry
+		// wall-clock span times (they never enter deterministic encodings).
+		Clock: telemetry.Wall,
+	}
+	if *queryLog {
+		cfg.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := server.New(cfg)
 
 	l, err := transport.Listen(*addr)
 	if err != nil {
 		log.Fatalf("pdc-server: listen: %v", err)
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			telemetry.WritePrometheus(w, srv.Metrics())
+		})
+		go func() {
+			log.Printf("pdc-server rank %d: metrics on http://%s/metrics", *id, *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("pdc-server: metrics server: %v", err)
+			}
+		}()
 	}
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
 	// connections finish their current request loop.

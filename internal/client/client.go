@@ -26,6 +26,7 @@ import (
 	"pdcquery/internal/query"
 	"pdcquery/internal/selection"
 	"pdcquery/internal/server"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/transport"
 	"pdcquery/internal/vclock"
 )
@@ -186,7 +187,9 @@ func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int)
 	}()
 
 	for i, conn := range c.conns {
-		if err := conn.Send(transport.Message{Type: t, ReqID: req, Payload: perServer(i)}); err != nil {
+		// The request ID doubles as the telemetry trace ID: it is unique per
+		// client call and deterministic across runs.
+		if err := conn.Send(transport.Message{Type: t, ReqID: req, Trace: req, Payload: perServer(i)}); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -217,10 +220,37 @@ func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int)
 type QueryResult struct {
 	Sel  *selection.Selection
 	Info Info
+	// TraceID identifies the query's trace (the request ID); zero unless
+	// the query ran via RunTraced.
+	TraceID telemetry.TraceID
+	// Traces holds each server's span tree, indexed by server rank; nil
+	// unless the query ran via RunTraced.
+	Traces []*telemetry.Span
 
 	client *Client
 	reqID  uint64
 	obj    []object.ID // objects referenced by the query
+}
+
+// Trace assembles the per-server span trees under a single client-side
+// root whose cost is the modeled end-to-end elapsed time (servers run in
+// parallel, so the root cost is not the sum of its children). Returns
+// nil when the query was not traced.
+func (r *QueryResult) Trace() *telemetry.Span {
+	if r.Traces == nil {
+		return nil
+	}
+	root := telemetry.NewSpan(telemetry.SpanQuery, "client")
+	root.Trace = r.TraceID
+	root.Cost = r.Info.Elapsed
+	root.SetInt("hits", int64(r.Info.NHits))
+	root.SetInt("servers", int64(len(r.Traces)))
+	for _, t := range r.Traces {
+		if t != nil {
+			root.Adopt(t)
+		}
+	}
+	return root
 }
 
 // Run executes the query, returning the merged selection
@@ -248,6 +278,18 @@ func (c *Client) RunCountContext(ctx context.Context, q *query.Query) (*QueryRes
 	return c.run(ctx, q, 0)
 }
 
+// RunTraced is Run with per-query tracing: every server records a span
+// tree of its evaluation (conjuncts, regions, per-region decisions) and
+// returns it with the response. The result's Traces/Trace expose them.
+func (c *Client) RunTraced(q *query.Query) (*QueryResult, error) {
+	return c.run(context.Background(), q, server.FlagWantSelection|server.FlagWantTrace)
+}
+
+// RunTracedContext is RunTraced with cancellation.
+func (c *Client) RunTracedContext(ctx context.Context, q *query.Query) (*QueryResult, error) {
+	return c.run(ctx, q, server.FlagWantSelection|server.FlagWantTrace)
+}
+
 func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryResult, error) {
 	if c.meta != nil {
 		if err := q.Validate(c.meta.Get); err != nil {
@@ -260,12 +302,16 @@ func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryRes
 		return nil, err
 	}
 	res := &QueryResult{client: c, reqID: reqID, obj: q.Root.Objects()}
+	if flags&server.FlagWantTrace != 0 {
+		res.TraceID = telemetry.TraceID(reqID)
+		res.Traces = make([]*telemetry.Span, len(msgs))
+	}
 	// Broadcast cost: the request goes out to all servers concurrently.
 	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))))
 
 	var parts []*selection.Selection
 	var respBytes int
-	for _, m := range msgs {
+	for i, m := range msgs {
 		qr, err := server.DecodeQueryResponse(m.Payload)
 		if err != nil {
 			return nil, err
@@ -274,6 +320,9 @@ func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryRes
 		res.Info.Stats.Add(qr.Stats)
 		respBytes += len(m.Payload)
 		parts = append(parts, qr.Sel)
+		if res.Traces != nil {
+			res.Traces[i] = qr.Trace
+		}
 	}
 	// Responses arrive concurrently: one wire latency, serialized bytes.
 	respWire := c.wire(respBytes)
@@ -594,6 +643,28 @@ func (c *Client) EstimateNHits(q *query.Query) (lower, upper uint64, err error) 
 		lower = 0
 	}
 	return lower, upper, nil
+}
+
+// ServerStats fetches every server's telemetry registry. It returns the
+// per-server registries (indexed by rank) plus a cluster-wide view that
+// merges them all — an exact merge, since cost distributions are
+// mergeable histograms.
+func (c *Client) ServerStats() (perServer []*telemetry.Registry, merged *telemetry.Registry, err error) {
+	_, msgs, err := c.broadcast(server.MsgStats, func(int) []byte { return nil })
+	if err != nil {
+		return nil, nil, err
+	}
+	perServer = make([]*telemetry.Registry, len(msgs))
+	merged = telemetry.NewRegistry()
+	for i, m := range msgs {
+		sr, err := server.DecodeStatsResponse(m.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		perServer[i] = sr.Reg
+		merged.Merge(sr.Reg)
+	}
+	return perServer, merged, nil
 }
 
 // SyncMeta fetches a metadata snapshot from server 0 and installs it as

@@ -7,6 +7,7 @@ import (
 
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
+	"pdcquery/internal/telemetry"
 )
 
 // PlanCondition is one condition of a query plan, annotated with the
@@ -84,4 +85,80 @@ func (c *Client) Explain(q *query.Query) (*Plan, error) {
 		return nil, err
 	}
 	return plan, nil
+}
+
+// Analyzed couples a query plan with the trace of an actual traced run:
+// the planner's estimated selectivities next to what the servers really
+// observed (EXPLAIN ANALYZE semantics).
+type Analyzed struct {
+	Plan *Plan
+	Res  *QueryResult
+}
+
+// ExplainAnalyze computes the plan, then executes the query with tracing
+// and pairs the two: estimates from metadata, actuals from the servers'
+// span trees.
+func (c *Client) ExplainAnalyze(q *query.Query) (*Analyzed, error) {
+	plan, err := c.Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.RunTraced(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzed{Plan: plan, Res: res}, nil
+}
+
+// actual sums a condition's observed in/out element counts over every
+// server's span for conjunct term index ci. Conjunct indices are stable
+// across servers: they come from the same query.Normalize order.
+func (a *Analyzed) actual(ci int, id object.ID) (in, out int64) {
+	name := fmt.Sprintf("conjunct.%d", ci)
+	inKey := fmt.Sprintf("cond.%d.in", id)
+	outKey := fmt.Sprintf("cond.%d.out", id)
+	for _, t := range a.Res.Traces {
+		if t == nil {
+			continue
+		}
+		t.Walk(func(s *telemetry.Span) {
+			if s.Kind != telemetry.SpanConjunct || s.Name != name {
+				return
+			}
+			if v, ok := s.Int(inKey); ok {
+				in += v
+			}
+			if v, ok := s.Int(outKey); ok {
+				out += v
+			}
+		})
+	}
+	return in, out
+}
+
+// String renders the analyzed plan: per condition the estimated
+// selectivity bounds next to the actual (elements out / elements in, as
+// observed across all servers), then estimated vs actual hit counts and
+// the modeled cost breakdown.
+func (a *Analyzed) String() string {
+	var b strings.Builder
+	for i, term := range a.Plan.Conjuncts {
+		if i > 0 {
+			b.WriteString("OR\n")
+		}
+		for j, cond := range term {
+			fmt.Fprintf(&b, "  %d. %s in %s  (est %.4f%%..%.4f%%",
+				j+1, cond.Name, cond.Interval, 100*cond.SelLower, 100*cond.SelUpper)
+			if in, out := a.actual(i, cond.Obj); in > 0 {
+				fmt.Fprintf(&b, "; actual %.4f%% — %d of %d", 100*float64(out)/float64(in), out, in)
+			} else {
+				b.WriteString("; actual: not evaluated")
+			}
+			b.WriteString(")\n")
+		}
+	}
+	fmt.Fprintf(&b, "estimated hits: %d..%d  actual hits: %d\n",
+		a.Plan.EstLower, a.Plan.EstUpper, a.Res.Info.NHits)
+	fmt.Fprintf(&b, "cost: %v (server max %v)\n", a.Res.Info.Elapsed.Total(), a.Res.Info.ServerMax.Total())
+	return b.String()
 }

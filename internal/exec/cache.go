@@ -70,6 +70,19 @@ func (c *Cache) Put(key string, data []byte) {
 	}
 }
 
+// Contains reports whether key is cached without touching the LRU order —
+// a read-only peek so instrumentation can classify an upcoming read as a
+// cache hit before readRegion performs it.
+func (c *Cache) Contains(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Used returns the current cached byte count.
 func (c *Cache) Used() int64 {
 	c.mu.Lock()

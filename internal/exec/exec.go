@@ -37,6 +37,7 @@ import (
 	"pdcquery/internal/selection"
 	"pdcquery/internal/simio"
 	"pdcquery/internal/sortstore"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/vclock"
 	"pdcquery/internal/wah"
 )
@@ -169,26 +170,11 @@ type Engine struct {
 // readRegion returns a region's raw bytes, going through the LRU cache.
 // Cache hits are charged at memory-tier cost.
 func (e *Engine) readRegion(o *object.Object, r int) ([]byte, error) {
-	key := o.Regions[r].ExtentKey
-	if e.Cache != nil {
-		if data, ok := e.Cache.Get(key); ok {
-			if e.Acct != nil {
-				m := e.Store.Model()
-				e.Acct.ChargeCost(m.ReadCost(simio.Memory, int64(len(data))))
-				e.Acct.Count("cache.hits", 1)
-			}
-			return data, nil
-		}
-	}
-	data, err := e.Store.ReadAll(e.Acct, key)
-	if err != nil {
-		return nil, err
-	}
-	e.Cache.Put(key, data)
-	return data, nil
+	return e.readExtent(o.Regions[r].ExtentKey)
 }
 
-// readExtent is readRegion for non-region extents (sorted replicas).
+// readExtent is the cached read used for regions and sorted-replica
+// extents alike.
 func (e *Engine) readExtent(key string) ([]byte, error) {
 	if e.Cache != nil {
 		if data, ok := e.Cache.Get(key); ok {
@@ -198,6 +184,9 @@ func (e *Engine) readExtent(key string) ([]byte, error) {
 				e.Acct.Count("cache.hits", 1)
 			}
 			return data, nil
+		}
+		if e.Acct != nil {
+			e.Acct.Count("cache.misses", 1)
 		}
 	}
 	data, err := e.Store.ReadAll(e.Acct, key)
@@ -212,6 +201,47 @@ func (e *Engine) readExtent(key string) ([]byte, error) {
 // partial result. wantValues asks the engine to return matching values
 // for the queried objects when it has them in hand.
 func (e *Engine) Evaluate(q *query.Query, assign Assignment, wantValues bool) (*Result, error) {
+	return e.EvaluateTraced(q, assign, wantValues, nil)
+}
+
+// spanCost captures the account cost before a traced section; done adds
+// the delta to the span. Both are no-ops when the span is nil, so the
+// untraced path never touches the account mutex for tracing.
+func (e *Engine) spanCost(s *telemetry.Span) (before vclock.Cost, enabled bool) {
+	if s == nil || e.Acct == nil {
+		return vclock.Cost{}, false
+	}
+	return e.Acct.Cost(), true
+}
+
+func (e *Engine) spanCostDone(s *telemetry.Span, before vclock.Cost, enabled bool) {
+	if enabled {
+		s.AddCost(e.Acct.Cost().Sub(before))
+	}
+}
+
+// condIn/condOut accumulate per-condition actual selectivity on the
+// conjunct span: "cond.<object>.in" counts elements the condition was
+// evaluated against, "cond.<object>.out" counts survivors. The EXPLAIN
+// ANALYZE renderer divides them into an actual selectivity per condition.
+func condIn(cs *telemetry.Span, id object.ID, n int64) {
+	if cs != nil {
+		cs.AddInt(fmt.Sprintf("cond.%d.in", id), n)
+	}
+}
+
+func condOut(cs *telemetry.Span, id object.ID, n int64) {
+	if cs != nil {
+		cs.AddInt(fmt.Sprintf("cond.%d.out", id), n)
+	}
+}
+
+// EvaluateTraced is Evaluate with per-conjunct and per-region trace spans
+// recorded as children of span (which may be nil: all span operations are
+// nil-safe and skipped). Each region child carries the pruning decision
+// (histogram-pruned / bitmap-probed / cache-hit / full-scan / scan) and
+// the virtual cost spent on that region.
+func (e *Engine) EvaluateTraced(q *query.Query, assign Assignment, wantValues bool, span *telemetry.Span) (*Result, error) {
 	conjuncts, err := query.Normalize(q.Root)
 	if err != nil {
 		return nil, err
@@ -233,6 +263,11 @@ func (e *Engine) Evaluate(q *query.Query, assign Assignment, wantValues bool) (*
 	}
 	orig := append([]int(nil), assign.Orig...)
 	slices.Sort(orig)
+	if span != nil {
+		span.SetStr("strategy", e.Strategy.String())
+		span.SetInt("conjuncts", int64(len(conjuncts)))
+		span.SetInt("regions.assigned", int64(len(orig)))
+	}
 
 	// Full scan pre-loads every assigned region of every queried object —
 	// the paper's "load all the data of the queried object into memory".
@@ -241,6 +276,8 @@ func (e *Engine) Evaluate(q *query.Query, assign Assignment, wantValues bool) (*
 	// operation latency per object plus the full transfer, instead of
 	// one latency per region.
 	if e.Strategy == FullScan {
+		ps := span.Child(telemetry.SpanPhase, "preload")
+		before, costed := e.spanCost(ps)
 		for _, o := range objs {
 			var bytes int64
 			var tier simio.Tier
@@ -266,8 +303,11 @@ func (e *Engine) Evaluate(q *query.Query, assign Assignment, wantValues bool) (*
 				e.Acct.ChargeCost(m.ReadCost(tier, bytes))
 				e.Acct.Count("read.ops", 1)
 				e.Acct.Count("read.bytes", bytes)
+				e.Acct.Count("read.ops."+tier.String(), 1)
+				e.Acct.Count("read.bytes."+tier.String(), bytes)
 			}
 		}
+		e.spanCostDone(ps, before, costed)
 	}
 
 	res := &Result{}
@@ -276,11 +316,15 @@ func (e *Engine) Evaluate(q *query.Query, assign Assignment, wantValues bool) (*
 	// result is a single conjunct (OR merging would misalign values).
 	collect := wantValues && len(conjuncts) == 1 && e.Strategy != HistogramIndex
 	var parts []*selection.Selection
-	for _, c := range conjuncts {
-		sel, vals, err := e.evalConjunct(q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats)
+	for i, c := range conjuncts {
+		cs := span.Child(telemetry.SpanConjunct, fmt.Sprintf("conjunct.%d", i))
+		before, costed := e.spanCost(cs)
+		sel, vals, err := e.evalConjunct(q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats, cs)
 		if err != nil {
 			return nil, err
 		}
+		e.spanCostDone(cs, before, costed)
+		cs.SetInt("hits", int64(sel.NHits))
 		parts = append(parts, sel)
 		if collect {
 			res.Values = vals
@@ -369,15 +413,16 @@ func runsElems(runs []localRun) int64 {
 
 // evalConjunct evaluates one AND-term over the assigned regions.
 func (e *Engine) evalConjunct(q *query.Query, c query.Conjunct, objs map[object.ID]*object.Object,
-	anchor *object.Object, orig []int, sorted []int, collect bool, stats *Stats) (*selection.Selection, map[object.ID][]byte, error) {
+	anchor *object.Object, orig []int, sorted []int, collect bool, stats *Stats,
+	cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
 	order := e.orderConditions(c)
 	if e.Strategy == SortedHistogram {
 		if rep := e.replicaFor(order[0]); rep != nil {
-			return e.evalConjunctSorted(q, c, order, objs, anchor, rep, sorted, collect, stats)
+			return e.evalConjunctSorted(q, c, order, objs, anchor, rep, sorted, collect, stats, cs)
 		}
 	}
-	return e.evalConjunctScanProbe(q, c, order, objs, anchor, orig, collect, stats)
+	return e.evalConjunctScanProbe(q, c, order, objs, anchor, orig, collect, stats, cs)
 }
 
 func (e *Engine) replicaFor(id object.ID) *sortstore.Replica {
@@ -391,7 +436,7 @@ func (e *Engine) replicaFor(id object.ID) *sortstore.Replica {
 // PDC-HI (the latter replaces the scan with index lookups).
 func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order []object.ID,
 	objs map[object.ID]*object.Object, anchor *object.Object, orig []int,
-	collect bool, stats *Stats) (*selection.Selection, map[object.ID][]byte, error) {
+	collect bool, stats *Stats, cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
 	var coords []uint64
 	var vals map[object.ID][]float64
@@ -410,6 +455,10 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 			pruned := false
 			for id, iv := range c {
 				if prunable(objs[id], r, iv) {
+					if rs := cs.Child(telemetry.SpanRegion, fmt.Sprintf("region.%d", r)); rs != nil {
+						rs.SetStr("decision", telemetry.DecisionHistogramPruned)
+						rs.SetInt("by", int64(id))
+					}
 					pruned = true
 					break
 				}
@@ -421,19 +470,38 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 		}
 		stats.RegionsEvaluated++
 
+		// Classify how this region will be resolved before reading it:
+		// once readRegion runs, the cache state that made it a hit is gone.
+		rs := cs.Child(telemetry.SpanRegion, fmt.Sprintf("region.%d", r))
+		if rs != nil {
+			switch {
+			case e.Strategy == FullScan:
+				rs.SetStr("decision", telemetry.DecisionFullScan)
+			case e.Strategy == HistogramIndex:
+				rs.SetStr("decision", telemetry.DecisionBitmapProbed)
+			case e.Cache.Contains(objs[order[0]].Regions[r].ExtentKey):
+				rs.SetStr("decision", telemetry.DecisionCacheHit)
+			default:
+				rs.SetStr("decision", telemetry.DecisionScan)
+			}
+		}
+		before, costed := e.spanCost(rs)
+
 		var hits []uint64
 		var err error
 		if e.Strategy == HistogramIndex {
-			hits, err = e.evalRegionIndex(c, order, objs, r, runs, stats)
+			hits, err = e.evalRegionIndex(c, order, objs, r, runs, stats, cs)
 			if err != nil {
 				return nil, nil, err
 			}
 		} else {
-			hits, err = e.evalRegionScan(c, order, objs, r, runs, hitBuf[:0], stats)
+			hits, err = e.evalRegionScan(c, order, objs, r, runs, hitBuf[:0], stats, cs)
 			if err != nil {
 				return nil, nil, err
 			}
 		}
+		e.spanCostDone(rs, before, costed)
+		rs.SetInt("hits", int64(len(hits)))
 		if len(hits) == 0 {
 			continue
 		}
@@ -459,7 +527,7 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 // only already selected locations are evaluated for subsequent
 // conditions).
 func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
-	r int, runs []localRun, buf []uint64, stats *Stats) ([]uint64, error) {
+	r int, runs []localRun, buf []uint64, stats *Stats, cs *telemetry.Span) ([]uint64, error) {
 
 	first := objs[order[0]]
 	data, err := e.readRegion(first, r)
@@ -472,6 +540,8 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 	}
 	n := runsElems(runs)
 	stats.ElementsScanned += n
+	condIn(cs, order[0], n)
+	condOut(cs, order[0], int64(len(hits)))
 	if e.Acct != nil {
 		e.Acct.Charge(vclock.Compute, computeCost(n, scanNsPerElem))
 	}
@@ -485,6 +555,7 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 			return nil, err
 		}
 		stats.Probes += int64(len(hits))
+		condIn(cs, id, int64(len(hits)))
 		if e.Acct != nil {
 			e.Acct.Charge(vclock.Compute, computeCost(int64(len(hits)), probeNsPerElem))
 		}
@@ -492,6 +563,7 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 		if err != nil {
 			return nil, err
 		}
+		condOut(cs, id, int64(len(hits)))
 	}
 	return hits, nil
 }
@@ -500,7 +572,7 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 // indexes, ANDing the bitmaps; conditions on regions without an index
 // fall back to scan/probe semantics.
 func (e *Engine) evalRegionIndex(c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
-	r int, runs []localRun, stats *Stats) ([]uint64, error) {
+	r int, runs []localRun, stats *Stats, cs *telemetry.Span) ([]uint64, error) {
 
 	var acc *wah.Bitmap
 	for _, id := range order {
@@ -532,6 +604,8 @@ func (e *Engine) evalRegionIndex(c query.Conjunct, order []object.ID, objs map[o
 				return nil, err
 			}
 		}
+		condIn(cs, id, int64(rm.Region.NumElems()))
+		condOut(cs, id, int64(bm.Cardinality()))
 		if acc == nil {
 			acc = bm
 		} else {
@@ -639,7 +713,7 @@ func (e *Engine) evalIndexCondition(o *object.Object, r int, iv query.Interval, 
 // at the matching original locations.
 func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []object.ID,
 	objs map[object.ID]*object.Object, anchor *object.Object, rep *sortstore.Replica,
-	sortedAssign []int, collect bool, stats *Stats) (*selection.Selection, map[object.ID][]byte, error) {
+	sortedAssign []int, collect bool, stats *Stats, cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
 	keyID := order[0]
 	iv := c[keyID]
@@ -670,13 +744,26 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 		if !assigned[s] {
 			continue
 		}
+		ss := cs.Child(telemetry.SpanSortedRegion, fmt.Sprintf("sorted.%d", s))
+		if ss != nil {
+			if e.Cache.Contains(object.SortedValKey(keyID, s)) {
+				ss.SetStr("decision", telemetry.DecisionCacheHit)
+			} else {
+				ss.SetStr("decision", telemetry.DecisionScan)
+			}
+		}
+		ssBefore, ssCosted := e.spanCost(ss)
 		valBytes, err := e.readExtent(object.SortedValKey(keyID, s))
 		if err != nil {
 			return nil, nil, err
 		}
 		lo, hi := rep.EvaluateRegion(valBytes, iv)
+		condIn(cs, keyID, int64(rep.Regions[s].Count))
+		condOut(cs, keyID, int64(hi-lo))
 		if hi <= lo {
 			stats.SortedRegions++
+			e.spanCostDone(ss, ssBefore, ssCosted)
+			ss.SetInt("matched", 0)
 			continue
 		}
 		stats.SortedRegions++
@@ -709,6 +796,7 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 				return nil, nil, err
 			}
 			stats.Probes += int64(len(alive))
+			condIn(cs, id, int64(len(alive)))
 			if e.Acct != nil {
 				e.Acct.Charge(vclock.Compute, computeCost(int64(len(alive)), probeNsPerElem))
 			}
@@ -723,11 +811,14 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 				}
 			}
 			alive = keep
+			condOut(cs, id, int64(len(alive)))
 			if collect {
 				compVals = compVals[:len(alive)]
 			}
 		}
 		if len(alive) == 0 {
+			e.spanCostDone(ss, ssBefore, ssCosted)
+			ss.SetInt("matched", 0)
 			continue
 		}
 
@@ -768,6 +859,8 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 			}
 			hits = append(hits, h)
 		}
+		e.spanCostDone(ss, ssBefore, ssCosted)
+		ss.SetInt("matched", int64(len(alive)))
 	}
 	slices.SortFunc(hits, func(a, b hit) int {
 		switch {
@@ -802,12 +895,25 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 		}
 		group := hits[i:j]
 		surviving := local
+		var rs *telemetry.Span
+		if len(restIDs) > 0 {
+			rs = cs.Child(telemetry.SpanRegion, fmt.Sprintf("region.%d", r))
+			if rs != nil {
+				if e.Cache.Contains(objs[restIDs[0]].Regions[r].ExtentKey) {
+					rs.SetStr("decision", telemetry.DecisionCacheHit)
+				} else {
+					rs.SetStr("decision", telemetry.DecisionScan)
+				}
+			}
+		}
+		rsBefore, rsCosted := e.spanCost(rs)
 		for _, id := range restIDs {
 			if len(surviving) == 0 {
 				break
 			}
 			o := objs[id]
 			stats.Probes += int64(len(surviving))
+			condIn(cs, id, int64(len(surviving)))
 			if e.Acct != nil {
 				e.Acct.Charge(vclock.Compute, computeCost(int64(len(surviving)), probeNsPerElem))
 			}
@@ -822,6 +928,7 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 				}
 			}
 			surviving = keep
+			condOut(cs, id, int64(len(surviving)))
 		}
 		if len(surviving) > 0 {
 			stats.RegionsEvaluated++
@@ -851,6 +958,8 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 				coords = append(coords, start+lidx)
 			}
 		}
+		e.spanCostDone(rs, rsBefore, rsCosted)
+		rs.SetInt("hits", int64(len(surviving)))
 		i = j
 	}
 	sel := selection.New(coords, anchor.Dims)

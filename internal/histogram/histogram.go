@@ -180,6 +180,30 @@ func (h *Histogram) add(v float64) {
 	}
 }
 
+// Observe adds one value incrementally, for histograms that accumulate a
+// stream (telemetry distributions) rather than binning a known buffer.
+// The first observation seeds a singleton grid via Build; later values
+// near the grid reuse add's aligned extension, and values too far away
+// for extension merge in as a singleton histogram, which coarsens the
+// width instead of clamping — keeping stream histograms exact and
+// mergeable no matter how wide the value range grows. NaNs are ignored,
+// matching Build.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if h.Total == 0 {
+		*h = *Build([]float64{v}, 1)
+		return
+	}
+	fj := math.Floor((v - h.Start) / h.Width)
+	if fj >= -maxGrow && fj < float64(len(h.Counts))+maxGrow {
+		h.add(v)
+		return
+	}
+	h.Merge(Build([]float64{v}, 1))
+}
+
 // NumBins returns the number of bins.
 func (h *Histogram) NumBins() int { return len(h.Counts) }
 

@@ -16,7 +16,8 @@ import (
 //
 // Allowed: time.Duration arithmetic and constants, explicitly seeded
 // generators (rand.New(rand.NewSource(seed))), anything in _test.go
-// files, and the blessed wrappers internal/vclock and internal/simio.
+// files, and the blessed wrappers internal/vclock, internal/simio, and
+// internal/telemetry.
 var NondeterminismAnalyzer = &Analyzer{
 	Name: "nondeterminism",
 	Doc:  "forbid wall-clock time and global math/rand in production code; use internal/vclock / seeded sources",
@@ -28,6 +29,10 @@ var NondeterminismAnalyzer = &Analyzer{
 var nondetExemptSuffixes = []string{
 	"internal/vclock",
 	"internal/simio",
+	// telemetry owns the wall-clock seam: its Wall clock is the single
+	// sanctioned time.Now, opt-in per deployment and excluded from every
+	// deterministic encoding (spans zero WallNanos on the wire).
+	"internal/telemetry",
 }
 
 // forbiddenTimeFuncs are the package-level time functions that read or

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"testing"
 
 	"pdcquery/internal/exec"
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
 	"pdcquery/internal/selection"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/vclock"
 )
 
@@ -22,6 +24,10 @@ func FuzzDecodeQueryResponse(f *testing.F) {
 	}
 	f.Add(resp.Encode())
 	f.Add((&QueryResponse{Sel: selection.NewCount(9, []uint64{5})}).Encode())
+	span := telemetry.NewSpan(telemetry.SpanQuery, "server.0")
+	span.Trace = 7
+	span.Child(telemetry.SpanRegion, "region.0").SetStr("decision", telemetry.DecisionScan)
+	f.Add((&QueryResponse{Sel: selection.NewCount(1, []uint64{5}), Trace: span}).Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeQueryResponse(data)
@@ -54,6 +60,35 @@ func FuzzDecodeDataRequest(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if r2.Obj != r.Obj || r2.QueryReq != r.QueryReq || len(r2.Coords) != len(r.Coords) {
+			t.Fatal("round trip drifted")
+		}
+	})
+}
+
+// FuzzDecodeStatsResponse hardens the telemetry registry decoder against
+// hostile payloads.
+func FuzzDecodeStatsResponse(f *testing.F) {
+	reg := telemetry.NewRegistry()
+	reg.Add("msg.query", 3)
+	reg.SetGauge("sessions.live", 1)
+	reg.Observe("query.cost_ns", 12345)
+	reg.Observe("query.cost_ns", 999999)
+	f.Add((&StatsResponse{Cost: vclock.CostOf(vclock.Compute, 500), Reg: reg}).Encode())
+	f.Add((&StatsResponse{Reg: telemetry.NewRegistry()}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeStatsResponse(data)
+		if err != nil {
+			return
+		}
+		// A decoded response re-encodes byte-identically (the encoding is
+		// canonical: sorted names).
+		enc := r.Encode()
+		r2, err := DecodeStatsResponse(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(r2.Encode(), enc) {
 			t.Fatal("round trip drifted")
 		}
 	})

@@ -14,6 +14,7 @@ import (
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
 	"pdcquery/internal/selection"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/vclock"
 )
 
@@ -31,12 +32,53 @@ const (
 	MsgMetaResult   byte = 10 // server -> client: gob snapshot
 	MsgError        byte = 11 // server -> client: error string
 	MsgShutdown     byte = 12 // client -> server: stop serving this connection
+	MsgStats        byte = 13 // client -> server: telemetry registry snapshot request
+	MsgStatsResult  byte = 14 // server -> client: encoded telemetry registry
 )
+
+// MsgName returns a short stable name for a message type, used as the
+// per-type counter suffix in the telemetry registry ("msg.query", ...).
+func MsgName(t byte) string {
+	switch t {
+	case MsgQuery:
+		return "query"
+	case MsgQueryResult:
+		return "query_result"
+	case MsgGetData:
+		return "get_data"
+	case MsgDataResult:
+		return "data_result"
+	case MsgHistogram:
+		return "histogram"
+	case MsgHistResult:
+		return "hist_result"
+	case MsgTagQuery:
+		return "tag_query"
+	case MsgTagResult:
+		return "tag_result"
+	case MsgMetaSnapshot:
+		return "meta_snapshot"
+	case MsgMetaResult:
+		return "meta_result"
+	case MsgError:
+		return "error"
+	case MsgShutdown:
+		return "shutdown"
+	case MsgStats:
+		return "stats"
+	case MsgStatsResult:
+		return "stats_result"
+	}
+	return fmt.Sprintf("unknown_%d", t)
+}
 
 // Query request flags.
 const (
 	FlagWantSelection byte = 1 << 0
 	FlagWantValues    byte = 1 << 1
+	// FlagWantTrace asks the server to record and return a per-query trace
+	// span tree in the response.
+	FlagWantTrace byte = 1 << 2
 )
 
 // encodeCost packs a cost breakdown as four u64 nanosecond counts.
@@ -112,6 +154,9 @@ type QueryResponse struct {
 	Stats  exec.Stats
 	Sel    *selection.Selection
 	Values map[object.ID][]byte
+	// Trace is the server-side span tree, present only when the request
+	// carried FlagWantTrace. Its root cost equals Cost.
+	Trace *telemetry.Span
 }
 
 // Encode serializes the response.
@@ -127,6 +172,16 @@ func (r *QueryResponse) Encode() []byte {
 		out = binary.LittleEndian.AppendUint64(out, uint64(id))
 		out = binary.LittleEndian.AppendUint64(out, uint64(len(r.Values[id])))
 		out = append(out, r.Values[id]...)
+	}
+	if r.Trace == nil {
+		out = append(out, 0)
+	} else {
+		// The protocol encoding is the deterministic one: wall-clock span
+		// fields never cross the wire.
+		tb := r.Trace.Encode(false)
+		out = append(out, 1)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(tb)))
+		out = append(out, tb...)
 	}
 	return out
 }
@@ -185,6 +240,29 @@ func DecodeQueryResponse(b []byte) (*QueryResponse, error) {
 		}
 		r.Values[id] = b[:n]
 		b = b[n:]
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("protocol: truncated trace marker")
+	}
+	hasTrace := b[0]
+	b = b[1:]
+	if hasTrace == 1 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("protocol: truncated trace length")
+		}
+		tn := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint64(len(b)) < uint64(tn) {
+			return nil, fmt.Errorf("protocol: truncated trace")
+		}
+		var err error
+		r.Trace, err = telemetry.DecodeSpan(b[:tn])
+		if err != nil {
+			return nil, err
+		}
+		b = b[tn:]
+	} else if hasTrace != 0 {
+		return nil, fmt.Errorf("protocol: bad trace marker %d", hasTrace)
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("protocol: %d trailing bytes in query response", len(b))
@@ -366,6 +444,34 @@ func DecodeTagResult(b []byte) (vclock.Cost, []object.ID, error) {
 		ids[i] = object.ID(binary.LittleEndian.Uint64(b[8*i:]))
 	}
 	return cost, ids, nil
+}
+
+// StatsResponse answers a MsgStats request: the server's cumulative
+// telemetry registry plus the incremental cost of serving the request
+// itself.
+type StatsResponse struct {
+	Cost vclock.Cost
+	Reg  *telemetry.Registry
+}
+
+// Encode serializes the response (deterministically — the registry
+// encoding sorts metric names).
+func (r *StatsResponse) Encode() []byte {
+	out := encodeCost(nil, r.Cost)
+	return append(out, r.Reg.Encode()...)
+}
+
+// DecodeStatsResponse parses a MsgStatsResult payload.
+func DecodeStatsResponse(b []byte) (*StatsResponse, error) {
+	cost, b, err := decodeCost(b)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := telemetry.DecodeRegistry(b)
+	if err != nil {
+		return nil, err
+	}
+	return &StatsResponse{Cost: cost, Reg: reg}, nil
 }
 
 // EncodeHistResult wraps an optional histogram.

@@ -3,6 +3,7 @@ package server
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
 	"pdcquery/internal/selection"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/vclock"
 )
 
@@ -74,6 +76,105 @@ func TestQueryResponseCountOnly(t *testing.T) {
 	}
 	if !got.Sel.CountOnly || got.Sel.NHits != 42 || got.Values != nil {
 		t.Errorf("count-only round trip = %+v", got)
+	}
+}
+
+func TestQueryResponseTraceRoundTrip(t *testing.T) {
+	span := telemetry.NewSpan(telemetry.SpanQuery, "server.0")
+	span.Trace = 42
+	span.Cost = sampleCost()
+	span.SetInt("hits", 7)
+	rs := span.Child(telemetry.SpanRegion, "region.3")
+	rs.SetStr("decision", telemetry.DecisionHistogramPruned)
+	resp := &QueryResponse{
+		Cost:  sampleCost(),
+		Sel:   selection.NewCount(7, []uint64{100}),
+		Trace: span,
+	}
+	got, err := DecodeQueryResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("trace lost in round trip")
+	}
+	if got.Trace.Trace != 42 || got.Trace.Cost != span.Cost {
+		t.Errorf("trace root = %+v", got.Trace)
+	}
+	if !reflect.DeepEqual(got.Trace.Encode(false), span.Encode(false)) {
+		t.Error("trace encoding drifted")
+	}
+	// A corrupted trace marker is rejected.
+	enc := resp.Encode()
+	markerAt := -1
+	// The marker byte follows the values section; for this response (no
+	// values) it is the first byte after the selection.
+	base := (&QueryResponse{Cost: resp.Cost, Sel: resp.Sel}).Encode()
+	markerAt = len(base) - 1
+	bad := append([]byte(nil), enc...)
+	bad[markerAt] = 2
+	if _, err := DecodeQueryResponse(bad); err == nil {
+		t.Error("bad trace marker accepted")
+	}
+	// A truncated trace payload is rejected.
+	if _, err := DecodeQueryResponse(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestStatsResponseRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Add("msg.query", 5)
+	reg.Add("errors", 1)
+	reg.SetGauge("sessions.live", 2)
+	for i := 0; i < 10; i++ {
+		reg.Observe("query.cost_ns", float64(1000*(i+1)))
+	}
+	resp := &StatsResponse{Cost: sampleCost(), Reg: reg}
+	got, err := DecodeStatsResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != resp.Cost {
+		t.Errorf("cost = %v", got.Cost)
+	}
+	if got.Reg.Counter("msg.query") != 5 || got.Reg.Counter("errors") != 1 {
+		t.Errorf("counters drifted")
+	}
+	if got.Reg.Gauge("sessions.live") != 2 {
+		t.Errorf("gauge drifted")
+	}
+	d := got.Reg.Dist("query.cost_ns")
+	if d == nil || d.Count() != 10 {
+		t.Fatalf("distribution = %+v", d)
+	}
+	if !reflect.DeepEqual(got.Reg.Encode(), reg.Encode()) {
+		t.Error("registry encoding drifted")
+	}
+	if _, err := DecodeStatsResponse(nil); err == nil {
+		t.Error("nil payload accepted")
+	}
+	enc := resp.Encode()
+	if _, err := DecodeStatsResponse(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestMsgName(t *testing.T) {
+	// Names are unique and stable across all defined message types.
+	seen := map[string]byte{}
+	for tpe := MsgQuery; tpe <= MsgStatsResult; tpe++ {
+		name := MsgName(tpe)
+		if name == "" || strings.HasPrefix(name, "unknown_") {
+			t.Errorf("MsgName(%d) = %q", tpe, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("MsgName(%d) collides with %d: %q", tpe, prev, name)
+		}
+		seen[name] = tpe
+	}
+	if MsgName(200) != "unknown_200" {
+		t.Errorf("unknown type = %q", MsgName(200))
 	}
 }
 

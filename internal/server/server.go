@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 
 	"pdcquery/internal/exec"
@@ -24,6 +25,7 @@ import (
 	"pdcquery/internal/selection"
 	"pdcquery/internal/simio"
 	"pdcquery/internal/sortstore"
+	"pdcquery/internal/telemetry"
 	"pdcquery/internal/transport"
 	"pdcquery/internal/vclock"
 )
@@ -45,6 +47,12 @@ type Config struct {
 	// CacheBytes bounds the in-memory region cache (the paper limits each
 	// server to 64 GB).
 	CacheBytes int64
+	// Log, when set, receives a structured record per handled query
+	// (cmd/pdc-server wires it; simulated deployments leave it nil).
+	Log *slog.Logger
+	// Clock supplies opt-in wall-clock readings for trace spans. Nil means
+	// telemetry.NoClock: traces stay byte-identical across runs.
+	Clock telemetry.Clock
 }
 
 // Server is one PDC query server. It may serve several client
@@ -54,6 +62,17 @@ type Server struct {
 	cfg    Config
 	acct   *vclock.Account
 	engine *exec.Engine
+
+	// telem holds server-global counters (per-message-type counts,
+	// errors). Per-connection activity lands in each session's registry;
+	// Metrics merges everything into the server-wide view.
+	telem *telemetry.Registry
+
+	smu      sync.Mutex
+	sessions map[*session]struct{}
+	// retired accumulates the registries of disconnected sessions so their
+	// history survives in Metrics.
+	retired *telemetry.Registry
 }
 
 // stashEntry keeps one query's partial result for subsequent get-data
@@ -72,8 +91,11 @@ func New(cfg Config) *Server {
 		cfg.CacheBytes = 1 << 30
 	}
 	s := &Server{
-		cfg:  cfg,
-		acct: vclock.NewAccount(),
+		cfg:      cfg,
+		acct:     vclock.NewAccount(),
+		telem:    telemetry.NewRegistry(),
+		sessions: make(map[*session]struct{}),
+		retired:  telemetry.NewRegistry(),
 	}
 	s.engine = &exec.Engine{
 		Store: cfg.Store,
@@ -99,6 +121,37 @@ func New(cfg Config) *Server {
 // Account exposes the server's virtual-time account (used by deployments
 // to compose parallel costs).
 func (s *Server) Account() *vclock.Account { return s.acct }
+
+// clock returns the configured wall clock, defaulting to the
+// deterministic NoClock.
+func (s *Server) clock() telemetry.Clock {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock
+	}
+	return telemetry.NoClock
+}
+
+// Metrics returns a snapshot of the server's telemetry: server-global
+// counters, every live and retired session's registry merged in (so the
+// query-cost distribution is the exact histogram merge of per-connection
+// accounts), the storage account's counters under an "io." prefix, and
+// cache gauges.
+func (s *Server) Metrics() *telemetry.Registry {
+	out := s.telem.Clone()
+	s.smu.Lock()
+	out.Merge(s.retired)
+	live := 0
+	for ss := range s.sessions {
+		out.Merge(ss.reg)
+		live++
+	}
+	s.smu.Unlock()
+	out.AddCounters("io.", s.acct.CounterSnapshot())
+	out.SetGauge("sessions.live", float64(live))
+	out.SetGauge("cache.bytes", float64(s.engine.Cache.Used()))
+	out.SetGauge("cache.entries", float64(s.engine.Cache.Len()))
+	return out
+}
 
 // Cache exposes the region cache (inspected by experiments).
 func (s *Server) Cache() *exec.Cache { return s.engine.Cache }
@@ -134,25 +187,38 @@ func (s *Server) assignment(anchor *object.Object, rep *sortstore.Replica) exec.
 	return a
 }
 
+// maxStash bounds the per-connection stash of recent query results.
+const maxStash = 16
+
 // session is one client connection's state: the stash of recent query
 // results served to its later get-data requests (the server-side caching
-// behind §VI-A's get-data numbers).
+// behind §VI-A's get-data numbers), plus the connection's telemetry
+// registry.
 type session struct {
 	mu    sync.Mutex
 	stash map[uint64]*stashEntry
+	// order lists stashed request IDs oldest-first, so eviction is
+	// deterministic (the map-iteration eviction this replaces dropped an
+	// arbitrary entry).
+	order []uint64
+	reg   *telemetry.Registry
+}
+
+func newSession() *session {
+	return &session{stash: make(map[uint64]*stashEntry), reg: telemetry.NewRegistry()}
 }
 
 func (ss *session) put(req uint64, e *stashEntry) {
 	ss.mu.Lock()
+	if _, ok := ss.stash[req]; !ok {
+		ss.order = append(ss.order, req)
+	}
 	ss.stash[req] = e
-	// Bound the stash: keep only the most recent handful of queries.
-	if len(ss.stash) > 16 {
-		for k := range ss.stash {
-			if k != req {
-				delete(ss.stash, k)
-				break
-			}
-		}
+	// Bound the stash: evict the oldest entries first.
+	for len(ss.stash) > maxStash {
+		oldest := ss.order[0]
+		ss.order = ss.order[1:]
+		delete(ss.stash, oldest)
 	}
 	ss.mu.Unlock()
 }
@@ -167,7 +233,18 @@ func (ss *session) get(req uint64) *stashEntry {
 // shutdown. It is the paper's server event loop; call it once per
 // accepted connection.
 func (s *Server) Serve(conn transport.Conn) error {
-	ss := &session{stash: make(map[uint64]*stashEntry)}
+	ss := newSession()
+	s.smu.Lock()
+	s.sessions[ss] = struct{}{}
+	s.smu.Unlock()
+	defer func() {
+		// Fold the disconnected session's registry into the retired pool so
+		// Metrics keeps counting it.
+		s.smu.Lock()
+		delete(s.sessions, ss)
+		s.retired.Merge(ss.reg)
+		s.smu.Unlock()
+	}()
 	for {
 		m, err := conn.Recv()
 		if err == io.EOF {
@@ -177,21 +254,27 @@ func (s *Server) Serve(conn transport.Conn) error {
 			return err
 		}
 		if m.Type == MsgShutdown {
+			s.telem.Add("msg."+MsgName(m.Type), 1)
 			return nil
 		}
 		reply := s.handle(ss, m)
 		reply.ReqID = m.ReqID
+		reply.Trace = m.Trace
 		if err := conn.Send(reply); err != nil {
 			return err
 		}
 	}
 }
 
-func errMsg(err error) transport.Message {
-	return transport.Message{Type: MsgError, Payload: []byte(err.Error())}
+// errMsg builds a MsgError reply. Every server-side error is prefixed
+// with the server ID so multi-server error reports are attributable.
+func (s *Server) errMsg(err error) transport.Message {
+	s.telem.Add("errors", 1)
+	return transport.Message{Type: MsgError, Payload: []byte(fmt.Sprintf("server %d: %v", s.cfg.ID, err))}
 }
 
 func (s *Server) handle(ss *session, m transport.Message) transport.Message {
+	s.telem.Add("msg."+MsgName(m.Type), 1)
 	switch m.Type {
 	case MsgQuery:
 		return s.handleQuery(ss, m)
@@ -201,27 +284,39 @@ func (s *Server) handle(ss *session, m transport.Message) transport.Message {
 		return s.handleHistogram(m)
 	case MsgTagQuery:
 		return s.handleTagQuery(m)
+	case MsgStats:
+		return s.handleStats(m)
 	case MsgMetaSnapshot:
 		snap, err := s.cfg.Meta.Snapshot()
 		if err != nil {
-			return errMsg(err)
+			return s.errMsg(err)
 		}
 		return transport.Message{Type: MsgMetaResult, Payload: snap}
 	}
-	return errMsg(fmt.Errorf("server: unknown message type %d", m.Type))
+	return s.errMsg(fmt.Errorf("unknown message type %d", m.Type))
+}
+
+// handleStats answers a MsgStats request with the merged telemetry
+// registry. Serving stats is metadata work; its cost is the incremental
+// account charge (zero under the current model).
+func (s *Server) handleStats(m transport.Message) transport.Message {
+	before := s.acct.Cost()
+	reg := s.Metrics()
+	resp := &StatsResponse{Cost: s.acct.Cost().Sub(before), Reg: reg}
+	return transport.Message{Type: MsgStatsResult, Payload: resp.Encode()}
 }
 
 func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message {
 	flags, qbytes, err := DecodeQueryRequest(m.Payload)
 	if err != nil {
-		return errMsg(err)
+		return s.errMsg(err)
 	}
 	q, err := query.Decode(qbytes)
 	if err != nil {
-		return errMsg(err)
+		return s.errMsg(err)
 	}
 	if err := q.Validate(s.cfg.Meta.Get); err != nil {
-		return errMsg(err)
+		return s.errMsg(err)
 	}
 	ids := q.Root.Objects()
 	anchor, _ := s.cfg.Meta.Get(ids[0])
@@ -234,22 +329,56 @@ func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message
 	}
 	assign := s.assignment(anchor, rep)
 
+	var span *telemetry.Span
+	var wallStart int64
+	if flags&FlagWantTrace != 0 {
+		span = telemetry.NewSpan(telemetry.SpanQuery, fmt.Sprintf("server.%d", s.cfg.ID))
+		span.Trace = telemetry.TraceID(m.Trace)
+		wallStart = s.clock().Now()
+	}
+
 	// Always let the engine capture values it has in hand: that is the
 	// paper's server-side result caching, which the stash serves to later
 	// get-data requests. The response only carries the values when the
 	// client explicitly asked for them inline.
 	before := s.acct.Cost()
 	beforeBytes := s.acct.Counter("read.bytes")
-	res, err := s.engine.Evaluate(q, assign, true)
+	res, err := s.engine.EvaluateTraced(q, assign, true, span)
 	if err != nil {
-		return errMsg(err)
+		return s.errMsg(err)
 	}
 	cost := s.acct.Cost().Sub(before)
 	res.Stats.StorageBytes = s.acct.Counter("read.bytes") - beforeBytes
 
 	ss.put(m.ReqID, &stashEntry{coords: res.Sel.Coords, values: res.Values})
+	ss.reg.Add("query.count", 1)
+	ss.reg.Observe("query.cost_ns", float64(cost.Total()))
+
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("query",
+			"server", s.cfg.ID,
+			"req", m.ReqID,
+			"trace", m.Trace,
+			"strategy", s.cfg.Strategy.String(),
+			"hits", res.Sel.NHits,
+			"cost", cost.Total().String(),
+			"regions_evaluated", res.Stats.RegionsEvaluated,
+			"regions_pruned", res.Stats.RegionsPruned,
+			"storage_bytes", res.Stats.StorageBytes,
+		)
+	}
 
 	resp := &QueryResponse{Cost: cost, Stats: res.Stats, Sel: res.Sel}
+	if span != nil {
+		// The root span's cost is exactly the response's incremental cost;
+		// child spans break it down.
+		span.Cost = cost
+		if wall := s.clock().Now(); wall != 0 || wallStart != 0 {
+			span.WallNanos = wall - wallStart
+		}
+		span.SetInt("hits", int64(res.Sel.NHits))
+		resp.Trace = span
+	}
 	if flags&FlagWantSelection == 0 {
 		resp.Sel = selection.NewCount(res.Sel.NHits, res.Sel.Dims)
 	}
@@ -262,7 +391,7 @@ func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message
 func (s *Server) handleGetData(ss *session, m transport.Message) transport.Message {
 	req, err := DecodeDataRequest(m.Payload)
 	if err != nil {
-		return errMsg(err)
+		return s.errMsg(err)
 	}
 	before := s.acct.Cost()
 	var coords []uint64
@@ -270,7 +399,7 @@ func (s *Server) handleGetData(ss *session, m transport.Message) transport.Messa
 	if req.Coords == nil && req.QueryReq != 0 {
 		entry := ss.get(req.QueryReq)
 		if entry == nil {
-			return errMsg(fmt.Errorf("server %d: no stashed result for request %d", s.cfg.ID, req.QueryReq))
+			return s.errMsg(fmt.Errorf("no stashed result for request %d", req.QueryReq))
 		}
 		coords = entry.coords
 		if v, ok := entry.values[req.Obj]; ok {
@@ -281,14 +410,14 @@ func (s *Server) handleGetData(ss *session, m transport.Message) transport.Messa
 		} else {
 			data, err = s.engine.ExtractValues(req.Obj, coords)
 			if err != nil {
-				return errMsg(err)
+				return s.errMsg(err)
 			}
 		}
 	} else {
 		coords = req.Coords
 		data, err = s.engine.ExtractValues(req.Obj, coords)
 		if err != nil {
-			return errMsg(err)
+			return s.errMsg(err)
 		}
 	}
 	cost := s.acct.Cost().Sub(before)
@@ -298,12 +427,12 @@ func (s *Server) handleGetData(ss *session, m transport.Message) transport.Messa
 
 func (s *Server) handleHistogram(m transport.Message) transport.Message {
 	if len(m.Payload) != 8 {
-		return errMsg(fmt.Errorf("server: bad histogram request"))
+		return s.errMsg(fmt.Errorf("bad histogram request"))
 	}
 	id := object.ID(binary.LittleEndian.Uint64(m.Payload))
 	o, ok := s.cfg.Meta.Get(id)
 	if !ok {
-		return errMsg(fmt.Errorf("server: object %d not found", id))
+		return s.errMsg(fmt.Errorf("object %d not found", id))
 	}
 	return transport.Message{Type: MsgHistResult, Payload: EncodeHistResult(o.Global)}
 }
@@ -311,7 +440,7 @@ func (s *Server) handleHistogram(m transport.Message) transport.Message {
 func (s *Server) handleTagQuery(m transport.Message) transport.Message {
 	conds, err := DecodeTagQuery(m.Payload)
 	if err != nil {
-		return errMsg(err)
+		return s.errMsg(err)
 	}
 	before := s.acct.Cost()
 	all := s.cfg.Meta.TagQuery(s.acct, conds)

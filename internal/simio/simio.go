@@ -212,8 +212,7 @@ func (s *Store) Write(a *vclock.Account, key string, tier Tier, data []byte) {
 	s.mu.Unlock()
 	if a != nil {
 		a.ChargeCost(model.WriteCost(tier, int64(len(data))))
-		a.Count("write.ops", 1)
-		a.Count("write.bytes", int64(len(data)))
+		countRW(a, "write", tier, 1, int64(len(data)))
 	}
 }
 
@@ -227,9 +226,18 @@ func (s *Store) WriteOwned(a *vclock.Account, key string, tier Tier, data []byte
 	s.mu.Unlock()
 	if a != nil {
 		a.ChargeCost(model.WriteCost(tier, int64(len(data))))
-		a.Count("write.ops", 1)
-		a.Count("write.bytes", int64(len(data)))
+		countRW(a, "write", tier, 1, int64(len(data)))
 	}
+}
+
+// countRW records an access on both the aggregate counters ("read.ops",
+// "read.bytes") and the per-tier ones ("read.ops.pfs", ...), so telemetry
+// can break read traffic down by storage tier.
+func countRW(a *vclock.Account, op string, t Tier, ops, bytes int64) {
+	a.Count(op+".ops", ops)
+	a.Count(op+".bytes", bytes)
+	a.Count(op+".ops."+t.String(), ops)
+	a.Count(op+".bytes."+t.String(), bytes)
 }
 
 // Read returns the bytes [off, off+n) of extent key, charging the modeled
@@ -248,8 +256,7 @@ func (s *Store) Read(a *vclock.Account, key string, off, n int64) ([]byte, error
 	}
 	if a != nil {
 		a.ChargeCost(model.ReadCost(e.tier, n))
-		a.Count("read.ops", 1)
-		a.Count("read.bytes", n)
+		countRW(a, "read", e.tier, 1, n)
 	}
 	return e.data[off : off+n], nil
 }
@@ -314,8 +321,7 @@ func (s *Store) ReadRanges(a *vclock.Account, key string, ranges []Range) ([][]b
 		d += time.Duration(float64(bytes) / bw * 1e9)
 	}
 	a.ChargeCost(vclock.CostOf(vclock.Storage, d))
-	a.Count("read.ops", ops)
-	a.Count("read.bytes", bytes)
+	countRW(a, "read", e.tier, ops, bytes)
 	return out, nil
 }
 

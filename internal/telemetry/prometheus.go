@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// maxPromBuckets caps how many cumulative buckets a distribution renders
+// as; the underlying histogram may be finer and is coalesced
+// deterministically (Distribution.Buckets).
+const maxPromBuckets = 32
+
+// promName sanitizes a registry name into a Prometheus metric name:
+// '.' and '-' become '_', anything else outside [a-zA-Z0-9_:] becomes '_',
+// and a leading digit is prefixed. Names are pre-sorted by the registry,
+// and sanitization is order-preserving enough in practice (registry names
+// are dotted lowercase), so output stays deterministic.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, then distributions as
+// cumulative histograms with le buckets plus _sum and _count series.
+// Output is deterministic: names are sorted and bucket coalescing uses a
+// fixed stride.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, name := range r.CounterNames() {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, r.Counter(name)); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.GaugeNames() {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", n, n, r.Gauge(name)); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.DistNames() {
+		d := r.Dist(name)
+		if d == nil {
+			continue
+		}
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		for _, b := range d.Buckets(maxPromBuckets) {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", n, b.UpperBound, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
+			n, d.Count(), n, d.Sum, n, d.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDistributionObserveAndMerge(t *testing.T) {
+	a, b, all := NewDistribution(), NewDistribution(), NewDistribution()
+	for _, v := range []float64{1, 2, 3, 100} {
+		a.Observe(v)
+		all.Observe(v)
+	}
+	for _, v := range []float64{4, 5, 1e6} {
+		b.Observe(v)
+		all.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 7 || a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want 7", a.Count())
+	}
+	if a.Sum != 1e6+115 {
+		t.Errorf("merged sum = %v, want %v", a.Sum, 1e6+115.0)
+	}
+	if err := a.Hist.CheckInvariants(); err != nil {
+		t.Errorf("merged histogram invariants: %v", err)
+	}
+	// Merging per-source distributions must equal observing everything on
+	// one distribution (the mergeability claim).
+	if a.Hist.Min != all.Hist.Min || a.Hist.Max != all.Hist.Max || a.Hist.Total != all.Hist.Total {
+		t.Errorf("merge mismatch: merged min/max/total %v/%v/%d, single %v/%v/%d",
+			a.Hist.Min, a.Hist.Max, a.Hist.Total, all.Hist.Min, all.Hist.Max, all.Hist.Total)
+	}
+}
+
+func TestDistributionBuckets(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 100; i++ {
+		d.Observe(float64(i))
+	}
+	bs := d.Buckets(4)
+	if len(bs) == 0 || len(bs) > 4 {
+		t.Fatalf("Buckets(4) returned %d buckets", len(bs))
+	}
+	if last := bs[len(bs)-1]; last.Count != 100 {
+		t.Errorf("last bucket cumulative count = %d, want 100", last.Count)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Count < bs[i-1].Count || bs[i].UpperBound <= bs[i-1].UpperBound {
+			t.Errorf("buckets not cumulative/increasing at %d: %+v", i, bs)
+		}
+	}
+	if NewDistribution().Buckets(4) != nil {
+		t.Error("empty distribution should render no buckets")
+	}
+}
+
+func TestRegistryMergeEqualsCombined(t *testing.T) {
+	// Two "servers" and the same activity applied to one combined
+	// registry: merging the pair must equal the combined one exactly.
+	s1, s2, combined := NewRegistry(), NewRegistry(), NewRegistry()
+	feed := func(r *Registry, queries int64, costs ...float64) {
+		r.Add("query.count", queries)
+		r.AddCounters("io.", map[string]int64{"read.ops": queries * 2})
+		r.SetGauge("regions", 8)
+		for _, c := range costs {
+			r.Observe("query.cost_ns", c)
+		}
+	}
+	feed(s1, 3, 10, 20, 30)
+	feed(s2, 5, 15, 25, 1000, 2000, 4000)
+	feed(combined, 8, 10, 20, 30, 15, 25, 1000, 2000, 4000)
+
+	m := NewRegistry()
+	m.Merge(s1)
+	m.Merge(s2)
+	if got, want := m.Counter("query.count"), combined.Counter("query.count"); got != want {
+		t.Errorf("merged counter = %d, want %d", got, want)
+	}
+	if got, want := m.Counter("io.read.ops"), combined.Counter("io.read.ops"); got != want {
+		t.Errorf("merged prefixed counter = %d, want %d", got, want)
+	}
+	if got, want := m.Gauge("regions"), 16.0; got != want {
+		t.Errorf("merged gauge = %v, want %v", got, want)
+	}
+	md, cd := m.Dist("query.cost_ns"), combined.Dist("query.cost_ns")
+	if md.Count() != cd.Count() || md.Sum != cd.Sum {
+		t.Errorf("merged dist count/sum = %d/%v, combined %d/%v", md.Count(), md.Sum, cd.Count(), cd.Sum)
+	}
+	if md.Hist.Min != cd.Hist.Min || md.Hist.Max != cd.Hist.Max {
+		t.Errorf("merged dist min/max = %v/%v, combined %v/%v", md.Hist.Min, md.Hist.Max, cd.Hist.Min, cd.Hist.Max)
+	}
+	// Self-merge must be a no-op, not a double-count.
+	before := m.Counter("query.count")
+	m.Merge(m)
+	if m.Counter("query.count") != before {
+		t.Error("self-merge changed the registry")
+	}
+}
+
+func TestRegistryEncodeDecodeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a.count", 7)
+	r.Add("b.count", -2)
+	r.SetGauge("g", 3.5)
+	r.Observe("d", 1)
+	r.Observe("d", 42)
+
+	enc := r.Encode()
+	if !bytes.Equal(enc, r.Encode()) {
+		t.Fatal("Encode is not deterministic")
+	}
+	dec, err := DecodeRegistry(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Error("decode(encode) does not round-trip")
+	}
+	if dec.Counter("b.count") != -2 || dec.Gauge("g") != 3.5 || dec.Dist("d").Count() != 2 {
+		t.Error("decoded registry lost values")
+	}
+}
+
+func TestDecodeRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	r.Add("c", 1)
+	r.Observe("d", 5)
+	enc := r.Encode()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   {1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"trailing":    append(append([]byte{}, enc...), 0),
+		"truncated":   enc[:len(enc)-3],
+		"short magic": enc[:2],
+	}
+	for name, b := range cases {
+		if _, err := DecodeRegistry(b); err == nil {
+			t.Errorf("%s: DecodeRegistry accepted corrupt input", name)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Add("query.count", 4)
+	r.Add("msg.query-result", 4)
+	r.SetGauge("sessions.live", 1)
+	for _, v := range []float64{100, 200, 300} {
+		r.Observe("query.cost_ns", v)
+	}
+	var b1, b2 strings.Builder
+	if err := WritePrometheus(&b1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b2, r); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+	out := b1.String()
+	for _, want := range []string{
+		"# TYPE query_count counter\nquery_count 4\n",
+		"msg_query_result 4",
+		"# TYPE sessions_live gauge\nsessions_live 1\n",
+		"# TYPE query_cost_ns histogram\n",
+		"query_cost_ns_bucket{le=\"+Inf\"} 3\n",
+		"query_cost_ns_sum 600\n",
+		"query_cost_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -20,10 +20,14 @@ import (
 )
 
 // Message is one frame: an application-defined type, a request
-// correlation ID, and an opaque payload.
+// correlation ID, and an opaque payload. Trace carries the telemetry
+// TraceID of the query the frame belongs to (zero when untraced); it
+// rides in the frame header so servers can correlate spans without
+// re-parsing payloads.
 type Message struct {
 	Type    byte
 	ReqID   uint64
+	Trace   uint64
 	Payload []byte
 }
 
@@ -136,8 +140,9 @@ type tcpConn struct {
 	mu sync.Mutex // serializes Send
 }
 
-// frame layout: u32 payload length | u8 type | u64 reqID | payload.
-const frameHeader = 4 + 1 + 8
+// frame layout: u32 payload length | u8 type | u64 reqID | u64 trace |
+// payload.
+const frameHeader = 4 + 1 + 8 + 8
 
 func (c *tcpConn) Send(m Message) error {
 	c.mu.Lock()
@@ -146,6 +151,7 @@ func (c *tcpConn) Send(m Message) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Payload)))
 	hdr[4] = m.Type
 	binary.LittleEndian.PutUint64(hdr[5:13], m.ReqID)
+	binary.LittleEndian.PutUint64(hdr[13:21], m.Trace)
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -167,6 +173,7 @@ func (c *tcpConn) Recv() (Message, error) {
 	m := Message{
 		Type:  hdr[4],
 		ReqID: binary.LittleEndian.Uint64(hdr[5:13]),
+		Trace: binary.LittleEndian.Uint64(hdr[13:21]),
 	}
 	if n > 0 {
 		m.Payload = make([]byte, n)

@@ -193,6 +193,19 @@ func (a *Account) Snapshot() string {
 	return s
 }
 
+// CounterSnapshot returns a copy of the named operation counters — the
+// machine-readable companion of Snapshot, used to feed the telemetry
+// registry without string parsing.
+func (a *Account) CounterSnapshot() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.ops))
+	for n, v := range a.ops {
+		out[n] = v
+	}
+	return out
+}
+
 // MaxOf combines the costs of parallel accounts: the elapsed virtual time
 // of a fan-out phase is the maximum total across participants.
 func MaxOf(accounts ...*Account) Cost {

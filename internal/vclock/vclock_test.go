@@ -156,3 +156,21 @@ func TestCostStringBreakdown(t *testing.T) {
 		t.Errorf("cost string = %q", s)
 	}
 }
+
+func TestCounterSnapshot(t *testing.T) {
+	a := NewAccount()
+	a.Count("read.ops", 3)
+	a.Count("read.bytes", 4096)
+	snap := a.CounterSnapshot()
+	if snap["read.ops"] != 3 || snap["read.bytes"] != 4096 {
+		t.Errorf("CounterSnapshot = %v", snap)
+	}
+	// The snapshot is a copy: mutating it must not touch the account.
+	snap["read.ops"] = 99
+	if a.Counter("read.ops") != 3 {
+		t.Error("CounterSnapshot aliases the live counter map")
+	}
+	if got := NewAccount().CounterSnapshot(); len(got) != 0 {
+		t.Errorf("empty account CounterSnapshot = %v", got)
+	}
+}
