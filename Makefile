@@ -8,12 +8,14 @@ all: build lint test
 
 build:
 	$(GO) build ./...
-	$(GO) vet ./...
 
-# Project-specific invariant checkers (see internal/lint): determinism,
-# mutex guarding, protocol exhaustiveness, no panics on request paths.
+# Static analysis in one gate: go vet plus the seven project invariant
+# checkers (see internal/lint and `pdc-lint -list`): determinism, mutex
+# guarding, protocol exhaustiveness, no panics on request paths, charged
+# request-path I/O, wire symmetry, and lock-order acyclicity.
 # Also usable as `go vet -vettool=$$(pwd)/bin/pdc-lint ./...`.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/pdc-lint ./...
 
 test:

@@ -1,10 +1,14 @@
 // pdc-lint is the repo's multichecker: it runs the custom invariant
-// analyzers in internal/lint over Go packages.
+// analyzers in internal/lint over Go packages — the four per-package
+// checkers (nondeterminism, mutexguard, protoexhaustive, nopanic) plus
+// the call-graph tier (vclockcharge, wiresymmetry, lockorder).
 //
 // Standalone:
 //
 //	go run ./cmd/pdc-lint ./...
 //	go run ./cmd/pdc-lint -nondeterminism=false ./internal/server
+//	go run ./cmd/pdc-lint -json ./...   # one JSON diagnostic per line
+//	go run ./cmd/pdc-lint -list         # print the analyzer catalog
 //
 // As a vet tool (unitchecker mode — the go command hands the tool one
 // *.cfg file per package):
@@ -16,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,14 +54,18 @@ func main() {
 		}
 		enabled[a.Name] = fs.Bool(a.Name, true, doc)
 	}
-	jsonOut := fs.Bool("json", false, "ignored (accepted for go vet compatibility)")
-	_ = jsonOut
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line on stdout (standalone mode)")
+	listOut := fs.Bool("list", false, "print the analyzer catalog and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: pdc-lint [flags] packages...\n       pdc-lint config.cfg  (go vet -vettool mode)\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(1)
+	}
+	if *listOut {
+		printCatalog(analyzers)
+		return
 	}
 	var active []*lint.Analyzer
 	for _, a := range analyzers {
@@ -70,7 +79,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Unitchecker mode: a single JSON config file from `go vet`.
+	// Unitchecker mode: a single JSON config file from `go vet`. The
+	// -json flag is ignored here; the go command owns the output format.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		unitcheck(args[0], active)
 		return
@@ -86,11 +96,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdc-lint:", err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s\n", d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			// One object per line so CI can annotate PRs by streaming.
+			if err := enc.Encode(jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "pdc-lint:", err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pdc-lint: %d finding(s)\n", len(diags))
 		os.Exit(2)
+	}
+}
+
+// jsonDiagnostic is the -json line format.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printCatalog answers -list: one analyzer per line with its scope and
+// one-line summary.
+func printCatalog(analyzers []*lint.Analyzer) {
+	for _, a := range analyzers {
+		scope := "package"
+		if a.Global {
+			scope = "global "
+		}
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i > 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("%-16s %s  %s\n", a.Name, scope, doc)
 	}
 }

@@ -238,33 +238,28 @@ func DirectorySize(nbins int) int64 {
 }
 
 // Encode serializes the index: header, directory, then bitmap blobs.
+// It is single-pass in wire order — header fields first, then one visit
+// per bin that fills the bin's directory entry and appends its blob —
+// so the field-access order matches Decode's (wiresymmetry).
 func (x *Index) Encode() []byte {
-	dirLen := DirectorySize(len(x.Bins))
-	total := dirLen
-	blobs := make([][]byte, len(x.Bins))
-	for i := range x.Bins {
-		blobs[i] = x.Bins[i].Bits.Encode()
-		total += int64(len(blobs[i]))
-	}
-	out := make([]byte, total)
+	out := make([]byte, DirectorySize(len(x.Bins)))
 	binary.LittleEndian.PutUint32(out[0:4], encMagic)
 	binary.LittleEndian.PutUint32(out[4:8], uint32(len(x.Bins)))
 	binary.LittleEndian.PutUint64(out[8:16], x.N)
 	binary.LittleEndian.PutUint64(out[16:24], math.Float64bits(x.Step))
 	binary.LittleEndian.PutUint64(out[24:32], math.Float64bits(x.Base))
 	off := headerSize
-	blobOff := dirLen
 	for i := range x.Bins {
 		b := &x.Bins[i]
+		blob := b.Bits.Encode()
 		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(b.Lo))
 		binary.LittleEndian.PutUint64(out[off+8:], math.Float64bits(b.Hi))
 		binary.LittleEndian.PutUint64(out[off+16:], math.Float64bits(b.Min))
 		binary.LittleEndian.PutUint64(out[off+24:], math.Float64bits(b.Max))
 		binary.LittleEndian.PutUint64(out[off+32:], b.Count)
-		binary.LittleEndian.PutUint64(out[off+40:], uint64(len(blobs[i])))
+		binary.LittleEndian.PutUint64(out[off+40:], uint64(len(blob)))
 		off += binMetaLen + 8
-		copy(out[blobOff:], blobs[i])
-		blobOff += int64(len(blobs[i]))
+		out = append(out, blob...)
 	}
 	return out
 }

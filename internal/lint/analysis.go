@@ -17,6 +17,12 @@
 // on both the encode and dispatch sides, and server request paths must
 // return errors rather than panic.
 //
+// A second, dataflow tier of analyzers (vclockcharge, wiresymmetry,
+// lockorder) reasons across packages over a whole-repo static call
+// graph (see callgraph.go). These set Analyzer.Global and receive every
+// loaded package at once via Pass.Pkgs; Pass.CallGraph lazily builds
+// and shares one graph per run.
+//
 // Diagnostics can be suppressed with a directive comment on the
 // offending line or the line above it:
 //
@@ -39,11 +45,20 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
-	// Run inspects a package and reports findings through the pass.
+	// Global marks analyzers that need the whole package set at once
+	// (call-graph analyses). A global analyzer runs exactly once per
+	// RunAnalyzers call with Pass.Pkgs populated; per-package fields
+	// (Files, Pkg, Info, PkgPath) are left nil/empty. In unitchecker
+	// mode the go command hands the tool one package at a time, so
+	// global analyzers degrade to intra-package analysis there.
+	Global bool
+	// Run inspects a package (or, for Global analyzers, the whole
+	// package set) and reports findings through the pass.
 	Run func(*Pass) error
 }
 
-// Pass connects one analyzer run to one package.
+// Pass connects one analyzer run to one package (or, for Global
+// analyzers, to the whole package set).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -53,8 +68,30 @@ type Pass struct {
 	// PkgPath is the package import path (fixture packages use their
 	// testdata-relative path).
 	PkgPath string
+	// Pkgs is the full package set; populated only for Global analyzers.
+	Pkgs []*Package
 
-	diags []Diagnostic
+	shared *sharedState
+	diags  []Diagnostic
+}
+
+// sharedState caches artifacts that several analyzers in one
+// RunAnalyzers invocation want to reuse (today: the call graph, which
+// both vclockcharge and lockorder need).
+type sharedState struct {
+	graph *CallGraph
+}
+
+// CallGraph returns the static call graph over Pass.Pkgs, building it on
+// first use and sharing it between Global analyzers of the same run.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.shared == nil {
+		p.shared = &sharedState{}
+	}
+	if p.shared.graph == nil {
+		p.shared.graph = NewCallGraph(p.Pkgs)
+	}
+	return p.shared.graph
 }
 
 // Diagnostic is one finding.
@@ -90,17 +127,24 @@ func All() []*Analyzer {
 		MutexGuardAnalyzer,
 		ProtoExhaustiveAnalyzer,
 		NopanicAnalyzer,
+		VclockChargeAnalyzer,
+		WireSymmetryAnalyzer,
+		LockOrderAnalyzer,
 	}
 }
 
-// RunAnalyzers applies each analyzer to each package, filters
-// //lint:ignore'd findings, and returns the remainder sorted by
-// position.
+// RunAnalyzers applies each per-package analyzer to each package and
+// each Global analyzer once to the whole set, filters //lint:ignore'd
+// findings, and returns the remainder sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	shared := &sharedState{}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			if a.Global {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -108,9 +152,39 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				PkgPath:  pkg.PkgPath,
+				shared:   shared,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			for _, d := range pass.diags {
+				if !ig.suppressed(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		// Global analyzers see every package at once; their ignore set is
+		// the union over all files (packages loaded together share one
+		// FileSet, so positions are comparable).
+		var allFiles []*ast.File
+		for _, pkg := range pkgs {
+			allFiles = append(allFiles, pkg.Files...)
+		}
+		ig := collectIgnores(pkgs[0].Fset, allFiles)
+		for _, a := range analyzers {
+			if !a.Global {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				shared:   shared,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
 			for _, d := range pass.diags {
 				if !ig.suppressed(a.Name, d.Pos) {

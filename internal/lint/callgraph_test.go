@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+const callgraphSrc = `package cg
+
+// Runner is dispatched through an interface below.
+type Runner interface{ Run() int }
+
+type Impl struct{ n int }
+
+func (i Impl) Run() int { return i.n }
+
+type Other struct{}
+
+func (o Other) Run() int { return 2 }
+func (o Other) Extra()   {}
+
+// Narrow has a Run method but does not cover Wide's method set.
+type Wide interface {
+	Run() int
+	Missing()
+}
+
+func helper() int { return 1 }
+
+func Top(r Runner) int {
+	x := helper()    // direct call
+	x += r.Run()     // interface dispatch: Impl.Run and Other.Run
+	f := helper      // function value: dynamic edge
+	mv := Impl{}.Run // method value: dynamic edge
+	_ = mv
+	lit := func() int { return helper() } // literal attributed to Top
+	return x + f() + lit()
+}
+
+func Lonely() int { return 3 }
+`
+
+func loadCallgraphFixture(t *testing.T) *lint.CallGraph {
+	t.Helper()
+	dir := linttest.WriteTempFixture(t, "cg", map[string]string{"cg.go": callgraphSrc})
+	pkg, err := lint.LoadDir(dir, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.NewCallGraph([]*lint.Package{pkg})
+}
+
+func hasEdge(g *lint.CallGraph, from, to string, wantDynamic bool) bool {
+	n := g.Node(from)
+	if n == nil {
+		return false
+	}
+	for _, e := range n.Out {
+		if e.CalleeKey == to && e.Dynamic == wantDynamic {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphDirectAndLiteralCalls(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	if g.Node("cg.Top") == nil || g.Node("cg.helper") == nil {
+		t.Fatalf("missing expected nodes; have %v", g.Keys())
+	}
+	if !hasEdge(g, "cg.Top", "cg.helper", false) {
+		t.Error("expected direct edge cg.Top -> cg.helper")
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	for _, impl := range []string{"cg.Impl.Run", "cg.Other.Run"} {
+		if !hasEdge(g, "cg.Top", impl, true) {
+			t.Errorf("interface call r.Run() should resolve to %s", impl)
+		}
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	if !hasEdge(g, "cg.Top", "cg.Impl.Run", true) {
+		t.Error("method value Impl{}.Run should add a dynamic edge")
+	}
+	if !hasEdge(g, "cg.Top", "cg.helper", true) {
+		t.Error("function value f := helper should add a dynamic edge")
+	}
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	seen := g.Reachable([]string{"cg.Top"})
+	for _, want := range []string{"cg.Top", "cg.helper", "cg.Impl.Run", "cg.Other.Run"} {
+		if !seen[want] {
+			t.Errorf("%s should be reachable from cg.Top", want)
+		}
+	}
+	if seen["cg.Lonely"] {
+		t.Error("cg.Lonely must not be reachable from cg.Top")
+	}
+	attr := g.RootAttribution([]string{"cg.Top"})
+	if attr["cg.helper"] != "cg.Top" {
+		t.Errorf("cg.helper attributed to %q, want cg.Top", attr["cg.helper"])
+	}
+}

@@ -25,21 +25,28 @@ import (
 // Run loads testdata/src/<fixture> (relative to the calling test's
 // directory), applies the analyzer, and reports any mismatch between
 // produced and expected diagnostics on t.
+//
+// A fixture whose directory contains subdirectories with .go files is
+// loaded as a multi-package tree (lint.LoadTree): each directory is one
+// package importable by the others under "<fixture>/<relative-path>".
+// Flat fixtures load as a single package as before.
 func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", filepath.FromSlash(fixture))
-	pkg, err := lint.LoadDir(dir, fixture)
+	pkgs, err := loadFixture(dir, fixture)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
 	}
 
-	wants, err := collectWants(pkg)
-	if err != nil {
-		t.Fatal(err)
+	wants := make(map[string][]want)
+	for _, pkg := range pkgs {
+		if err := collectWants(pkg, wants); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	for _, d := range diags {
@@ -71,9 +78,35 @@ type want struct {
 
 var wantMarker = regexp.MustCompile(`\bwant\s+(.*)$`)
 
-// collectWants scans every fixture file's comments for expectations.
-func collectWants(pkg *lint.Package) (map[string][]want, error) {
-	wants := make(map[string][]want)
+// loadFixture picks the loader by fixture shape: tree fixtures (any
+// subdirectory holding .go files) load as multiple packages.
+func loadFixture(dir, fixture string) ([]*lint.Package, error) {
+	tree := false
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(p, ".go") && filepath.Dir(p) != dir {
+			tree = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if tree {
+		return lint.LoadTree(dir, fixture)
+	}
+	pkg, err := lint.LoadDir(dir, fixture)
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{pkg}, nil
+}
+
+// collectWants scans every fixture file's comments for expectations,
+// accumulating into wants.
+func collectWants(pkg *lint.Package, wants map[string][]want) error {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -85,19 +118,19 @@ func collectWants(pkg *lint.Package) (map[string][]want, error) {
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 				patterns, err := parsePatterns(m[1])
 				if err != nil {
-					return nil, fmt.Errorf("%s: bad want: %v", key, err)
+					return fmt.Errorf("%s: bad want: %v", key, err)
 				}
 				for _, p := range patterns {
 					re, err := regexp.Compile(p)
 					if err != nil {
-						return nil, fmt.Errorf("%s: bad want regexp %q: %v", key, p, err)
+						return fmt.Errorf("%s: bad want regexp %q: %v", key, p, err)
 					}
 					wants[key] = append(wants[key], want{re})
 				}
 			}
 		}
 	}
-	return wants, nil
+	return nil
 }
 
 // parsePatterns extracts the quoted regexps following a want marker.

@@ -182,6 +182,181 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 	return typecheck(fset, pkgPath, filenames, imp)
 }
 
+// LoadTree loads a multi-package fixture: every directory under root
+// (including root itself) that contains .go files becomes one package
+// whose import path is rootPkgPath plus the directory's relative path.
+// Fixture packages may import each other by those paths (resolved from
+// the already-type-checked packages) and the stdlib (resolved through
+// the toolchain's export data). Packages are returned sorted by import
+// path; all share one FileSet so cross-package diagnostics compare.
+func LoadTree(root, rootPkgPath string) ([]*Package, error) {
+	type fixturePkg struct {
+		path    string
+		files   []string
+		imports []string
+	}
+	var fixtures []*fixturePkg
+	byPath := make(map[string]*fixturePkg)
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil || !info.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(p, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		pkgPath := rootPkgPath
+		if rel != "." {
+			pkgPath = rootPkgPath + "/" + filepath.ToSlash(rel)
+		}
+		fp := &fixturePkg{path: pkgPath, files: files}
+		fixtures = append(fixtures, fp)
+		byPath[pkgPath] = fp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(fixtures) == 0 {
+		return nil, fmt.Errorf("lint: no .go files under %s", root)
+	}
+	sort.Slice(fixtures, func(i, j int) bool { return fixtures[i].path < fixtures[j].path })
+
+	fset := token.NewFileSet()
+	stdlib := make(map[string]bool)
+	for _, fp := range fixtures {
+		for _, name := range fp.files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || p == "unsafe" {
+					continue
+				}
+				if _, local := byPath[p]; local {
+					fp.imports = append(fp.imports, p)
+				} else {
+					stdlib[p] = true
+				}
+			}
+		}
+	}
+
+	exports := make(map[string]string)
+	if len(stdlib) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+		for p := range stdlib {
+			args = append(args, p)
+		}
+		sort.Strings(args[4:])
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list (fixture imports): %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e listEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+
+	local := make(map[string]*types.Package)
+	imp := &treeImporter{
+		local: local,
+		fallback: newExportImporter(fset, func(path string) (string, error) {
+			f, ok := exports[path]
+			if !ok {
+				return "", fmt.Errorf("lint: fixture import %q has no export data", path)
+			}
+			return f, nil
+		}),
+	}
+
+	// Type-check in dependency order (fixture imports form a DAG).
+	done := make(map[string]bool)
+	var order []*fixturePkg
+	visiting := make(map[string]bool)
+	var visit func(fp *fixturePkg) error
+	visit = func(fp *fixturePkg) error {
+		if done[fp.path] {
+			return nil
+		}
+		if visiting[fp.path] {
+			return fmt.Errorf("lint: fixture import cycle through %s", fp.path)
+		}
+		visiting[fp.path] = true
+		for _, dep := range fp.imports {
+			if err := visit(byPath[dep]); err != nil {
+				return err
+			}
+		}
+		visiting[fp.path] = false
+		done[fp.path] = true
+		order = append(order, fp)
+		return nil
+	}
+	for _, fp := range fixtures {
+		if err := visit(fp); err != nil {
+			return nil, err
+		}
+	}
+
+	pkgsByPath := make(map[string]*Package)
+	for _, fp := range order {
+		pkg, err := typecheck(fset, fp.path, fp.files, imp)
+		if err != nil {
+			return nil, err
+		}
+		local[fp.path] = pkg.Types
+		pkgsByPath[fp.path] = pkg
+	}
+	out := make([]*Package, 0, len(fixtures))
+	for _, fp := range fixtures {
+		out = append(out, pkgsByPath[fp.path])
+	}
+	return out, nil
+}
+
+// treeImporter serves fixture-local packages from the already
+// type-checked set and everything else from export data.
+type treeImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.local[path]; ok {
+		return p, nil
+	}
+	return ti.fallback.Import(path)
+}
+
 // typecheck parses the files and type-checks them as one package.
 func typecheck(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) (*Package, error) {
 	var files []*ast.File

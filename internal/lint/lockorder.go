@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds a global mutex-acquisition-order graph and
+// reports cycles as potential deadlocks. Two goroutines taking the same
+// pair of locks in opposite orders is the classic cross-server deadlock
+// the race detector only catches if a test happens to interleave just
+// so; the order graph catches it statically.
+//
+// A lock is identified by its declaration site: the struct field of
+// type sync.Mutex/sync.RWMutex (one identity per field, not per
+// instance), a package-level mutex var, or a struct that embeds a
+// mutex. Within each function the analyzer scans statements in source
+// order maintaining the set of locks currently held: Lock/RLock
+// acquires, Unlock/RUnlock releases, and `defer mu.Unlock()` holds mu
+// to the end of the function. Acquiring B while holding A adds the
+// edge A -> B; calling a function that (transitively, via the call
+// graph) acquires B while holding A adds the same edge. Any cycle in
+// the resulting graph — including a self-edge, i.e. re-acquiring a held
+// lock — is reported at every acquisition site on the cycle.
+//
+// The scan is linear, not control-flow-sensitive: a lock released on
+// every branch but not in source order before the next acquisition may
+// over-report. In practice the repo's lock/defer-unlock discipline
+// makes the linear scan exact.
+var LockOrderAnalyzer = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "mutex acquisition order must be globally consistent (no cycles in the lock-order graph)",
+	Global: true,
+	Run:    runLockOrder,
+}
+
+// lockEdge is one "acquired while holding" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	// via names the callee whose transitive acquisition induced the
+	// edge ("" for a direct acquisition in the same function).
+	via string
+}
+
+// lockAcq is a direct acquisition inside one function.
+type lockAcq struct {
+	lock string
+	pos  token.Pos
+}
+
+// lockCall is a call made while holding locks.
+type lockCall struct {
+	held   []string
+	callee string
+	pos    token.Pos
+}
+
+// funcLocks is the per-function scan result.
+type funcLocks struct {
+	key      string
+	acquires []lockAcq
+	edges    []lockEdge
+	calls    []lockCall
+}
+
+func runLockOrder(pass *Pass) error {
+	g := pass.CallGraph()
+
+	// Per-function scan.
+	perFunc := make(map[string]*funcLocks)
+	for _, key := range g.Keys() {
+		n := g.Nodes[key]
+		if n.Decl.Body == nil {
+			continue
+		}
+		perFunc[key] = scanLocks(n)
+	}
+
+	// Transitive acquisition sets: fixpoint over the call graph.
+	acq := make(map[string]map[string]token.Pos) // func key -> lock -> a site
+	for key, fl := range perFunc {
+		m := make(map[string]token.Pos)
+		for _, a := range fl.acquires {
+			if _, ok := m[a.lock]; !ok {
+				m[a.lock] = a.pos
+			}
+		}
+		acq[key] = m
+	}
+	keys := g.Keys()
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			n := g.Nodes[key]
+			m := acq[key]
+			if m == nil {
+				continue
+			}
+			for _, e := range n.Out {
+				for lock, pos := range acq[e.CalleeKey] {
+					if _, ok := m[lock]; !ok {
+						m[lock] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Collect edges: direct, plus held-across-call edges.
+	var edges []lockEdge
+	for _, key := range keys {
+		fl := perFunc[key]
+		if fl == nil {
+			continue
+		}
+		edges = append(edges, fl.edges...)
+		for _, c := range fl.calls {
+			for lock := range acq[c.callee] {
+				for _, h := range c.held {
+					edges = append(edges, lockEdge{from: h, to: lock, pos: c.pos, via: c.callee})
+				}
+			}
+		}
+	}
+
+	// Find strongly connected components of the lock graph; any SCC with
+	// more than one lock, or a self-edge, is a potential deadlock.
+	adj := make(map[string]map[string]bool)
+	var locks []string
+	lockSeen := make(map[string]bool)
+	note := func(l string) {
+		if !lockSeen[l] {
+			lockSeen[l] = true
+			locks = append(locks, l)
+		}
+	}
+	for _, e := range edges {
+		note(e.from)
+		note(e.to)
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	sort.Strings(locks)
+	comp := sccLocks(locks, adj)
+
+	type offender struct {
+		e     lockEdge
+		cycle string
+	}
+	var found []offender
+	seenEdge := make(map[string]bool)
+	for _, e := range edges {
+		inCycle := e.from == e.to || (comp[e.from] == comp[e.to] && cycleSize(comp, comp[e.from]) > 1)
+		if !inCycle {
+			continue
+		}
+		dk := e.from + "->" + e.to + "@" + pass.Fset.Position(e.pos).String()
+		if seenEdge[dk] {
+			continue
+		}
+		seenEdge[dk] = true
+		found = append(found, offender{e, cycleMembers(comp, comp[e.from], locks)})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].e.pos < found[j].e.pos })
+	for _, o := range found {
+		via := ""
+		if o.e.via != "" {
+			via = " via " + ShortKey(o.e.via)
+		}
+		if o.e.from == o.e.to {
+			pass.Reportf(o.e.pos, "lock order cycle: %s acquired%s while already held (self-deadlock)",
+				o.e.from, via)
+		} else {
+			pass.Reportf(o.e.pos, "lock order cycle: %s acquired%s while holding %s (cycle: %s)",
+				o.e.to, via, o.e.from, o.cycle)
+		}
+	}
+	return nil
+}
+
+func cycleSize(comp map[string]int, c int) int {
+	n := 0
+	for _, v := range comp {
+		if v == c {
+			n++
+		}
+	}
+	return n
+}
+
+func cycleMembers(comp map[string]int, c int, locks []string) string {
+	var ms []string
+	for _, l := range locks {
+		if comp[l] == c {
+			ms = append(ms, l)
+		}
+	}
+	return strings.Join(ms, " <-> ")
+}
+
+// sccLocks is Tarjan's algorithm over the lock graph.
+func sccLocks(nodes []string, adj map[string]map[string]bool) map[string]int {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, nComp := 0, 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return comp
+}
+
+// scanLocks walks one function body in source order tracking held locks.
+func scanLocks(n *CallNode) *funcLocks {
+	info := n.Pkg.Info
+	fl := &funcLocks{key: n.Key}
+
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if d, ok := node.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	type heldLock struct {
+		lock     string
+		deferred bool // released by defer: held to end of function
+	}
+	var held []heldLock
+	heldKeys := func() []string {
+		var ks []string
+		for _, h := range held {
+			ks = append(ks, h.lock)
+		}
+		return ks
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lock, op, ok := mutexOp(info, n, call); ok {
+			switch op {
+			case "Lock", "RLock":
+				if deferred[call] {
+					return true // defer mu.Lock() is nonsense; ignore
+				}
+				for _, h := range held {
+					fl.edges = append(fl.edges, lockEdge{from: h.lock, to: lock, pos: call.Pos()})
+				}
+				fl.acquires = append(fl.acquires, lockAcq{lock, call.Pos()})
+				held = append(held, heldLock{lock: lock})
+			case "Unlock", "RUnlock":
+				if deferred[call] {
+					// defer mu.Unlock(): mark the most recent matching
+					// acquisition as held-to-end.
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].lock == lock && !held[i].deferred {
+							held[i].deferred = true
+							break
+						}
+					}
+					return true
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].lock == lock && !held[i].deferred {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+		// A plain call while holding locks: record for the transitive
+		// pass. Deferred calls run at function end with the defer-held
+		// locks still held; treating them like in-place calls is the
+		// conservative approximation.
+		if len(held) > 0 {
+			if callee := resolveCalleeKey(info, call); callee != "" {
+				fl.calls = append(fl.calls, lockCall{held: heldKeys(), callee: callee, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return fl
+}
+
+// resolveCalleeKey resolves a call expression to a FuncKey ("" if the
+// callee is dynamic or out of scope).
+func resolveCalleeKey(info *types.Info, call *ast.CallExpr) string {
+	switch fe := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fe].(*types.Func); ok {
+			return FuncKey(fn)
+		}
+	case *ast.SelectorExpr:
+		if s := info.Selections[fe]; s != nil {
+			if m, ok := s.Obj().(*types.Func); ok {
+				return FuncKey(m)
+			}
+		} else if fn, ok := info.Uses[fe.Sel].(*types.Func); ok {
+			return FuncKey(fn)
+		}
+	}
+	return ""
+}
+
+// mutexOp recognizes Lock/RLock/Unlock/RUnlock calls and names the lock
+// they operate on. It returns ok=false for any other call.
+func mutexOp(info *types.Info, n *CallNode, call *ast.CallExpr) (lock, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s := info.Selections[sel]
+	var m *types.Func
+	if s != nil && s.Kind() == types.MethodVal {
+		m, _ = s.Obj().(*types.Func)
+	} else if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		m = fn
+	}
+	if m == nil || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	lock = lockIdent(info, n, sel.X)
+	if lock == "" {
+		return "", "", false
+	}
+	return lock, name, true
+}
+
+// lockIdent names the mutex behind the receiver expression of a
+// Lock/Unlock call: "pkg.Type.field" for mutex struct fields,
+// "pkg.var" for package-level mutexes, "pkg.Type.(embedded)" for
+// embedded mutexes, and a function-scoped name for local mutex vars.
+func lockIdent(info *types.Info, n *CallNode, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		s := info.Selections[x]
+		if s == nil || s.Kind() != types.FieldVal {
+			// Qualified package-level var: pkg.Mu.
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+				return shortPkg(v.Pkg().Path()) + "." + v.Name()
+			}
+			return ""
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok {
+			return ""
+		}
+		base := info.Types[x.X].Type
+		if p, okp := base.(*types.Pointer); okp {
+			base = p.Elem()
+		}
+		if named, okn := base.(*types.Named); okn && named.Obj().Pkg() != nil {
+			return shortPkg(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + field.Name()
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return shortPkg(v.Pkg().Path()) + "." + v.Name()
+		}
+		// Local or receiver mutex value: if the ident's type embeds the
+		// mutex (method promoted onto a named type), name the type.
+		t := v.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			if !isSyncMutexType(named) {
+				return shortPkg(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + ".(embedded)"
+			}
+		}
+		// A bare local sync.Mutex: scope it to the function.
+		return n.Key + ".local." + v.Name()
+	}
+	return ""
+}
+
+func isSyncMutexType(n *types.Named) bool {
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+func shortPkg(pkgPath string) string { return path.Base(pkgPath) }

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrderAnalyzer, "lockorder")
+}
+
+// TestRepoLockOrder runs lockorder over the real tree: the global
+// mutex-acquisition graph must stay acyclic.
+func TestRepoLockOrder(t *testing.T) {
+	requireRepoClean(t, lint.LockOrderAnalyzer)
+}

@@ -20,7 +20,7 @@ import (
 // internal/telemetry.
 var NondeterminismAnalyzer = &Analyzer{
 	Name: "nondeterminism",
-	Doc:  "forbid wall-clock time and global math/rand in production code; use internal/vclock / seeded sources",
+	Doc:  "forbid wall-clock time, global math/rand, and ambient process state (env, pid, CPU count) in production code",
 	Run:  runNondeterminism,
 }
 
@@ -33,6 +33,25 @@ var nondetExemptSuffixes = []string{
 	// sanctioned time.Now, opt-in per deployment and excluded from every
 	// deterministic encoding (spans zero WallNanos on the wire).
 	"internal/telemetry",
+}
+
+// envExemptSuffixes are additionally allowed to read process
+// environment (os.Getenv and friends): the bench harness's sizing knobs
+// (PDCQ_LOGN, PDCQ_SERVERS) are test-infrastructure configuration, not
+// production inputs.
+var envExemptSuffixes = []string{
+	"internal/bench",
+}
+
+// forbiddenEnvFuncs read ambient process state (environment, pid, CPU
+// count); results vary per machine and silently skew deterministic
+// output if they influence production code paths.
+var forbiddenEnvFuncs = map[string]string{
+	"os.Getenv":      "thread configuration through explicit parameters",
+	"os.LookupEnv":   "thread configuration through explicit parameters",
+	"os.Environ":     "thread configuration through explicit parameters",
+	"os.Getpid":      "derive identifiers from configured server IDs",
+	"runtime.NumCPU": "make parallelism an explicit config knob",
 }
 
 // forbiddenTimeFuncs are the package-level time functions that read or
@@ -54,6 +73,12 @@ func runNondeterminism(pass *Pass) error {
 	for _, sfx := range nondetExemptSuffixes {
 		if strings.HasSuffix(pass.PkgPath, sfx) {
 			return nil
+		}
+	}
+	envExempt := false
+	for _, sfx := range envExemptSuffixes {
+		if strings.HasSuffix(pass.PkgPath, sfx) {
+			envExempt = true
 		}
 	}
 	type finding struct {
@@ -85,6 +110,14 @@ func runNondeterminism(pass *Pass) error {
 			if !allowedRandFuncs[fn.Name()] {
 				found = append(found, finding{id.Pos(), "rand." + fn.Name(),
 					"use an explicitly seeded rand.New(rand.NewSource(seed))"})
+			}
+		case "os", "runtime":
+			if envExempt {
+				continue
+			}
+			qual := fn.Pkg().Path() + "." + fn.Name()
+			if hint, bad := forbiddenEnvFuncs[qual]; bad {
+				found = append(found, finding{id.Pos(), qual, hint})
 			}
 		}
 	}

@@ -5,6 +5,8 @@ package nondet
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 )
 
@@ -34,4 +36,16 @@ func shuffled(xs []int) {
 func excused() time.Time {
 	//lint:ignore nondeterminism boot banner timestamp, not on a modeled path
 	return time.Now()
+}
+
+func ambient() int {
+	_ = os.Getenv("PDCQ_MODE")    // want `nondeterministic call os\.Getenv`
+	_, _ = os.LookupEnv("HOME")   // want `nondeterministic call os\.LookupEnv`
+	_ = os.Getpid()               // want `nondeterministic call os\.Getpid`
+	return runtime.NumCPU()       // want `nondeterministic call runtime\.NumCPU`
+}
+
+func ambientExcused() string {
+	//lint:ignore nondeterminism debug dump path, not a modeled input
+	return os.Getenv("PDCQ_DEBUG_DIR")
 }

@@ -1,0 +1,37 @@
+// Package simio mirrors internal/simio's Store I/O surface: methods
+// named Read/ReadAll/Write taking a *vclock.Account are the sinks.
+package simio
+
+import "vclockcharge/vclock"
+
+// Store is the simulated storage backend.
+type Store struct{ data map[uint64][]byte }
+
+// Read reads a range, charging the account when one is supplied.
+func (s *Store) Read(a *vclock.Account, key uint64, n int64) []byte {
+	if a != nil {
+		a.Charge(n)
+	}
+	b := s.data[key]
+	if int64(len(b)) > n {
+		b = b[:n]
+	}
+	return b
+}
+
+// ReadAll reads a whole object.
+func (s *Store) ReadAll(a *vclock.Account, key uint64) []byte {
+	b := s.data[key]
+	if a != nil {
+		a.Charge(int64(len(b)))
+	}
+	return b
+}
+
+// Write stores an object.
+func (s *Store) Write(a *vclock.Account, key uint64, b []byte) {
+	if a != nil {
+		a.Charge(int64(len(b)))
+	}
+	s.data[key] = b
+}

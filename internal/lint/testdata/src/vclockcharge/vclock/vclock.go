@@ -1,0 +1,15 @@
+// Package vclock mirrors internal/vclock's Account surface for the
+// fixture: the analyzer matches the type by name and path suffix.
+package vclock
+
+// Cost is a virtual cost sample.
+type Cost struct{ Storage int64 }
+
+// Account accumulates virtual cost.
+type Account struct{ total int64 }
+
+// Charge adds a single charge.
+func (a *Account) Charge(n int64) { a.total += n }
+
+// ChargeCost adds an aggregate cost.
+func (a *Account) ChargeCost(c Cost) { a.total += c.Storage }

@@ -1,0 +1,150 @@
+// Package wiresym exercises the wiresymmetry analyzer: encode/decode
+// pairs must touch the same struct fields in the same order.
+package wiresym
+
+import "sync"
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readU64(b []byte) (uint64, []byte) {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	if len(b) >= 8 {
+		b = b[8:]
+	}
+	return v, b
+}
+
+// Point round-trips symmetrically: no diagnostics.
+type Point struct{ X, Y uint64 }
+
+// Encode emits X then Y.
+func (p *Point) Encode() []byte {
+	out := appendU64(nil, p.X)
+	out = appendU64(out, p.Y)
+	return out
+}
+
+// DecodePoint reads X then Y.
+func DecodePoint(b []byte) *Point {
+	p := &Point{}
+	p.X, b = readU64(b)
+	p.Y, _ = readU64(b)
+	return p
+}
+
+// Drift has set asymmetry in both directions: Encode emits B which the
+// decoder drops, and the decoder invents C which is never on the wire.
+type Drift struct{ A, B, C uint64 }
+
+// Encode emits A and B.
+func (d *Drift) Encode() []byte {
+	out := appendU64(nil, d.A)
+	out = appendU64(out, d.B) // want `field Drift\.B is encoded by \(Drift\)\.Encode but never populated by DecodeDrift`
+	return out
+}
+
+// DecodeDrift reads A and fabricates C.
+func DecodeDrift(b []byte) *Drift {
+	d := &Drift{}
+	d.A, b = readU64(b)
+	d.C, _ = readU64(b) // want `field Drift\.C is populated by DecodeDrift but never encoded by \(Drift\)\.Encode`
+	return d
+}
+
+// Swapped encodes Hi before Lo but decodes Lo before Hi: the classic
+// silent wire corruption.
+type Swapped struct{ Lo, Hi uint64 }
+
+// Encode emits Hi then Lo.
+func (s *Swapped) Encode() []byte { // want `wire order mismatch for Swapped: \(Swapped\)\.Encode emits fields \[Hi Lo\] but DecodeSwapped populates \[Lo Hi\]`
+	out := appendU64(nil, s.Hi)
+	out = appendU64(out, s.Lo)
+	return out
+}
+
+// DecodeSwapped reads Lo then Hi.
+func DecodeSwapped(b []byte) *Swapped {
+	s := &Swapped{}
+	s.Lo, b = readU64(b)
+	s.Hi, _ = readU64(b)
+	return s
+}
+
+// Blob shows the length-prefix pattern: len(v.Data) is emitted before
+// the payload without tripping the order check (a len() read counts for
+// the field set, not the order), and the decoder populates Data through
+// both a composite literal and append.
+type Blob struct {
+	Kind uint64
+	Data []uint64
+}
+
+// Encode emits kind, count, payload.
+func (v *Blob) Encode() []byte {
+	out := appendU64(nil, v.Kind)
+	out = appendU64(out, uint64(len(v.Data)))
+	for _, d := range v.Data {
+		out = appendU64(out, d)
+	}
+	return out
+}
+
+// DecodeBlob mirrors Encode.
+func DecodeBlob(b []byte) *Blob {
+	var kind, n uint64
+	kind, b = readU64(b)
+	n, b = readU64(b)
+	v := &Blob{Kind: kind, Data: make([]uint64, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var d uint64
+		d, b = readU64(b)
+		v.Data = append(v.Data, d)
+	}
+	return v
+}
+
+// Guarded proves sync.* fields are not wire data: Encode locks g.mu but
+// the pair is still symmetric.
+type Guarded struct {
+	mu sync.Mutex
+	V  uint64
+}
+
+// Encode reads V under the lock.
+func (g *Guarded) Encode() []byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return appendU64(nil, g.V)
+}
+
+// DecodeGuarded writes V only.
+func DecodeGuarded(b []byte) *Guarded {
+	g := &Guarded{}
+	g.V, _ = readU64(b)
+	return g
+}
+
+// Legacy shows the escape hatch: the extra encoded field is suppressed
+// with a reasoned directive.
+type Legacy struct{ A, B uint64 }
+
+// Encode emits A and (for old readers) B.
+func (l *Legacy) Encode() []byte {
+	out := appendU64(nil, l.A)
+	//lint:ignore wiresymmetry B is a compat pad old decoders skip
+	out = appendU64(out, l.B)
+	return out
+}
+
+// DecodeLegacy reads only A.
+func DecodeLegacy(b []byte) *Legacy {
+	l := &Legacy{}
+	l.A, _ = readU64(b)
+	return l
+}

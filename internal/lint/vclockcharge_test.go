@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestVclockCharge(t *testing.T) {
+	linttest.Run(t, lint.VclockChargeAnalyzer, "vclockcharge")
+}
+
+// TestRepoChargesAllRequestIO runs vclockcharge over the real tree:
+// every simio touch on a request path must be charged.
+func TestRepoChargesAllRequestIO(t *testing.T) {
+	requireRepoClean(t, lint.VclockChargeAnalyzer)
+}
+
+// requireRepoClean loads the production packages and asserts the
+// analyzer reports nothing.
+func requireRepoClean(t *testing.T, a *lint.Analyzer) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := lint.Load("..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.String())
+	}
+	if len(msgs) > 0 {
+		t.Errorf("%s must be clean on the repo:\n%s", a.Name, strings.Join(msgs, "\n"))
+	}
+}
+
+// TestRepoCleanAllAnalyzers is the seven-analyzer gate: the full
+// catalog must pass over the production tree, matching what make lint
+// and CI enforce.
+func TestRepoCleanAllAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := lint.Load("..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := lint.All()
+	if len(all) != 7 {
+		t.Fatalf("analyzer catalog has %d entries, want 7", len(all))
+	}
+	diags, err := lint.RunAnalyzers(pkgs, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.String())
+	}
+	if len(msgs) > 0 {
+		t.Errorf("analyzers must be clean on the repo:\n%s", strings.Join(msgs, "\n"))
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestWireSymmetry(t *testing.T) {
+	linttest.Run(t, lint.WireSymmetryAnalyzer, "wiresym")
+}
+
+// TestRepoWireSymmetry runs wiresymmetry over the real tree: every
+// protocol pair must round-trip the same fields in the same order.
+func TestRepoWireSymmetry(t *testing.T) {
+	requireRepoClean(t, lint.WireSymmetryAnalyzer)
+}

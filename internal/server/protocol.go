@@ -159,12 +159,14 @@ type QueryResponse struct {
 	Trace *telemetry.Span
 }
 
-// Encode serializes the response.
+// Encode serializes the response. Sections are emitted in decode order
+// (cost, stats, selection, values, trace) so the wire layout and the
+// field-access order stay in lockstep (wiresymmetry).
 func (r *QueryResponse) Encode() []byte {
-	selBytes := r.Sel.Encode()
-	out := make([]byte, 0, 32+64+8+len(selBytes)+64)
+	out := make([]byte, 0, 32+64+8+64)
 	out = encodeCost(out, r.Cost)
 	out = encodeStats(out, r.Stats)
+	selBytes := r.Sel.Encode()
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(selBytes)))
 	out = append(out, selBytes...)
 	out = append(out, byte(len(r.Values)))
