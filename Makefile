@@ -2,17 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build lint test cover race fuzz bench figures verify examples clean
+.PHONY: all build lint test cover race fuzz stress bench figures verify examples clean
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-# Static analysis in one gate: go vet plus the seven project invariant
+# Static analysis in one gate: go vet plus the eight project invariant
 # checkers (see internal/lint and `pdc-lint -list`): determinism, mutex
 # guarding, protocol exhaustiveness, no panics on request paths, charged
-# request-path I/O, wire symmetry, and lock-order acyclicity.
+# request-path I/O, wire symmetry, lock-order acyclicity, and
+# cancellation propagation on request paths.
 # Also usable as `go vet -vettool=$$(pwd)/bin/pdc-lint ./...`.
 lint:
 	$(GO) vet ./...
@@ -28,6 +29,19 @@ cover:
 
 race:
 	$(GO) test -race ./...
+
+# Scheduler stress under the race detector: concurrent sessions vs the
+# brute-force oracle, admission-control overload, worker-count
+# determinism, busy-retry, and async-lifetime leak checks. A separate CI
+# step so scheduler interleaving failures are attributable at a glance.
+stress:
+	$(GO) test -race -count=2 -run \
+		'TestConcurrentSessionsStress|TestOverloadBusyReplies|TestWorkerCountDeterminism' \
+		./internal/core/
+	$(GO) test -race -count=2 -run \
+		'TestBusyRetry|TestQueryBudgetEndToEnd|TestRunAsyncReapedOnClose|TestClosedClientReturnsError' \
+		./internal/client/
+	$(GO) test -race -count=2 -run 'Test' ./internal/sched/
 
 # Short fuzz smoke on the serialization-heavy packages; CI runs this.
 FUZZTIME ?= 20s

@@ -25,13 +25,14 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, ablations, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, ablations, concurrent, or all")
 	flag.IntVar(&cfg.LogN, "logn", cfg.LogN, "VPIC scale: 2^logn particles")
 	flag.IntVar(&cfg.Servers, "servers", cfg.Servers, "PDC server count for Figs. 3-5")
 	flag.IntVar(&cfg.BOSSObjects, "boss", cfg.BOSSObjects, "BOSS object count for Fig. 5")
 	flag.IntVar(&cfg.FluxLen, "flux", cfg.FluxLen, "flux samples per BOSS object")
 	flag.IntVar(&cfg.RegionSteps, "steps", cfg.RegionSteps, "region sizes to sweep in Fig. 3 (max 6)")
 	flag.BoolVar(&cfg.Verify, "verify", false, "cross-check every result against a brute-force oracle")
+	flag.IntVar(&cfg.Concurrency, "concurrency", cfg.Concurrency, "client sessions for the concurrent-clients experiment")
 	seed := flag.Uint64("seed", cfg.Seed, "dataset seed")
 	csvDir := flag.String("csv", "", "also write each figure's rows as CSV files under this directory")
 	flag.Parse()
@@ -92,8 +93,14 @@ func main() {
 		ran = true
 	})
 	run("ablations", func() { fail(bench.Ablations(os.Stdout, cfg)); ran = true })
+	run("concurrent", func() {
+		rows, err := bench.ConcurrentRun(cfg)
+		fail(err)
+		bench.ConcurrentPrint(os.Stdout, rows)
+		ran = true
+	})
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, concurrent, or all)\n", *fig)
 		os.Exit(2)
 	}
 }

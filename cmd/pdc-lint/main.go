@@ -1,7 +1,8 @@
 // pdc-lint is the repo's multichecker: it runs the custom invariant
 // analyzers in internal/lint over Go packages — the four per-package
 // checkers (nondeterminism, mutexguard, protoexhaustive, nopanic) plus
-// the call-graph tier (vclockcharge, wiresymmetry, lockorder).
+// the call-graph tier (vclockcharge, wiresymmetry, lockorder,
+// ctxpropagate).
 //
 // Standalone:
 //

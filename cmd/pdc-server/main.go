@@ -42,6 +42,12 @@ func main() {
 	sorted := flag.Bool("sorted", true, "build the Energy sorted replica at import")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty disables)")
 	queryLog := flag.Bool("querylog", false, "emit a structured JSON record per handled query on stderr")
+	// The worker default is a fixed constant, not NumCPU: results and
+	// costs are identical at any worker count (the determinism contract),
+	// so the default only changes latency, and a fixed value keeps daemon
+	// behavior reproducible across machines.
+	workers := flag.Int("workers", 4, "region-task workers shared by all sessions (0 or 1 = serial evaluation)")
+	queueDepth := flag.Int("queue-depth", server.DefaultQueueDepth, "admitted requests per session before the server answers busy")
 	flag.Parse()
 
 	strat, err := exec.ParseStrategy(*strategy)
@@ -76,10 +82,12 @@ func main() {
 	}
 	cfg := server.Config{
 		ID: *id, N: *n,
-		Store:    d.Store(),
-		Meta:     d.Meta(),
-		Replicas: d.Replicas(),
-		Strategy: strat,
+		Store:      d.Store(),
+		Meta:       d.Meta(),
+		Replicas:   d.Replicas(),
+		Strategy:   strat,
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
 		// The daemon is a real deployment: traced queries may carry
 		// wall-clock span times (they never enter deterministic encodings).
 		Clock: telemetry.Wall,
@@ -133,5 +141,6 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	srv.Shutdown()
 	log.Printf("pdc-server rank %d: bye", *id)
 }

@@ -52,6 +52,9 @@ type Config struct {
 	// RegionSteps controls how many region sizes Fig. 3 sweeps (max 6,
 	// matching the paper's 4MB..128MB).
 	RegionSteps int
+	// Concurrency is the client-session count for the concurrent-clients
+	// experiment (0 means 4).
+	Concurrency int
 	// Fig6Servers are the server counts for the scalability figure.
 	Fig6Servers []int
 }
@@ -66,6 +69,7 @@ func DefaultConfig() Config {
 		BOSSObjects: 20000,
 		FluxLen:     500,
 		RegionSteps: 6,
+		Concurrency: 4,
 		Fig6Servers: []int{32, 64, 128, 256, 512},
 	}
 	if s := os.Getenv("PDCQ_LOGN"); s != "" {

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestConcurrentRun exercises the concurrency experiment end to end at a
+// small scale with oracle verification on: every session's every result
+// must match ground truth, and the modeled totals must agree across the
+// whole worker sweep (ConcurrentRun errors internally otherwise).
+func TestConcurrentRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := testConfig()
+	c.LogN = 17
+	c.Concurrency = 3
+	rows, err := ConcurrentRun(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(concurrentWorkerSweep) {
+		t.Fatalf("rows = %d, want one per worker count %v", len(rows), concurrentWorkerSweep)
+	}
+	for _, r := range rows {
+		if r.Busy != 0 {
+			t.Errorf("workers=%d: %d busy rejections from sequential sessions", r.Workers, r.Busy)
+		}
+		if r.Completed != r.Queries {
+			t.Errorf("workers=%d: completed %d of %d", r.Workers, r.Completed, r.Queries)
+		}
+		if r.ModeledSec != rows[0].ModeledSec {
+			t.Errorf("workers=%d: modeled %.9fs, workers=%d %.9fs",
+				r.Workers, r.ModeledSec, rows[0].Workers, rows[0].ModeledSec)
+		}
+	}
+	var buf bytes.Buffer
+	ConcurrentPrint(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("ConcurrentPrint wrote nothing")
+	}
+}
+
+// BenchmarkConcurrentClients is the CI-trackable scheduler benchmark: it
+// runs the concurrent-clients sweep and emits one machine-readable
+// "BENCH {json}" line per (clients, workers) cell, plus q/s as the
+// benchmark metric for the largest worker count.
+func BenchmarkConcurrentClients(b *testing.B) {
+	c := testConfig()
+	c.LogN = 17
+	c.Verify = false
+	c.Concurrency = 4
+	var last []ConcurrentRow
+	for i := 0; i < b.N; i++ {
+		rows, err := ConcurrentRun(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		j, err := json.Marshal(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "BENCH %s\n", j)
+	}
+	if len(last) > 0 {
+		b.ReportMetric(last[len(last)-1].QueriesPerSec, "queries/s")
+	}
+}

@@ -13,6 +13,7 @@ package client
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -24,6 +25,7 @@ import (
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
+	"pdcquery/internal/sched"
 	"pdcquery/internal/selection"
 	"pdcquery/internal/server"
 	"pdcquery/internal/telemetry"
@@ -47,6 +49,20 @@ type Info struct {
 // mergeCostPerHit models the client-side aggregation of results.
 const mergeCostPerHit = 2 * time.Nanosecond
 
+// Busy-retry policy: when a server's admission control rejects a request
+// (MsgBusy), the client backs off and resends the same request ID to
+// that server only — capped exponential backoff, never below the
+// server's own retry-after hint. Waits are modeled in virtual time (they
+// add to Info.Elapsed); real sleeping is opt-in via SetSleeper.
+const (
+	busyMaxRetries = 8
+	busyBaseWait   = 50 * time.Microsecond
+	busyMaxWait    = 10 * time.Millisecond
+)
+
+// errClientClosed reports a call that raced with or followed Close.
+var errClientClosed = errors.New("client: closed")
+
 // Client talks to an N-server PDC deployment.
 type Client struct {
 	conns []transport.Conn
@@ -61,10 +77,22 @@ type Client struct {
 	wireLatency time.Duration
 	wireBW      float64
 
+	// sleeper paces busy-retry backoff in real time. The default NoSleep
+	// returns immediately (the wait still counts in virtual time), so
+	// tests and the simulation never block; daemons may install
+	// telemetry.WallSleep.
+	sleeper telemetry.Sleeper
+
+	// closeCtx ends at Close and unblocks every in-flight broadcast and
+	// async query, so background aggregators cannot outlive the client.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+
 	mu      sync.Mutex
 	nextReq uint64
 	pending map[uint64]chan reply
 	readErr error
+	budget  time.Duration // virtual-time deadline stamped on requests; 0 = none
 	wg      sync.WaitGroup
 	closed  bool
 }
@@ -80,9 +108,11 @@ func New(conns []transport.Conn, meta *metadata.Service) *Client {
 	c := &Client{
 		conns:   conns,
 		meta:    meta,
+		sleeper: telemetry.NoSleep,
 		nextReq: 1,
 		pending: make(map[uint64]chan reply),
 	}
+	c.closeCtx, c.closeCancel = context.WithCancel(context.Background())
 	// The background aggregator threads (§III-C): one reader per server
 	// connection routing responses to the issuing call.
 	for i, conn := range conns {
@@ -98,8 +128,14 @@ func (c *Client) reader(srv int, conn transport.Conn) {
 		m, err := conn.Recv()
 		if err != nil {
 			c.mu.Lock()
-			if c.readErr == nil && !c.closed {
-				c.readErr = fmt.Errorf("client: server %d connection: %w", srv, err)
+			if c.readErr == nil {
+				if c.closed {
+					// Record the closure so callers racing with Close get a
+					// real error instead of a nil error with no replies.
+					c.readErr = errClientClosed
+				} else {
+					c.readErr = fmt.Errorf("client: server %d connection: %w", srv, err)
+				}
 			}
 			for _, ch := range c.pending {
 				select {
@@ -129,6 +165,22 @@ func (c *Client) SetWireModel(latency time.Duration, bw float64) {
 	c.wireLatency, c.wireBW = latency, bw
 }
 
+// SetSleeper installs the real-time pacing used between busy retries.
+// The default never sleeps (waits are modeled in virtual time only);
+// daemons talking to remote servers may install telemetry.WallSleep.
+func (c *Client) SetSleeper(s telemetry.Sleeper) { c.sleeper = s }
+
+// SetQueryBudget sets the virtual-time deadline stamped on every
+// subsequent request (zero clears it). Servers abort evaluation once a
+// request's accounted virtual cost exceeds its budget and reply with an
+// error frame — the client-visible end of the scheduler's end-to-end
+// cancellation path.
+func (c *Client) SetQueryBudget(d time.Duration) {
+	c.mu.Lock()
+	c.budget = d
+	c.mu.Unlock()
+}
+
 // wire returns the modeled cost of moving n payload bytes.
 func (c *Client) wire(n int) time.Duration {
 	lat, bw := c.wireLatency, c.wireBW
@@ -152,6 +204,7 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	c.closeCancel()
 	for _, conn := range c.conns {
 		conn.Send(transport.Message{Type: server.MsgShutdown})
 		conn.Close()
@@ -162,22 +215,35 @@ func (c *Client) Close() error {
 
 // broadcast sends one message to every server (payload may differ per
 // server via perServer) and collects all replies, indexed by server.
-func (c *Client) broadcast(t byte, perServer func(i int) []byte) (uint64, []transport.Message, error) {
+// The returned duration is the modeled busy-retry wait (zero unless a
+// server's admission control pushed back).
+func (c *Client) broadcast(t byte, perServer func(i int) []byte) (uint64, []transport.Message, time.Duration, error) {
 	return c.broadcastCtx(context.Background(), t, perServer)
 }
 
 // broadcastCtx is broadcast with cancellation: if ctx ends first, the
-// call returns ctx's error and late replies are dropped.
-func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int) []byte) (uint64, []transport.Message, error) {
+// call returns ctx's error and late replies are dropped. Busy replies
+// are retried with capped exponential backoff against the rejecting
+// server only; the accumulated backoff is returned so callers can fold
+// it into the modeled elapsed time.
+func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int) []byte) (uint64, []transport.Message, time.Duration, error) {
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, 0, errClientClosed
+	}
+	deadline := uint64(c.budget)
 	req := c.nextReq
 	c.nextReq++
-	ch := make(chan reply, len(c.conns))
+	// A server can answer the same request several times (busy, busy,
+	// result); size the buffer for the worst case so the reader never
+	// blocks on a call that already gave up.
+	ch := make(chan reply, len(c.conns)*(busyMaxRetries+1))
 	c.pending[req] = ch
 	c.mu.Unlock()
 	defer func() {
@@ -186,33 +252,80 @@ func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int)
 		c.mu.Unlock()
 	}()
 
-	for i, conn := range c.conns {
+	send := func(i int) error {
 		// The request ID doubles as the telemetry trace ID: it is unique per
 		// client call and deterministic across runs.
-		if err := conn.Send(transport.Message{Type: t, ReqID: req, Trace: req, Payload: perServer(i)}); err != nil {
-			return 0, nil, err
+		return c.conns[i].Send(transport.Message{Type: t, ReqID: req, Trace: req, Deadline: deadline, Payload: perServer(i)})
+	}
+	for i := range c.conns {
+		if err := send(i); err != nil {
+			return 0, nil, 0, err
 		}
 	}
 	out := make([]transport.Message, len(c.conns))
-	for n := 0; n < len(c.conns); n++ {
+	attempts := make([]int, len(c.conns))
+	var busyWait time.Duration
+	for n := 0; n < len(c.conns); {
 		var r reply
 		select {
 		case r = <-ch:
 		case <-ctx.Done():
-			return 0, nil, ctx.Err()
+			return 0, nil, busyWait, ctx.Err()
+		case <-c.closeCtx.Done():
+			return 0, nil, busyWait, errClientClosed
 		}
 		if r.srv < 0 {
 			c.mu.Lock()
 			err := c.readErr
 			c.mu.Unlock()
-			return 0, nil, err
+			if err == nil {
+				err = errClientClosed
+			}
+			return 0, nil, busyWait, err
+		}
+		if r.msg.Type == server.MsgBusy {
+			wait, err := c.busyBackoff(r, attempts)
+			if err != nil {
+				return 0, nil, busyWait, err
+			}
+			busyWait += wait
+			if err := send(r.srv); err != nil {
+				return 0, nil, busyWait, err
+			}
+			continue
 		}
 		if r.msg.Type == server.MsgError {
-			return 0, nil, fmt.Errorf("client: server %d: %s", r.srv, r.msg.Payload)
+			return 0, nil, busyWait, fmt.Errorf("client: server %d: %s", r.srv, r.msg.Payload)
 		}
 		out[r.srv] = r.msg
+		n++
 	}
-	return req, out, nil
+	return req, out, busyWait, nil
+}
+
+// busyBackoff handles one MsgBusy reply: it bumps the per-server attempt
+// count, sleeps (via the Sleeper seam) for the backoff interval, and
+// returns the modeled wait. Exhausting the retry budget yields an error
+// wrapping sched.ErrBusy.
+func (c *Client) busyBackoff(r reply, attempts []int) (time.Duration, error) {
+	br, derr := server.DecodeBusyResponse(r.msg.Payload)
+	if derr != nil {
+		return 0, fmt.Errorf("client: server %d: %w", r.srv, derr)
+	}
+	attempts[r.srv]++
+	if attempts[r.srv] > busyMaxRetries {
+		return 0, fmt.Errorf("client: server %d (%d queued): %w after %d attempts",
+			r.srv, br.Queued, sched.ErrBusy, attempts[r.srv]-1)
+	}
+	wait := busyBaseWait << (attempts[r.srv] - 1)
+	if hint := time.Duration(br.RetryAfterNs); hint > wait {
+		wait = hint
+	}
+	if wait > busyMaxWait {
+		wait = busyMaxWait
+	}
+	c.sleeper.Sleep(wait)
+	return wait, nil
 }
 
 // QueryResult is a completed query: the merged selection plus what is
@@ -297,7 +410,7 @@ func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryRes
 		}
 	}
 	payload := server.EncodeQueryRequest(flags, q.Encode())
-	reqID, msgs, err := c.broadcastCtx(ctx, server.MsgQuery, func(int) []byte { return payload })
+	reqID, msgs, busyWait, err := c.broadcastCtx(ctx, server.MsgQuery, func(int) []byte { return payload })
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +420,8 @@ func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryRes
 		res.Traces = make([]*telemetry.Span, len(msgs))
 	}
 	// Broadcast cost: the request goes out to all servers concurrently.
-	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))))
+	// Admission-control backoff (if any) delays the whole call.
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))+busyWait))
 
 	var parts []*selection.Selection
 	var respBytes int
@@ -365,12 +479,32 @@ func (f *Future) Wait() (*QueryResult, error) {
 
 // RunAsync starts the query and returns immediately; the broadcast and
 // aggregation happen in the background (the paper's non-blocking client
-// mode).
+// mode). The background goroutine is owned by the client: Close unblocks
+// and reaps it even if the Future is abandoned, so async queries cannot
+// leak.
 func (c *Client) RunAsync(q *query.Query) *Future {
+	return c.RunAsyncContext(context.Background(), q)
+}
+
+// RunAsyncContext is RunAsync with cancellation: if ctx ends before the
+// servers answer, the Future completes with ctx's error.
+func (c *Client) RunAsyncContext(ctx context.Context, q *query.Query) *Future {
 	f := &Future{done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		f.err = errClientClosed
+		close(f.done)
+		return f
+	}
+	// Registering on the client's WaitGroup under the same lock that
+	// Close takes before waiting makes Close reap this goroutine.
+	c.wg.Add(1)
+	c.mu.Unlock()
 	go func() {
+		defer c.wg.Done()
 		defer close(f.done)
-		f.res, f.err = c.Run(q)
+		f.res, f.err = c.run(ctx, q, server.FlagWantSelection)
 	}()
 	return f
 }
@@ -380,12 +514,12 @@ func (c *Client) RunAsync(q *query.Query) *Future {
 // retrieval cost.
 func (r *QueryResult) GetData(obj object.ID) ([]byte, *Info, error) {
 	req := (&server.DataRequest{Obj: obj, QueryReq: r.reqID}).Encode()
-	_, msgs, err := r.client.broadcast(server.MsgGetData, func(int) []byte { return req })
+	_, msgs, busyWait, err := r.client.broadcast(server.MsgGetData, func(int) []byte { return req })
 	if err != nil {
 		return nil, nil, err
 	}
 	info := &Info{NHits: r.Sel.NHits}
-	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, r.client.wire(len(req))))
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, r.client.wire(len(req))+busyWait))
 
 	o, elemSize, err := r.client.objectInfo(obj)
 	if err != nil {
@@ -464,12 +598,13 @@ func (r *QueryResult) GetDataBatch(obj object.ID, batchSize uint64, fn func(batc
 			srv := o.RegionOfLinear(coord) % n
 			groups[srv] = append(groups[srv], coord)
 		}
-		_, msgs, err := r.client.broadcast(server.MsgGetData, func(i int) []byte {
+		_, msgs, busyWait, err := r.client.broadcast(server.MsgGetData, func(i int) []byte {
 			return (&server.DataRequest{Obj: obj, Coords: groups[i]}).Encode()
 		})
 		if err != nil {
 			return nil, err
 		}
+		info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, busyWait))
 		buf := make([]byte, len(batch.Coords)*elemSize)
 		var respBytes int
 		for _, m := range msgs {
@@ -528,9 +663,14 @@ func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error
 	// The histogram lives on the owning server; ask just that one.
 	owner := metadata.OwnerOf(obj, len(c.conns))
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, errClientClosed
+	}
+	deadline := uint64(c.budget)
 	req := c.nextReq
 	c.nextReq++
-	ch := make(chan reply, 1)
+	ch := make(chan reply, busyMaxRetries+1)
 	c.pending[req] = ch
 	c.mu.Unlock()
 	defer func() {
@@ -538,12 +678,41 @@ func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error
 		delete(c.pending, req)
 		c.mu.Unlock()
 	}()
-	if err := c.conns[owner].Send(transport.Message{Type: server.MsgHistogram, ReqID: req, Payload: payload[:]}); err != nil {
+	send := func() error {
+		return c.conns[owner].Send(transport.Message{Type: server.MsgHistogram, ReqID: req, Deadline: deadline, Payload: payload[:]})
+	}
+	if err := send(); err != nil {
 		return nil, nil, err
 	}
-	r := <-ch
-	if r.srv < 0 {
-		return nil, nil, c.readErr
+	attempts := make([]int, len(c.conns))
+	var busyWait time.Duration
+	var r reply
+	for {
+		select {
+		case r = <-ch:
+		case <-c.closeCtx.Done():
+			return nil, nil, errClientClosed
+		}
+		if r.srv < 0 {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = errClientClosed
+			}
+			return nil, nil, err
+		}
+		if r.msg.Type != server.MsgBusy {
+			break
+		}
+		wait, err := c.busyBackoff(r, attempts)
+		if err != nil {
+			return nil, nil, err
+		}
+		busyWait += wait
+		if err := send(); err != nil {
+			return nil, nil, err
+		}
 	}
 	if r.msg.Type == server.MsgError {
 		return nil, nil, fmt.Errorf("client: %s", r.msg.Payload)
@@ -553,7 +722,7 @@ func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error
 		return nil, nil, err
 	}
 	info := &Info{}
-	info.Elapsed = vclock.CostOf(vclock.Network, 2*c.wire(len(r.msg.Payload)))
+	info.Elapsed = vclock.CostOf(vclock.Network, 2*c.wire(len(r.msg.Payload))+busyWait)
 	return h, info, nil
 }
 
@@ -561,12 +730,12 @@ func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error
 // matching objects it owns; the client unions the shards.
 func (c *Client) QueryTag(conds []metadata.TagCond) ([]object.ID, *Info, error) {
 	payload := server.EncodeTagQuery(conds)
-	_, msgs, err := c.broadcast(server.MsgTagQuery, func(int) []byte { return payload })
+	_, msgs, busyWait, err := c.broadcast(server.MsgTagQuery, func(int) []byte { return payload })
 	if err != nil {
 		return nil, nil, err
 	}
 	info := &Info{}
-	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))))
+	info.Elapsed = info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))+busyWait))
 	var all []object.ID
 	var respBytes int
 	for _, m := range msgs {
@@ -650,7 +819,7 @@ func (c *Client) EstimateNHits(q *query.Query) (lower, upper uint64, err error) 
 // merges them all — an exact merge, since cost distributions are
 // mergeable histograms.
 func (c *Client) ServerStats() (perServer []*telemetry.Registry, merged *telemetry.Registry, err error) {
-	_, msgs, err := c.broadcast(server.MsgStats, func(int) []byte { return nil })
+	_, msgs, _, err := c.broadcast(server.MsgStats, func(int) []byte { return nil })
 	if err != nil {
 		return nil, nil, err
 	}
@@ -671,7 +840,7 @@ func (c *Client) ServerStats() (perServer []*telemetry.Registry, merged *telemet
 // the client's metadata view (for TCP deployments where the client does
 // not share memory with the servers).
 func (c *Client) SyncMeta() error {
-	_, msgs, err := c.broadcast(server.MsgMetaSnapshot, func(int) []byte { return nil })
+	_, msgs, _, err := c.broadcast(server.MsgMetaSnapshot, func(int) []byte { return nil })
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,14 @@ type Options struct {
 	// WireScale scales the modeled interconnect latency (scaled
 	// deployments shrink it with their storage latencies; 0 means 1.0).
 	WireScale float64
+	// Workers sets each server's region-parallel worker count. Zero keeps
+	// the serial engine (results are byte-identical either way; see
+	// internal/sched).
+	Workers int
+	// QueueDepth bounds each server's admission queue (0 means
+	// server.DefaultQueueDepth). Requests beyond it get busy replies that
+	// the client retries with backoff.
+	QueueDepth int
 }
 
 // Deployment is a running PDC-Query system.
@@ -300,6 +308,8 @@ func (d *Deployment) Start() error {
 			Replicas:   d.replicas,
 			Strategy:   d.opts.Strategy,
 			CacheBytes: d.opts.CacheBytes,
+			Workers:    d.opts.Workers,
+			QueueDepth: d.opts.QueueDepth,
 		})
 		d.servers = append(d.servers, srv)
 
@@ -373,12 +383,16 @@ func (d *Deployment) ResetCaches() {
 	}
 }
 
-// Close shuts down the client and all servers.
+// Close shuts down the client and all servers: client connections close,
+// the serve loops drain, then each server's dispatchers are stopped.
 func (d *Deployment) Close() error {
 	if d.cli != nil {
 		d.cli.Close()
 	}
 	d.wg.Wait()
+	for _, srv := range d.servers {
+		srv.Shutdown()
+	}
 	return nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
 	"pdcquery/internal/region"
+	"pdcquery/internal/sched"
 	"pdcquery/internal/selection"
 	"pdcquery/internal/simio"
 	"pdcquery/internal/sortstore"
@@ -165,6 +166,11 @@ type Engine struct {
 	Replica  func(object.ID) *sortstore.Replica
 	Strategy Strategy
 	Cache    *Cache
+	// Pool, when non-nil, fans region-level evaluation out to a bounded
+	// worker pool. A nil pool runs the same task/merge code serially, so
+	// results, traces, and virtual costs are byte-identical at any worker
+	// count by construction.
+	Pool *sched.Pool
 }
 
 // readRegion returns a region's raw bytes, going through the LRU cache.
@@ -242,6 +248,14 @@ func condOut(cs *telemetry.Span, id object.ID, n int64) {
 // (histogram-pruned / bitmap-probed / cache-hit / full-scan / scan) and
 // the virtual cost spent on that region.
 func (e *Engine) EvaluateTraced(q *query.Query, assign Assignment, wantValues bool, span *telemetry.Span) (*Result, error) {
+	return e.EvaluateToken(nil, q, assign, wantValues, span)
+}
+
+// EvaluateToken is EvaluateTraced with an end-to-end cancellation token:
+// tok is checked between regions and before storage reads, so a session
+// disconnect or a virtual-deadline overrun stops the evaluation instead
+// of running it to completion. A nil token never cancels.
+func (e *Engine) EvaluateToken(tok *sched.Token, q *query.Query, assign Assignment, wantValues bool, span *telemetry.Span) (*Result, error) {
 	conjuncts, err := query.Normalize(q.Root)
 	if err != nil {
 		return nil, err
@@ -279,6 +293,9 @@ func (e *Engine) EvaluateTraced(q *query.Query, assign Assignment, wantValues bo
 		ps := span.Child(telemetry.SpanPhase, "preload")
 		before, costed := e.spanCost(ps)
 		for _, o := range objs {
+			if err := tok.Err(); err != nil {
+				return nil, err
+			}
 			var bytes int64
 			var tier simio.Tier
 			loaded := false
@@ -317,9 +334,12 @@ func (e *Engine) EvaluateTraced(q *query.Query, assign Assignment, wantValues bo
 	collect := wantValues && len(conjuncts) == 1 && e.Strategy != HistogramIndex
 	var parts []*selection.Selection
 	for i, c := range conjuncts {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		cs := span.Child(telemetry.SpanConjunct, fmt.Sprintf("conjunct.%d", i))
 		before, costed := e.spanCost(cs)
-		sel, vals, err := e.evalConjunct(q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats, cs)
+		sel, vals, err := e.evalConjunct(tok, q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats, cs)
 		if err != nil {
 			return nil, err
 		}
@@ -412,17 +432,17 @@ func runsElems(runs []localRun) int64 {
 }
 
 // evalConjunct evaluates one AND-term over the assigned regions.
-func (e *Engine) evalConjunct(q *query.Query, c query.Conjunct, objs map[object.ID]*object.Object,
+func (e *Engine) evalConjunct(tok *sched.Token, q *query.Query, c query.Conjunct, objs map[object.ID]*object.Object,
 	anchor *object.Object, orig []int, sorted []int, collect bool, stats *Stats,
 	cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
 	order := e.orderConditions(c)
 	if e.Strategy == SortedHistogram {
 		if rep := e.replicaFor(order[0]); rep != nil {
-			return e.evalConjunctSorted(q, c, order, objs, anchor, rep, sorted, collect, stats, cs)
+			return e.evalConjunctSorted(tok, q, c, order, objs, anchor, rep, sorted, collect, stats, cs)
 		}
 	}
-	return e.evalConjunctScanProbe(q, c, order, objs, anchor, orig, collect, stats, cs)
+	return e.evalConjunctScanProbe(tok, q, c, order, objs, anchor, orig, collect, stats, cs)
 }
 
 func (e *Engine) replicaFor(id object.ID) *sortstore.Replica {
@@ -432,19 +452,55 @@ func (e *Engine) replicaFor(id object.ID) *sortstore.Replica {
 	return e.Replica(id)
 }
 
+// regionTaskResult carries everything one region-evaluation task produced
+// on its shadow engine. The merge phase folds results back in region
+// order, so the query's output never depends on task interleaving.
+type regionTaskResult struct {
+	span    *telemetry.Span // detached region span (nil when untraced)
+	condLog *telemetry.Span // private condition-selectivity log
+	acct    *vclock.Account // shadow account (nil when the engine has none)
+	stats   Stats
+	hits    []uint64
+	vals    map[object.ID][]float64
+}
+
+// replayCondAttrs folds a task's private condition-selectivity log into
+// the conjunct span, preserving attribute insertion order — the merge
+// half of the per-task condIn/condOut recording.
+func replayCondAttrs(cs, log *telemetry.Span) {
+	if cs == nil || log == nil {
+		return
+	}
+	for _, a := range log.Attrs {
+		cs.AddInt(a.Key, a.Int)
+	}
+}
+
 // evalConjunctScanProbe is the scan+probe path used by PDC-F, PDC-H, and
-// PDC-HI (the latter replaces the scan with index lookups).
-func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order []object.ID,
+// PDC-HI (the latter replaces the scan with index lookups). It runs in
+// three phases so regions can be evaluated in parallel without changing
+// a single output byte:
+//
+//  1. a serial pruning pass in region order — histogram/min-max pruning
+//     reads only metadata, and the pass records the per-region outcome so
+//     the merge can rebuild the exact serial span sequence;
+//  2. a fan-out of the surviving regions over the worker pool, each task
+//     on a shadow engine (private account, detached spans) touching only
+//     its own region's extents;
+//  3. a serial merge in region order that adopts spans, replays condition
+//     counters, absorbs shadow accounts, and appends hit coordinates.
+func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query.Conjunct, order []object.ID,
 	objs map[object.ID]*object.Object, anchor *object.Object, orig []int,
 	collect bool, stats *Stats, cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
-	var coords []uint64
-	var vals map[object.ID][]float64
-	if collect {
-		vals = make(map[object.ID][]float64, len(order))
+	type regionEntry struct {
+		r      int
+		pruned *telemetry.Span // non-nil: histogram-pruned, span pre-built
+		task   int             // else: index into taskRegions
 	}
-	hitBuf := make([]uint64, 0, 1024)
-
+	var entries []regionEntry
+	var taskRegions []int
+	var taskRuns [][]localRun
 	for _, r := range orig {
 		runs, ok := constraintRuns(anchor, r, q.Constraint)
 		if !ok {
@@ -455,10 +511,13 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 			pruned := false
 			for id, iv := range c {
 				if prunable(objs[id], r, iv) {
-					if rs := cs.Child(telemetry.SpanRegion, fmt.Sprintf("region.%d", r)); rs != nil {
-						rs.SetStr("decision", telemetry.DecisionHistogramPruned)
-						rs.SetInt("by", int64(id))
+					var ps *telemetry.Span
+					if cs != nil {
+						ps = telemetry.NewSpan(telemetry.SpanRegion, fmt.Sprintf("region.%d", r))
+						ps.SetStr("decision", telemetry.DecisionHistogramPruned)
+						ps.SetInt("by", int64(id))
 					}
+					entries = append(entries, regionEntry{r: r, pruned: ps, task: -1})
 					pruned = true
 					break
 				}
@@ -468,11 +527,30 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 				continue
 			}
 		}
-		stats.RegionsEvaluated++
+		entries = append(entries, regionEntry{r: r, task: len(taskRegions)})
+		taskRegions = append(taskRegions, r)
+		taskRuns = append(taskRuns, runs)
+	}
+
+	results := make([]*regionTaskResult, len(taskRegions))
+	runTask := func(i int) error {
+		r := taskRegions[i]
+		res := &regionTaskResult{}
+		te := *e
+		te.Pool = nil // region tasks never fan out again
+		if e.Acct != nil {
+			res.acct = vclock.NewAccount()
+			te.Acct = res.acct
+		}
+		if cs != nil {
+			res.span = telemetry.NewSpan(telemetry.SpanRegion, fmt.Sprintf("region.%d", r))
+			res.condLog = telemetry.NewSpan(telemetry.SpanPhase, "cond")
+		}
+		rs := res.span
+		res.stats.RegionsEvaluated++
 
 		// Classify how this region will be resolved before reading it:
 		// once readRegion runs, the cache state that made it a hit is gone.
-		rs := cs.Child(telemetry.SpanRegion, fmt.Sprintf("region.%d", r))
 		if rs != nil {
 			switch {
 			case e.Strategy == FullScan:
@@ -485,33 +563,62 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 				rs.SetStr("decision", telemetry.DecisionScan)
 			}
 		}
-		before, costed := e.spanCost(rs)
 
 		var hits []uint64
 		var err error
 		if e.Strategy == HistogramIndex {
-			hits, err = e.evalRegionIndex(c, order, objs, r, runs, stats, cs)
-			if err != nil {
-				return nil, nil, err
-			}
+			hits, err = te.evalRegionIndex(tok, c, order, objs, r, taskRuns[i], &res.stats, res.condLog)
 		} else {
-			hits, err = e.evalRegionScan(c, order, objs, r, runs, hitBuf[:0], stats, cs)
-			if err != nil {
-				return nil, nil, err
+			hits, err = te.evalRegionScan(tok, c, order, objs, r, taskRuns[i], nil, &res.stats, res.condLog)
+		}
+		if err != nil {
+			return err
+		}
+		if res.acct != nil {
+			rs.AddCost(res.acct.Cost())
+		}
+		rs.SetInt("hits", int64(len(hits)))
+		res.hits = hits
+		if len(hits) > 0 && collect {
+			res.vals = make(map[object.ID][]float64, len(order))
+			if err := te.collectRegionValues(tok, order, objs, r, hits, res.vals); err != nil {
+				return err
 			}
 		}
-		e.spanCostDone(rs, before, costed)
-		rs.SetInt("hits", int64(len(hits)))
-		if len(hits) == 0 {
+		results[i] = res
+		return nil
+	}
+	if err := e.Pool.Map(tok, len(taskRegions), runTask); err != nil {
+		return nil, nil, err
+	}
+
+	var coords []uint64
+	var vals map[object.ID][]float64
+	if collect {
+		vals = make(map[object.ID][]float64, len(order))
+	}
+	for _, en := range entries {
+		if en.task < 0 {
+			cs.Adopt(en.pruned)
 			continue
 		}
-		start := anchor.LinearStart(r)
+		res := results[en.task]
+		cs.Adopt(res.span)
+		replayCondAttrs(cs, res.condLog)
+		if e.Acct != nil {
+			e.Acct.Absorb(res.acct)
+		}
+		stats.Add(res.stats)
+		if len(res.hits) == 0 {
+			continue
+		}
+		start := anchor.LinearStart(en.r)
 		if collect {
-			if err := e.collectRegionValues(order, objs, r, hits, vals); err != nil {
-				return nil, nil, err
+			for _, id := range order {
+				vals[id] = append(vals[id], res.vals[id]...)
 			}
 		}
-		for _, h := range hits {
+		for _, h := range res.hits {
 			coords = append(coords, start+h)
 		}
 	}
@@ -526,7 +633,7 @@ func (e *Engine) evalConjunctScanProbe(q *query.Query, c query.Conjunct, order [
 // evalRegionScan scans the first condition and probes the rest (§III-C:
 // only already selected locations are evaluated for subsequent
 // conditions).
-func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
+func (e *Engine) evalRegionScan(tok *sched.Token, c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
 	r int, runs []localRun, buf []uint64, stats *Stats, cs *telemetry.Span) ([]uint64, error) {
 
 	first := objs[order[0]]
@@ -546,6 +653,9 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 		e.Acct.Charge(vclock.Compute, computeCost(n, scanNsPerElem))
 	}
 	for _, id := range order[1:] {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		if len(hits) == 0 {
 			return hits, nil // AND short-circuit
 		}
@@ -571,11 +681,14 @@ func (e *Engine) evalRegionScan(c query.Conjunct, order []object.ID, objs map[ob
 // evalRegionIndex resolves every condition from the per-region bitmap
 // indexes, ANDing the bitmaps; conditions on regions without an index
 // fall back to scan/probe semantics.
-func (e *Engine) evalRegionIndex(c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
+func (e *Engine) evalRegionIndex(tok *sched.Token, c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
 	r int, runs []localRun, stats *Stats, cs *telemetry.Span) ([]uint64, error) {
 
 	var acc *wah.Bitmap
 	for _, id := range order {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		o := objs[id]
 		iv := c[id]
 		rm := &o.Regions[r]
@@ -708,10 +821,31 @@ func (e *Engine) evalIndexCondition(o *object.Object, r int, iv query.Interval, 
 	return acc, nil
 }
 
+// shHit carries one PDC-SH match: the original coordinate plus the
+// values already in hand (key first, then companions in compIDs order)
+// for the stash.
+type shHit struct {
+	coord uint64
+	vals  []float64
+}
+
+// sortedTaskResult is the PDC-SH counterpart of regionTaskResult: what
+// one sorted-region task produced on its shadow engine.
+type sortedTaskResult struct {
+	span    *telemetry.Span
+	condLog *telemetry.Span
+	acct    *vclock.Account
+	stats   Stats
+	hits    []shHit
+}
+
 // evalConjunctSorted is the PDC-SH path: resolve the most selective
 // condition from the sorted replica, then probe the remaining conditions
-// at the matching original locations.
-func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []object.ID,
+// at the matching original locations. Sorted regions fan out over the
+// worker pool with the same shadow-engine / ordered-merge discipline as
+// the scan+probe path; the rest-condition probe stays serial (it walks
+// the globally sorted hit list region by region).
+func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Conjunct, order []object.ID,
 	objs map[object.ID]*object.Object, anchor *object.Object, rep *sortstore.Replica,
 	sortedAssign []int, collect bool, stats *Stats, cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
@@ -733,42 +867,57 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 		}
 	}
 
-	// hit carries the original coordinate plus the values already in hand
-	// (key first, then companions in compIDs order) for the stash.
-	type hit struct {
-		coord uint64
-		vals  []float64
-	}
-	var hits []hit
+	var candidates []int
 	for _, s := range rep.RegionsOverlapping(iv) {
-		if !assigned[s] {
-			continue
+		if assigned[s] {
+			candidates = append(candidates, s)
 		}
-		ss := cs.Child(telemetry.SpanSortedRegion, fmt.Sprintf("sorted.%d", s))
-		if ss != nil {
+	}
+
+	results := make([]*sortedTaskResult, len(candidates))
+	runTask := func(ti int) error {
+		s := candidates[ti]
+		res := &sortedTaskResult{}
+		te := *e
+		te.Pool = nil
+		if e.Acct != nil {
+			res.acct = vclock.NewAccount()
+			te.Acct = res.acct
+		}
+		if cs != nil {
+			res.span = telemetry.NewSpan(telemetry.SpanSortedRegion, fmt.Sprintf("sorted.%d", s))
+			res.condLog = telemetry.NewSpan(telemetry.SpanPhase, "cond")
 			if e.Cache.Contains(object.SortedValKey(keyID, s)) {
-				ss.SetStr("decision", telemetry.DecisionCacheHit)
+				res.span.SetStr("decision", telemetry.DecisionCacheHit)
 			} else {
-				ss.SetStr("decision", telemetry.DecisionScan)
+				res.span.SetStr("decision", telemetry.DecisionScan)
 			}
 		}
-		ssBefore, ssCosted := e.spanCost(ss)
-		valBytes, err := e.readExtent(object.SortedValKey(keyID, s))
+		ss := res.span
+		// finish seals the task at any of its exit points: the span's
+		// cost is the shadow account's whole accumulation, matching the
+		// serial path's spanCost delta across the region body.
+		finish := func(matched int) {
+			if res.acct != nil {
+				ss.AddCost(res.acct.Cost())
+			}
+			ss.SetInt("matched", int64(matched))
+			results[ti] = res
+		}
+		valBytes, err := te.readExtent(object.SortedValKey(keyID, s))
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		lo, hi := rep.EvaluateRegion(valBytes, iv)
-		condIn(cs, keyID, int64(rep.Regions[s].Count))
-		condOut(cs, keyID, int64(hi-lo))
+		condIn(res.condLog, keyID, int64(rep.Regions[s].Count))
+		condOut(res.condLog, keyID, int64(hi-lo))
+		res.stats.SortedRegions++
 		if hi <= lo {
-			stats.SortedRegions++
-			e.spanCostDone(ss, ssBefore, ssCosted)
-			ss.SetInt("matched", 0)
-			continue
+			finish(0)
+			return nil
 		}
-		stats.SortedRegions++
-		if e.Acct != nil {
-			e.Acct.Charge(vclock.Compute, computeCost(int64(hi-lo), probeNsPerElem))
+		if te.Acct != nil {
+			te.Acct.Charge(vclock.Compute, computeCost(int64(hi-lo), probeNsPerElem))
 		}
 
 		// Resolve companion conditions first: contiguous co-sorted reads,
@@ -783,22 +932,25 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 		}
 		alive := positions
 		for _, id := range compIDs {
+			if err := tok.Err(); err != nil {
+				return err
+			}
 			if len(alive) == 0 {
 				break
 			}
-			data, err := e.readExtent(sortstore.CompanionValKey(keyID, id, s))
+			data, err := te.readExtent(sortstore.CompanionValKey(keyID, id, s))
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			civ := c[id]
 			ct, err := companionType(rep, id)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
-			stats.Probes += int64(len(alive))
-			condIn(cs, id, int64(len(alive)))
-			if e.Acct != nil {
-				e.Acct.Charge(vclock.Compute, computeCost(int64(len(alive)), probeNsPerElem))
+			res.stats.Probes += int64(len(alive))
+			condIn(res.condLog, id, int64(len(alive)))
+			if te.Acct != nil {
+				te.Acct.Charge(vclock.Compute, computeCost(int64(len(alive)), probeNsPerElem))
 			}
 			keep := alive[:0]
 			for k, pos := range alive {
@@ -811,15 +963,14 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 				}
 			}
 			alive = keep
-			condOut(cs, id, int64(len(alive)))
+			condOut(res.condLog, id, int64(len(alive)))
 			if collect {
 				compVals = compVals[:len(alive)]
 			}
 		}
 		if len(alive) == 0 {
-			e.spanCostDone(ss, ssBefore, ssCosted)
-			ss.SetInt("matched", 0)
-			continue
+			finish(0)
+			return nil
 		}
 
 		// Fetch the surviving positions' permutation entries. When most
@@ -830,18 +981,18 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 		var permBytes []byte
 		permBase := alive[0]
 		if hi-lo >= regionElems/4 {
-			full, err := e.readExtent(object.SortedPermKey(keyID, s))
+			full, err := te.readExtent(object.SortedPermKey(keyID, s))
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			permBytes = full
 			permBase = 0
 		} else {
 			span := alive[len(alive)-1] - permBase + 1
 			var err error
-			permBytes, err = e.Store.Read(e.Acct, object.SortedPermKey(keyID, s), int64(permBase)*pw, int64(span)*pw)
+			permBytes, err = te.Store.Read(te.Acct, object.SortedPermKey(keyID, s), int64(permBase)*pw, int64(span)*pw)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 		}
 		cbuf := make([]uint64, len(anchor.Dims))
@@ -853,16 +1004,31 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 					continue
 				}
 			}
-			h := hit{coord: coord}
+			h := shHit{coord: coord}
 			if collect {
 				h.vals = append([]float64{dtype.At(rep.Type, valBytes, pos)}, compVals[k]...)
 			}
-			hits = append(hits, h)
+			res.hits = append(res.hits, h)
 		}
-		e.spanCostDone(ss, ssBefore, ssCosted)
-		ss.SetInt("matched", int64(len(alive)))
+		finish(len(alive))
+		return nil
 	}
-	slices.SortFunc(hits, func(a, b hit) int {
+	if err := e.Pool.Map(tok, len(candidates), runTask); err != nil {
+		return nil, nil, err
+	}
+
+	var hits []shHit
+	for ti := range candidates {
+		res := results[ti]
+		cs.Adopt(res.span)
+		replayCondAttrs(cs, res.condLog)
+		if e.Acct != nil {
+			e.Acct.Absorb(res.acct)
+		}
+		stats.Add(res.stats)
+		hits = append(hits, res.hits...)
+	}
+	slices.SortFunc(hits, func(a, b shHit) int {
 		switch {
 		case a.coord < b.coord:
 			return -1
@@ -883,6 +1049,9 @@ func (e *Engine) evalConjunctSorted(q *query.Query, c query.Conjunct, order []ob
 	// region, the probe uses aggregated ranged reads of just those
 	// elements (§III-E) instead of pulling the whole region.
 	for i := 0; i < len(hits); {
+		if err := tok.Err(); err != nil {
+			return nil, nil, err
+		}
 		r := anchor.RegionOfLinear(hits[i].coord)
 		start := anchor.LinearStart(r)
 		regionElems := anchor.Regions[r].Region.NumElems()
@@ -1027,9 +1196,12 @@ func (e *Engine) probeValues(o *object.Object, r int, local []uint64, regionElem
 
 // collectRegionValues appends the hit values for every queried object of
 // one region (scan/probe path — the buffers are warm in cache).
-func (e *Engine) collectRegionValues(order []object.ID, objs map[object.ID]*object.Object,
+func (e *Engine) collectRegionValues(tok *sched.Token, order []object.ID, objs map[object.ID]*object.Object,
 	r int, hits []uint64, vals map[object.ID][]float64) error {
 	for _, id := range order {
+		if err := tok.Err(); err != nil {
+			return err
+		}
 		o := objs[id]
 		data, err := e.readRegion(o, r)
 		if err != nil {
@@ -1060,8 +1232,9 @@ func encodeValues(order []object.ID, objs map[object.ID]*object.Object, vals map
 // ExtractValues reads the values of an object at the given sorted
 // absolute coordinates, returning them concatenated in coordinate order.
 // Regions already warm in the cache are served from memory — this is the
-// get-data path (§III-E, §VI-A).
-func (e *Engine) ExtractValues(id object.ID, coords []uint64) ([]byte, error) {
+// get-data path (§III-E, §VI-A). tok cancels between regions; nil never
+// cancels.
+func (e *Engine) ExtractValues(tok *sched.Token, id object.ID, coords []uint64) ([]byte, error) {
 	o, ok := e.Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("exec: object %d not found", id)
@@ -1069,6 +1242,9 @@ func (e *Engine) ExtractValues(id object.ID, coords []uint64) ([]byte, error) {
 	elemSize := o.Type.Size()
 	out := make([]byte, len(coords)*elemSize)
 	for i := 0; i < len(coords); {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		r := o.RegionOfLinear(coords[i])
 		start := o.LinearStart(r)
 		end := start + o.Regions[r].Region.NumElems()

@@ -364,7 +364,7 @@ func TestExtractValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf, err := e.ExtractValues(1, res.Sel.Coords)
+	buf, err := e.ExtractValues(nil, 1, res.Sel.Coords)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestExtractValues(t *testing.T) {
 	if a.Counter("cache.hits") == 0 {
 		t.Error("ExtractValues after evaluation did not hit the cache")
 	}
-	if _, err := e.ExtractValues(99, nil); err == nil {
+	if _, err := e.ExtractValues(nil, 99, nil); err == nil {
 		t.Error("ExtractValues of unknown object succeeded")
 	}
 }

@@ -18,8 +18,8 @@
 // return errors rather than panic.
 //
 // A second, dataflow tier of analyzers (vclockcharge, wiresymmetry,
-// lockorder) reasons across packages over a whole-repo static call
-// graph (see callgraph.go). These set Analyzer.Global and receive every
+// lockorder, ctxpropagate) reasons across packages over a whole-repo
+// static call graph (see callgraph.go). These set Analyzer.Global and receive every
 // loaded package at once via Pass.Pkgs; Pass.CallGraph lazily builds
 // and shares one graph per run.
 //
@@ -130,6 +130,7 @@ func All() []*Analyzer {
 		VclockChargeAnalyzer,
 		WireSymmetryAnalyzer,
 		LockOrderAnalyzer,
+		CtxPropagateAnalyzer,
 	}
 }
 

@@ -1,0 +1,109 @@
+// Package exec exercises ctxpropagate from an Evaluate* request root.
+package exec
+
+import (
+	"context"
+
+	"ctxpropagate/sched"
+	"ctxpropagate/simio"
+)
+
+// Engine mirrors the real engine: a store plus its region directory.
+type Engine struct {
+	Store   *simio.Store
+	Regions []uint64
+}
+
+// Evaluate is a request-path root (name prefix Evaluate, package exec):
+// every helper below is reachable from here.
+func Evaluate(e *Engine) {
+	scanRegions(e)
+	fanOut(e)
+	scanWithToken(nil, e)
+	scanTokenUnused(nil, e)
+	scanWithCtx(context.Background(), e)
+	scanSuppressed(e)
+	countRegions(e)
+}
+
+// Uncancellable region loop doing store I/O: flagged.
+func scanRegions(e *Engine) {
+	for _, r := range e.Regions { // want `storage-I/O loop on a request path in exec\.scanRegions \(reachable from exec\.Evaluate\)`
+		e.Store.ReadAll(r)
+	}
+}
+
+// Fire-and-forget goroutine with no cancellation handle: flagged.
+func fanOut(e *Engine) {
+	done := make(chan struct{})
+	go func() { // want `goroutine spawned on a request path in exec\.fanOut`
+		e.Store.ReadAll(0)
+		close(done)
+	}()
+	<-done
+}
+
+// Token threaded and checked inside the loop: the sanctioned shape.
+func scanWithToken(tok *sched.Token, e *Engine) {
+	for _, r := range e.Regions {
+		if tok.Err() != nil {
+			return
+		}
+		e.Store.ReadAll(r)
+	}
+}
+
+// Declaring the token is not enough — it must actually be used.
+func scanTokenUnused(tok *sched.Token, e *Engine) {
+	for _, r := range e.Regions { // want `storage-I/O loop on a request path in exec\.scanTokenUnused`
+		e.Store.ReadAll(r)
+	}
+}
+
+// A context parameter works too; selecting on Done counts as use, and
+// goroutines it governs are covered by the same handle.
+func scanWithCtx(ctx context.Context, e *Engine) {
+	res := make(chan []byte, len(e.Regions))
+	go func() {
+		for _, r := range e.Regions {
+			res <- e.Store.ReadAll(r)
+		}
+		close(res)
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case _, ok := <-res:
+			if !ok {
+				return
+			}
+		}
+	}
+}
+
+// The escape hatch: the directive names the analyzer and gives a reason.
+func scanSuppressed(e *Engine) {
+	//lint:ignore ctxpropagate fixture exercises the audited-suppression path
+	go func() {
+		e.Store.ReadAll(1)
+	}()
+}
+
+// A loop with no store I/O is not cancellation-relevant: not flagged.
+func countRegions(e *Engine) int {
+	n := 0
+	for range e.Regions {
+		n++
+	}
+	return n
+}
+
+// offline is NOT reachable from any request root: uncancellable loops
+// and goroutines are fine here (oracles, offline compaction).
+func offline(e *Engine) {
+	for _, r := range e.Regions {
+		e.Store.ReadAll(r)
+	}
+	go func() { e.Store.ReadAll(2) }()
+}

@@ -1,0 +1,17 @@
+// Package sched mirrors internal/sched's Token for the ctxpropagate
+// fixture: the cancellation handle request paths must thread.
+package sched
+
+import "context"
+
+// Token carries a request's cancellation state.
+type Token struct{ ctx context.Context }
+
+// Err reports why the request should stop, or nil. Nil-safe so serial
+// call sites can pass a nil token.
+func (t *Token) Err() error {
+	if t == nil || t.ctx == nil {
+		return nil
+	}
+	return t.ctx.Err()
+}

@@ -1,0 +1,26 @@
+// Package simio mirrors internal/simio's Store I/O surface for the
+// ctxpropagate fixture: Read/ReadAll on Store are the I/O sinks.
+package simio
+
+// Store is the simulated storage backend.
+type Store struct{ data map[uint64][]byte }
+
+// Read reads a prefix of an object.
+func (s *Store) Read(key uint64, n int64) []byte {
+	b := s.data[key]
+	if int64(len(b)) > n {
+		b = b[:n]
+	}
+	return b
+}
+
+// ReadAll reads a whole object. The store's own retry loop is exempt:
+// the I/O layer is what cancellation checkpoints bracket, not a place
+// to interleave them.
+func (s *Store) ReadAll(key uint64) []byte {
+	var b []byte
+	for i := 0; i < 2; i++ {
+		b = s.Read(key, 1<<20)
+	}
+	return b
+}

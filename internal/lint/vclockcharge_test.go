@@ -42,7 +42,7 @@ func requireRepoClean(t *testing.T, a *lint.Analyzer) {
 	}
 }
 
-// TestRepoCleanAllAnalyzers is the seven-analyzer gate: the full
+// TestRepoCleanAllAnalyzers is the eight-analyzer gate: the full
 // catalog must pass over the production tree, matching what make lint
 // and CI enforce.
 func TestRepoCleanAllAnalyzers(t *testing.T) {
@@ -54,8 +54,8 @@ func TestRepoCleanAllAnalyzers(t *testing.T) {
 		t.Fatal(err)
 	}
 	all := lint.All()
-	if len(all) != 7 {
-		t.Fatalf("analyzer catalog has %d entries, want 7", len(all))
+	if len(all) != 8 {
+		t.Fatalf("analyzer catalog has %d entries, want 8", len(all))
 	}
 	diags, err := lint.RunAnalyzers(pkgs, all)
 	if err != nil {

@@ -1,0 +1,115 @@
+package sched
+
+import "sync"
+
+// Pool bounds the number of evaluation tasks in flight. One Pool is
+// shared by every query a server executes, so Workers caps the server's
+// total region-task parallelism, not each query's: a fan-out of 200
+// regions against a 4-worker pool runs 4 tasks at a time.
+//
+// Pool carries no per-query state; determinism is the caller's
+// contract: tasks write only to their own index's slot and the caller
+// merges slots in index order (see exec's region merge).
+type Pool struct {
+	workers int
+	// sem is the global task-slot semaphore; every running task holds
+	// one slot, so concurrent Maps from different queries share the
+	// worker budget instead of multiplying it.
+	sem chan struct{}
+}
+
+// NewPool returns a pool with the given worker count. Counts below 2
+// return nil: a nil *Pool is valid everywhere and means "run serially",
+// which keeps the single-worker configuration byte-identical to the
+// pre-scheduler code path by construction.
+func NewPool(workers int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the parallelism bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Map runs fn(0..n-1), each call at most once, and returns the
+// lowest-index error (or the token's error when cancellation preempted
+// remaining tasks). On a nil pool, a single-task fan-out, or a
+// single-worker pool it runs serially in index order on the calling
+// goroutine. Otherwise tasks are claimed from an ordered cursor by up
+// to min(Workers, n) goroutines, each holding a global semaphore slot
+// while running — but which goroutine runs which index is deliberately
+// unobservable: fn must confine its effects to per-index state.
+//
+// Cancellation: tok.Err() is polled before each task; once it reports
+// an error, no new task starts (running tasks finish — fn should poll
+// the token itself at finer granularity if its tasks are long).
+func (p *Pool) Map(tok *Token, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return tok.Err()
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := tok.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return tok.Err()
+	}
+
+	errs := make([]error, n)
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if tok.Err() != nil {
+					return
+				}
+				i := claim()
+				if i < 0 {
+					return
+				}
+				p.sem <- struct{}{}
+				errs[i] = fn(i)
+				<-p.sem
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic error selection: the lowest-index failure wins, so
+	// the reported error does not depend on goroutine interleaving.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return tok.Err()
+}

@@ -1,0 +1,175 @@
+package sched
+
+import "sync"
+
+// fqSession is one session's slice of the fair queue: a FIFO backlog
+// plus its deficit counter. Sessions exist only while they have queued
+// items (an emptied session's deficit resets, per classic DRR).
+type fqSession[T any] struct {
+	key   uint64
+	items []T
+	costs []int64
+	// deficit is the session's accumulated service allowance; charged
+	// marks that the current visit already received its quantum.
+	deficit int64
+	charged bool
+}
+
+// FairQueue is a deficit-round-robin fair queue with per-session
+// admission control. Producers Push under a session key; consumers Pop.
+// Each session's backlog is bounded by depth — Push returns ErrBusy
+// instead of growing it, which is the backpressure signal the server
+// converts into a MsgBusy reply. Service order interleaves sessions by
+// DRR: every ring visit grants the session `quantum` cost units, and a
+// session is served while its deficit covers the head item's cost, so
+// a session of expensive requests cannot starve one of cheap requests.
+type FairQueue[T any] struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	depth int
+	// quantum is the per-visit service allowance in the same units as
+	// Push costs (1 and 1 gives plain round robin over requests).
+	quantum  int64
+	sessions map[uint64]*fqSession[T]
+	ring     []*fqSession[T] // sessions with queued items, visit order
+	cursor   int
+	size     int
+	closed   bool
+}
+
+// NewFairQueue builds a queue with the given per-session depth bound
+// and DRR quantum (both floored at 1).
+func NewFairQueue[T any](depth int, quantum int64) *FairQueue[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	if quantum < 1 {
+		quantum = 1
+	}
+	q := &FairQueue[T]{depth: depth, quantum: quantum, sessions: make(map[uint64]*fqSession[T])}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v for the session, with a relative service cost (floored
+// at 1; use 1 for uniform requests). It returns ErrBusy when the
+// session's backlog is at depth, and ErrClosed after Close.
+func (q *FairQueue[T]) Push(session uint64, cost int64, v T) error {
+	if cost < 1 {
+		cost = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	s := q.sessions[session]
+	if s == nil {
+		s = &fqSession[T]{key: session}
+		q.sessions[session] = s
+		q.ring = append(q.ring, s)
+	}
+	if len(s.items) >= q.depth {
+		return ErrBusy
+	}
+	s.items = append(s.items, v)
+	s.costs = append(s.costs, cost)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available and returns the next item in
+// DRR order. ok is false once the queue is closed and drained.
+func (q *FairQueue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.cond.Wait()
+	}
+	for {
+		s := q.ring[q.cursor]
+		if !s.charged {
+			s.deficit += q.quantum
+			s.charged = true
+		}
+		if s.deficit >= s.costs[0] {
+			v = s.items[0]
+			s.deficit -= s.costs[0]
+			s.items = s.items[1:]
+			s.costs = s.costs[1:]
+			q.size--
+			if len(s.items) == 0 {
+				q.removeLocked(s)
+			}
+			return v, true
+		}
+		// Allowance spent: the visit ends, the next session is charged.
+		s.charged = false
+		q.cursor = (q.cursor + 1) % len(q.ring)
+	}
+}
+
+// removeLocked drops an emptied session from the ring and resets its
+// DRR state (q.mu held).
+func (q *FairQueue[T]) removeLocked(s *fqSession[T]) {
+	delete(q.sessions, s.key)
+	for i, rs := range q.ring {
+		if rs == s {
+			q.ring = append(q.ring[:i], q.ring[i+1:]...)
+			if q.cursor > i || q.cursor >= len(q.ring) {
+				q.cursor--
+			}
+			if q.cursor < 0 {
+				q.cursor = 0
+			}
+			break
+		}
+	}
+}
+
+// Drop discards a session's queued items (its connection went away) and
+// returns how many were dropped. The caller owns any per-item cleanup.
+func (q *FairQueue[T]) Drop(session uint64) []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.sessions[session]
+	if s == nil {
+		return nil
+	}
+	dropped := s.items
+	q.size -= len(s.items)
+	s.items = nil
+	s.costs = nil
+	q.removeLocked(s)
+	return dropped
+}
+
+// Len returns the total queued item count.
+func (q *FairQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// SessionLen returns one session's backlog length.
+func (q *FairQueue[T]) SessionLen(session uint64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if s := q.sessions[session]; s != nil {
+		return len(s.items)
+	}
+	return 0
+}
+
+// Close wakes all blocked Pops; queued items may still be drained
+// (Pop keeps returning items until empty, then reports !ok).
+func (q *FairQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"pdcquery/internal/transport"
+)
+
+// faultConn scripts the server side of a connection: each Recv step
+// yields either a message or an error (e.g. a transport.FrameError),
+// and everything the server sends is captured for inspection.
+type faultConn struct {
+	mu    sync.Mutex
+	steps []func() (transport.Message, error)
+	sent  []transport.Message
+	// Recv reports EOF only after wantSent replies have gone out, so the
+	// scripted session ends once the server has answered everything
+	// (otherwise teardown could legitimately drop still-queued requests).
+	wantSent int
+	sentFull chan struct{}
+}
+
+func (c *faultConn) Recv() (transport.Message, error) {
+	c.mu.Lock()
+	if len(c.steps) == 0 {
+		c.mu.Unlock()
+		<-c.sentFull
+		return transport.Message{}, io.EOF
+	}
+	step := c.steps[0]
+	c.steps = c.steps[1:]
+	c.mu.Unlock()
+	return step()
+}
+
+func (c *faultConn) Send(m transport.Message) error {
+	c.mu.Lock()
+	c.sent = append(c.sent, m)
+	if len(c.sent) == c.wantSent {
+		close(c.sentFull)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *faultConn) Close() error { return nil }
+
+// TestFailSoftFraming: a malformed-but-delimited frame (the transport
+// reports it as a FrameError) must be answered with an error frame on
+// the same request ID, and the session must keep serving subsequent
+// requests instead of tearing down.
+func TestFailSoftFraming(t *testing.T) {
+	srv, _, _ := testServer(t, 0, 1)
+	conn := &faultConn{wantSent: 2, sentFull: make(chan struct{}), steps: []func() (transport.Message, error){
+		func() (transport.Message, error) {
+			return transport.Message{}, &transport.FrameError{
+				Type: MsgQuery, ReqID: 5, Trace: 9,
+				Reason: "frame of 99 bytes exceeds limit",
+			}
+		},
+		func() (transport.Message, error) {
+			return transport.Message{Type: MsgStats, ReqID: 6}, nil
+		},
+	}}
+	if err := srv.Serve(conn); err != nil {
+		t.Fatalf("Serve returned %v; a bad frame must not kill the session", err)
+	}
+	if len(conn.sent) != 2 {
+		t.Fatalf("server sent %d replies, want 2 (error frame + stats)", len(conn.sent))
+	}
+	errReply := conn.sent[0]
+	if errReply.Type != MsgError || errReply.ReqID != 5 || errReply.Trace != 9 {
+		t.Errorf("bad-frame reply = type %d req %d trace %d, want error frame for req 5 trace 9",
+			errReply.Type, errReply.ReqID, errReply.Trace)
+	}
+	if !strings.Contains(string(errReply.Payload), "bad frame") ||
+		!strings.Contains(string(errReply.Payload), "exceeds limit") {
+		t.Errorf("bad-frame reply payload = %q", errReply.Payload)
+	}
+	statsReply := conn.sent[1]
+	if statsReply.Type != MsgStatsResult || statsReply.ReqID != 6 {
+		t.Errorf("post-fault reply = type %d req %d, want stats result for req 6: session did not stay alive",
+			statsReply.Type, statsReply.ReqID)
+	}
+	if _, err := DecodeStatsResponse(statsReply.Payload); err != nil {
+		t.Errorf("stats after bad frame: %v", err)
+	}
+}

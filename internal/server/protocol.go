@@ -34,6 +34,7 @@ const (
 	MsgShutdown     byte = 12 // client -> server: stop serving this connection
 	MsgStats        byte = 13 // client -> server: telemetry registry snapshot request
 	MsgStatsResult  byte = 14 // server -> client: encoded telemetry registry
+	MsgBusy         byte = 15 // server -> client: admission rejected, retry after hint
 )
 
 // MsgName returns a short stable name for a message type, used as the
@@ -68,6 +69,8 @@ func MsgName(t byte) string {
 		return "stats"
 	case MsgStatsResult:
 		return "stats_result"
+	case MsgBusy:
+		return "busy"
 	}
 	return fmt.Sprintf("unknown_%d", t)
 }
@@ -474,6 +477,34 @@ func DecodeStatsResponse(b []byte) (*StatsResponse, error) {
 		return nil, err
 	}
 	return &StatsResponse{Cost: cost, Reg: reg}, nil
+}
+
+// BusyResponse answers any request the server's admission control
+// rejected: the session's queue slice was full. RetryAfterNs is a
+// deterministic virtual-time hint derived from the queue backlog; Queued
+// is the backlog depth observed at rejection (diagnostics).
+type BusyResponse struct {
+	RetryAfterNs uint64
+	Queued       uint32
+}
+
+// Encode serializes the response. Fields are emitted in decode order
+// (retry-after, queued) so the wire layout and the field-access order
+// stay in lockstep (wiresymmetry).
+func (r *BusyResponse) Encode() []byte {
+	out := binary.LittleEndian.AppendUint64(nil, r.RetryAfterNs)
+	return binary.LittleEndian.AppendUint32(out, r.Queued)
+}
+
+// DecodeBusyResponse parses a MsgBusy payload.
+func DecodeBusyResponse(b []byte) (*BusyResponse, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("protocol: truncated busy response")
+	}
+	r := &BusyResponse{}
+	r.RetryAfterNs = binary.LittleEndian.Uint64(b)
+	r.Queued = binary.LittleEndian.Uint32(b[8:])
+	return r, nil
 }
 
 // EncodeHistResult wraps an optional histogram.

@@ -11,17 +11,22 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pdcquery/internal/exec"
 	"pdcquery/internal/histogram"
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
+	"pdcquery/internal/sched"
 	"pdcquery/internal/selection"
 	"pdcquery/internal/simio"
 	"pdcquery/internal/sortstore"
@@ -53,7 +58,26 @@ type Config struct {
 	// Clock supplies opt-in wall-clock readings for trace spans. Nil means
 	// telemetry.NoClock: traces stay byte-identical across runs.
 	Clock telemetry.Clock
+	// Workers sets the region-task parallelism of the evaluation engine
+	// and the number of concurrent request dispatchers. Zero or one keeps
+	// the engine serial and a single dispatcher — byte-identical to the
+	// pre-scheduler server (the determinism contract extends to any
+	// worker count; see DESIGN.md's scheduler section).
+	Workers int
+	// QueueDepth bounds each session's admission-control backlog. A
+	// session with QueueDepth requests already queued gets MsgBusy
+	// replies (with a retry-after hint) until the backlog drains. Zero
+	// means DefaultQueueDepth.
+	QueueDepth int
 }
+
+// DefaultQueueDepth is the per-session admission bound when Config
+// leaves QueueDepth zero.
+const DefaultQueueDepth = 16
+
+// busyRetryStep is the deterministic retry-after hint unit: a rejected
+// request is told to wait one step per request queued ahead of it.
+const busyRetryStep = 100 * time.Microsecond
 
 // Server is one PDC query server. It may serve several client
 // connections concurrently; per-query result stashes are scoped to the
@@ -68,11 +92,36 @@ type Server struct {
 	// Metrics merges everything into the server-wide view.
 	telem *telemetry.Registry
 
+	// Scheduler state: the region-task pool shared by every request (nil
+	// when Workers < 2), the cross-session fair queue, and the dispatcher
+	// goroutines that drain it. Dispatchers start lazily with the first
+	// Serve call and stop in Shutdown. These are immutable after New or
+	// internally synchronized, so they sit above smu: only the session
+	// set below needs the server mutex.
+	pool         *sched.Pool
+	queue        *sched.FairQueue[*queuedReq]
+	queueDepth   int
+	sessKey      atomic.Uint64
+	dispatchOnce sync.Once
+	dwg          sync.WaitGroup
+	shutdownOnce sync.Once
+	baseCtx      context.Context
+	baseCancel   context.CancelFunc
+
 	smu      sync.Mutex
 	sessions map[*session]struct{}
 	// retired accumulates the registries of disconnected sessions so their
 	// history survives in Metrics.
 	retired *telemetry.Registry
+}
+
+// queuedReq is one admitted request waiting for a dispatcher.
+type queuedReq struct {
+	ss *session
+	m  transport.Message
+	// enq is the clock reading at admission (0 under NoClock), used for
+	// the queue-wait latency distribution.
+	enq int64
 }
 
 // stashEntry keeps one query's partial result for subsequent get-data
@@ -97,6 +146,13 @@ func New(cfg Config) *Server {
 		sessions: make(map[*session]struct{}),
 		retired:  telemetry.NewRegistry(),
 	}
+	s.queueDepth = cfg.QueueDepth
+	if s.queueDepth <= 0 {
+		s.queueDepth = DefaultQueueDepth
+	}
+	s.pool = sched.NewPool(cfg.Workers)
+	s.queue = sched.NewFairQueue[*queuedReq](s.queueDepth, 1)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.engine = &exec.Engine{
 		Store: cfg.Store,
 		Acct:  s.acct,
@@ -114,8 +170,20 @@ func New(cfg Config) *Server {
 		},
 		Strategy: cfg.Strategy,
 		Cache:    exec.NewCache(cfg.CacheBytes),
+		Pool:     s.pool,
 	}
 	return s
+}
+
+// reqEngine clones the evaluation engine with a private per-request
+// account: concurrent requests charge in isolation and serveOne folds
+// each request's account into the server's cumulative one afterwards.
+// Sums commute, so the totals are byte-identical to the serial
+// single-account accounting.
+func (s *Server) reqEngine(acct *vclock.Account) *exec.Engine {
+	e := *s.engine
+	e.Acct = acct
+	return &e
 }
 
 // Account exposes the server's virtual-time account (used by deployments
@@ -150,6 +218,12 @@ func (s *Server) Metrics() *telemetry.Registry {
 	out.SetGauge("sessions.live", float64(live))
 	out.SetGauge("cache.bytes", float64(s.engine.Cache.Used()))
 	out.SetGauge("cache.entries", float64(s.engine.Cache.Len()))
+	// Scheduler gauges appear only when the scheduler is on, keeping the
+	// single-worker metric set (and its golden test) unchanged.
+	if s.cfg.Workers > 0 {
+		out.SetGauge("sched.workers", float64(s.pool.Workers()))
+		out.SetGauge("sched.queue.depth", float64(s.queue.Len()))
+	}
 	return out
 }
 
@@ -202,10 +276,28 @@ type session struct {
 	// arbitrary entry).
 	order []uint64
 	reg   *telemetry.Registry
+
+	// key identifies the session in the fair queue; replyCh feeds the
+	// connection's writer goroutine; inflight counts admitted requests
+	// not yet answered; ctx is cancelled on disconnect or shutdown and
+	// threads into every request's sched.Token.
+	key      uint64
+	replyCh  chan transport.Message
+	inflight sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
 }
 
-func newSession() *session {
-	return &session{stash: make(map[uint64]*stashEntry), reg: telemetry.NewRegistry()}
+func (s *Server) newSession() *session {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	return &session{
+		stash:   make(map[uint64]*stashEntry),
+		reg:     telemetry.NewRegistry(),
+		key:     s.sessKey.Add(1),
+		replyCh: make(chan transport.Message, s.queueDepth+4),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
 }
 
 func (ss *session) put(req uint64, e *stashEntry) {
@@ -229,41 +321,163 @@ func (ss *session) get(req uint64) *stashEntry {
 	return ss.stash[req]
 }
 
+// startDispatchers launches the server's dispatcher goroutines on first
+// use. Dispatcher count follows Workers (minimum one), so a scheduler-
+// enabled server also pipelines across sessions; the region-task pool's
+// global semaphore keeps total evaluation parallelism at Workers.
+func (s *Server) startDispatchers() {
+	s.dispatchOnce.Do(func() {
+		n := s.cfg.Workers
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			s.dwg.Add(1)
+			go s.dispatcher()
+		}
+	})
+}
+
+func (s *Server) dispatcher() {
+	defer s.dwg.Done()
+	for {
+		qr, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.serveOne(qr)
+	}
+}
+
+// serveOne executes one admitted request: a private account and a
+// cancellation token scoped to the request, the handler, the account
+// fold into the server's cumulative account, and the correlated reply.
+func (s *Server) serveOne(qr *queuedReq) {
+	ss, m := qr.ss, qr.m
+	defer ss.inflight.Done()
+	if s.cfg.Workers > 0 {
+		if t0 := s.clock().Now(); t0 != 0 || qr.enq != 0 {
+			ss.reg.Observe("sched.queue_wait_ns", float64(t0-qr.enq))
+		}
+	}
+	acct := vclock.NewAccount()
+	tok := sched.NewToken(ss.ctx, acct, time.Duration(m.Deadline))
+	reply := s.handle(ss, tok, acct, m)
+	s.acct.Absorb(acct)
+	reply.ReqID = m.ReqID
+	reply.Trace = m.Trace
+	ss.replyCh <- reply
+}
+
 // Serve processes messages on one client connection until EOF or
-// shutdown. It is the paper's server event loop; call it once per
+// shutdown. It is the paper's server event loop — now pipelined: this
+// goroutine only reads and admits frames, dispatchers execute them, and
+// a writer goroutine sends the correlated replies. Call it once per
 // accepted connection.
 func (s *Server) Serve(conn transport.Conn) error {
-	ss := newSession()
+	s.startDispatchers()
+	ss := s.newSession()
 	s.smu.Lock()
 	s.sessions[ss] = struct{}{}
 	s.smu.Unlock()
-	defer func() {
-		// Fold the disconnected session's registry into the retired pool so
-		// Metrics keeps counting it.
+
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for m := range ss.replyCh {
+			// Send errors mean the connection is going away; keep
+			// draining so dispatchers never block on a dead session.
+			_ = conn.Send(m)
+		}
+	}()
+
+	// teardown unwinds in dependency order: cancel running requests,
+	// release queued ones, wait for in-flight replies to land in the
+	// reply channel, then close it so the writer drains and exits. Every
+	// admitted request gets a reply before its inflight count drops, so
+	// none are dropped.
+	teardown := func() {
+		ss.cancel()
+		for range s.queue.Drop(ss.key) {
+			ss.inflight.Done()
+		}
+		ss.inflight.Wait()
+		close(ss.replyCh)
+		wwg.Wait()
+		// Fold the disconnected session's registry into the retired pool
+		// so Metrics keeps counting it.
 		s.smu.Lock()
 		delete(s.sessions, ss)
 		s.retired.Merge(ss.reg)
 		s.smu.Unlock()
-	}()
+	}
+
 	for {
 		m, err := conn.Recv()
 		if err == io.EOF {
+			teardown()
 			return nil
 		}
+		var fe *transport.FrameError
+		if errors.As(err, &fe) {
+			// Fail-soft framing: the frame was malformed but the stream
+			// is still delimited, so answer this request with an error
+			// frame and keep the session alive.
+			reply := s.errMsg(fmt.Errorf("bad frame: %s", fe.Reason))
+			reply.ReqID = fe.ReqID
+			reply.Trace = fe.Trace
+			ss.replyCh <- reply
+			continue
+		}
 		if err != nil {
+			teardown()
 			return err
 		}
 		if m.Type == MsgShutdown {
 			s.telem.Add("msg."+MsgName(m.Type), 1)
+			teardown()
 			return nil
 		}
-		reply := s.handle(ss, m)
-		reply.ReqID = m.ReqID
-		reply.Trace = m.Trace
-		if err := conn.Send(reply); err != nil {
-			return err
+		ss.inflight.Add(1)
+		qr := &queuedReq{ss: ss, m: m, enq: s.clock().Now()}
+		if err := s.queue.Push(ss.key, 1, qr); err != nil {
+			ss.inflight.Done()
+			if errors.Is(err, sched.ErrBusy) {
+				// Admission control: the session's backlog is full.
+				// Reply MsgBusy with a deterministic retry-after hint
+				// instead of buffering without bound.
+				s.telem.Add("sched.rejected", 1)
+				queued := s.queue.SessionLen(ss.key)
+				busy := &BusyResponse{
+					RetryAfterNs: uint64(queued) * uint64(busyRetryStep),
+					Queued:       uint32(queued),
+				}
+				ss.replyCh <- transport.Message{
+					Type: MsgBusy, ReqID: m.ReqID, Trace: m.Trace, Payload: busy.Encode(),
+				}
+				continue
+			}
+			// Queue closed: the server is shutting down.
+			reply := s.errMsg(fmt.Errorf("shutting down"))
+			reply.ReqID = m.ReqID
+			reply.Trace = m.Trace
+			ss.replyCh <- reply
 		}
 	}
+}
+
+// Shutdown stops the dispatcher pool: running evaluations are cancelled,
+// the fair queue closes (already-admitted requests still drain and get
+// replies), and the method returns once every dispatcher has exited. It
+// is idempotent and composes with connection teardown in any order;
+// Serve loops answer requests arriving afterwards with error frames.
+func (s *Server) Shutdown() {
+	s.shutdownOnce.Do(func() {
+		s.baseCancel()
+		s.queue.Close()
+		s.dwg.Wait()
+	})
 }
 
 // errMsg builds a MsgError reply. Every server-side error is prefixed
@@ -273,19 +487,19 @@ func (s *Server) errMsg(err error) transport.Message {
 	return transport.Message{Type: MsgError, Payload: []byte(fmt.Sprintf("server %d: %v", s.cfg.ID, err))}
 }
 
-func (s *Server) handle(ss *session, m transport.Message) transport.Message {
+func (s *Server) handle(ss *session, tok *sched.Token, acct *vclock.Account, m transport.Message) transport.Message {
 	s.telem.Add("msg."+MsgName(m.Type), 1)
 	switch m.Type {
 	case MsgQuery:
-		return s.handleQuery(ss, m)
+		return s.handleQuery(ss, tok, acct, m)
 	case MsgGetData:
-		return s.handleGetData(ss, m)
+		return s.handleGetData(ss, tok, acct, m)
 	case MsgHistogram:
 		return s.handleHistogram(m)
 	case MsgTagQuery:
-		return s.handleTagQuery(m)
+		return s.handleTagQuery(acct, m)
 	case MsgStats:
-		return s.handleStats(m)
+		return s.handleStats(acct, m)
 	case MsgMetaSnapshot:
 		snap, err := s.cfg.Meta.Snapshot()
 		if err != nil {
@@ -297,16 +511,15 @@ func (s *Server) handle(ss *session, m transport.Message) transport.Message {
 }
 
 // handleStats answers a MsgStats request with the merged telemetry
-// registry. Serving stats is metadata work; its cost is the incremental
-// account charge (zero under the current model).
-func (s *Server) handleStats(m transport.Message) transport.Message {
-	before := s.acct.Cost()
+// registry. Serving stats is metadata work; its cost is the request
+// account's charge (zero under the current model).
+func (s *Server) handleStats(acct *vclock.Account, m transport.Message) transport.Message {
 	reg := s.Metrics()
-	resp := &StatsResponse{Cost: s.acct.Cost().Sub(before), Reg: reg}
+	resp := &StatsResponse{Cost: acct.Cost(), Reg: reg}
 	return transport.Message{Type: MsgStatsResult, Payload: resp.Encode()}
 }
 
-func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message {
+func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account, m transport.Message) transport.Message {
 	flags, qbytes, err := DecodeQueryRequest(m.Payload)
 	if err != nil {
 		return s.errMsg(err)
@@ -341,14 +554,12 @@ func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message
 	// paper's server-side result caching, which the stash serves to later
 	// get-data requests. The response only carries the values when the
 	// client explicitly asked for them inline.
-	before := s.acct.Cost()
-	beforeBytes := s.acct.Counter("read.bytes")
-	res, err := s.engine.EvaluateTraced(q, assign, true, span)
+	res, err := s.reqEngine(acct).EvaluateToken(tok, q, assign, true, span)
 	if err != nil {
 		return s.errMsg(err)
 	}
-	cost := s.acct.Cost().Sub(before)
-	res.Stats.StorageBytes = s.acct.Counter("read.bytes") - beforeBytes
+	cost := acct.Cost()
+	res.Stats.StorageBytes = acct.Counter("read.bytes")
 
 	ss.put(m.ReqID, &stashEntry{coords: res.Sel.Coords, values: res.Values})
 	ss.reg.Add("query.count", 1)
@@ -376,6 +587,9 @@ func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message
 		if wall := s.clock().Now(); wall != 0 || wallStart != 0 {
 			span.WallNanos = wall - wallStart
 		}
+		// No scheduler attributes in the trace: the traced response
+		// payload is part of the modeled wire cost, so span bytes must be
+		// identical at any worker count (worker count is a gauge instead).
 		span.SetInt("hits", int64(res.Sel.NHits))
 		resp.Trace = span
 	}
@@ -388,12 +602,12 @@ func (s *Server) handleQuery(ss *session, m transport.Message) transport.Message
 	return transport.Message{Type: MsgQueryResult, Payload: resp.Encode()}
 }
 
-func (s *Server) handleGetData(ss *session, m transport.Message) transport.Message {
+func (s *Server) handleGetData(ss *session, tok *sched.Token, acct *vclock.Account, m transport.Message) transport.Message {
 	req, err := DecodeDataRequest(m.Payload)
 	if err != nil {
 		return s.errMsg(err)
 	}
-	before := s.acct.Cost()
+	engine := s.reqEngine(acct)
 	var coords []uint64
 	var data []byte
 	if req.Coords == nil && req.QueryReq != 0 {
@@ -406,22 +620,21 @@ func (s *Server) handleGetData(ss *session, m transport.Message) transport.Messa
 			// Values were captured during evaluation: a pure memory send.
 			data = v
 			model := s.cfg.Store.Model()
-			s.acct.ChargeCost(model.ReadCost(simio.Memory, int64(len(v))))
+			acct.ChargeCost(model.ReadCost(simio.Memory, int64(len(v))))
 		} else {
-			data, err = s.engine.ExtractValues(req.Obj, coords)
+			data, err = engine.ExtractValues(tok, req.Obj, coords)
 			if err != nil {
 				return s.errMsg(err)
 			}
 		}
 	} else {
 		coords = req.Coords
-		data, err = s.engine.ExtractValues(req.Obj, coords)
+		data, err = engine.ExtractValues(tok, req.Obj, coords)
 		if err != nil {
 			return s.errMsg(err)
 		}
 	}
-	cost := s.acct.Cost().Sub(before)
-	resp := &DataResponse{Cost: cost, Coords: coords, Data: data}
+	resp := &DataResponse{Cost: acct.Cost(), Coords: coords, Data: data}
 	return transport.Message{Type: MsgDataResult, Payload: resp.Encode()}
 }
 
@@ -437,13 +650,12 @@ func (s *Server) handleHistogram(m transport.Message) transport.Message {
 	return transport.Message{Type: MsgHistResult, Payload: EncodeHistResult(o.Global)}
 }
 
-func (s *Server) handleTagQuery(m transport.Message) transport.Message {
+func (s *Server) handleTagQuery(acct *vclock.Account, m transport.Message) transport.Message {
 	conds, err := DecodeTagQuery(m.Payload)
 	if err != nil {
 		return s.errMsg(err)
 	}
-	before := s.acct.Cost()
-	all := s.cfg.Meta.TagQuery(s.acct, conds)
+	all := s.cfg.Meta.TagQuery(acct, conds)
 	// Each server answers only for the metadata objects it owns (§II:
 	// one owner per metadata object); the client unions the shards.
 	var owned []object.ID
@@ -452,6 +664,5 @@ func (s *Server) handleTagQuery(m transport.Message) transport.Message {
 			owned = append(owned, id)
 		}
 	}
-	cost := s.acct.Cost().Sub(before)
-	return transport.Message{Type: MsgTagResult, Payload: EncodeTagResult(cost, owned)}
+	return transport.Message{Type: MsgTagResult, Payload: EncodeTagResult(acct.Cost(), owned)}
 }

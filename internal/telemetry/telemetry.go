@@ -39,6 +39,30 @@ type wallClock struct{}
 
 func (wallClock) Now() int64 { return time.Now().UnixNano() }
 
+// Sleeper is the wall-clock delay seam, the companion of Clock: code
+// that must pace itself in real time (the client's busy-retry backoff)
+// asks a Sleeper instead of calling time.Sleep, and deterministic
+// contexts install NoSleep so tests never wait.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+type wallSleeper struct{}
+
+func (wallSleeper) Sleep(d time.Duration) { time.Sleep(d) }
+
+// WallSleep really sleeps. Only user-facing binaries install it;
+// everything under test uses NoSleep so runs stay fast and repeatable.
+var WallSleep Sleeper = wallSleeper{}
+
+type noSleep struct{}
+
+func (noSleep) Sleep(time.Duration) {}
+
+// NoSleep is the deterministic default: backoff waits are modeled in
+// virtual time only and return immediately.
+var NoSleep Sleeper = noSleep{}
+
 // Wall reads the real wall clock. Only user-facing daemons install it
 // (cmd/pdc-server's query log); everything under test uses NoClock so
 // traces stay byte-identical across runs.

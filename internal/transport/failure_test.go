@@ -64,9 +64,26 @@ func frameBytes(claimed uint32, typ byte, reqID uint64, payload []byte) []byte {
 }
 
 func TestRecvOversizedFrame(t *testing.T) {
-	c := NewNetConn(newScriptConn(frameBytes(maxFrame+1, 1, 7, nil)))
-	if _, err := c.Recv(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
-		t.Errorf("oversized frame: err = %v, want limit error", err)
+	defer func(old int) { maxFrame = old }(maxFrame)
+	maxFrame = 64
+	// An oversized frame whose payload really is on the wire, followed by
+	// a well-formed frame: Recv must report the first as a FrameError
+	// (header fields intact, payload discarded) and stay in sync for the
+	// second.
+	script := append(frameBytes(100, 1, 7, make([]byte, 100)),
+		frameBytes(3, 2, 8, []byte("abc"))...)
+	c := NewNetConn(newScriptConn(script))
+	_, err := c.Recv()
+	var fe *FrameError
+	if !errors.As(err, &fe) || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame: err = %v, want FrameError with limit text", err)
+	}
+	if fe.Type != 1 || fe.ReqID != 7 {
+		t.Errorf("FrameError header = type %d req %d, want type 1 req 7", fe.Type, fe.ReqID)
+	}
+	m, err := c.Recv()
+	if err != nil || m.ReqID != 8 || string(m.Payload) != "abc" {
+		t.Errorf("frame after oversized frame = %+v, %v; want req 8 payload abc", m, err)
 	}
 }
 

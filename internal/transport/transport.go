@@ -23,12 +23,15 @@ import (
 // correlation ID, and an opaque payload. Trace carries the telemetry
 // TraceID of the query the frame belongs to (zero when untraced); it
 // rides in the frame header so servers can correlate spans without
-// re-parsing payloads.
+// re-parsing payloads. Deadline is the request's virtual-time budget in
+// nanoseconds (zero = none); it also rides in the header so the server's
+// scheduler can enforce it without decoding the payload.
 type Message struct {
-	Type    byte
-	ReqID   uint64
-	Trace   uint64
-	Payload []byte
+	Type     byte
+	ReqID    uint64
+	Trace    uint64
+	Deadline uint64
+	Payload  []byte
 }
 
 // Conn is a duplex message connection. Send and Recv may be used
@@ -130,8 +133,23 @@ func (c *pipeConn) Close() error {
 
 // --- TCP transport -----------------------------------------------------------
 
-// maxFrame guards against corrupt length prefixes.
-const maxFrame = 1 << 30
+// maxFrame guards against corrupt length prefixes. It is a variable only
+// so framing tests can exercise the oversized-frame path without
+// gigabyte scripts.
+var maxFrame = 1 << 30
+
+// FrameError reports a malformed but well-delimited frame: the header
+// parsed, so the payload boundary is known and the stream stays in sync,
+// but the frame itself is unusable. Servers reply with an error frame
+// and keep the session alive instead of tearing it down.
+type FrameError struct {
+	Type   byte
+	ReqID  uint64
+	Trace  uint64
+	Reason string
+}
+
+func (e *FrameError) Error() string { return "transport: " + e.Reason }
 
 type tcpConn struct {
 	c  net.Conn
@@ -141,8 +159,8 @@ type tcpConn struct {
 }
 
 // frame layout: u32 payload length | u8 type | u64 reqID | u64 trace |
-// payload.
-const frameHeader = 4 + 1 + 8 + 8
+// u64 deadline | payload.
+const frameHeader = 4 + 1 + 8 + 8 + 8
 
 func (c *tcpConn) Send(m Message) error {
 	c.mu.Lock()
@@ -152,6 +170,7 @@ func (c *tcpConn) Send(m Message) error {
 	hdr[4] = m.Type
 	binary.LittleEndian.PutUint64(hdr[5:13], m.ReqID)
 	binary.LittleEndian.PutUint64(hdr[13:21], m.Trace)
+	binary.LittleEndian.PutUint64(hdr[21:29], m.Deadline)
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -167,13 +186,25 @@ func (c *tcpConn) Recv() (Message, error) {
 		return Message{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
-	if n > maxFrame {
-		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
-	}
 	m := Message{
-		Type:  hdr[4],
-		ReqID: binary.LittleEndian.Uint64(hdr[5:13]),
-		Trace: binary.LittleEndian.Uint64(hdr[13:21]),
+		Type:     hdr[4],
+		ReqID:    binary.LittleEndian.Uint64(hdr[5:13]),
+		Trace:    binary.LittleEndian.Uint64(hdr[13:21]),
+		Deadline: binary.LittleEndian.Uint64(hdr[21:29]),
+	}
+	if int64(n) > int64(maxFrame) {
+		// The frame is well-delimited (the peer is sending n payload
+		// bytes) but too large to accept. Discard the payload to keep
+		// the stream in sync and report a FrameError carrying the header
+		// fields, so the server can answer this request with an error
+		// frame and keep the session alive.
+		if _, err := io.CopyN(io.Discard, c.br, int64(n)); err != nil {
+			return Message{}, err
+		}
+		return Message{}, &FrameError{
+			Type: m.Type, ReqID: m.ReqID, Trace: m.Trace,
+			Reason: fmt.Sprintf("frame of %d bytes exceeds limit", n),
+		}
 	}
 	if n > 0 {
 		m.Payload = make([]byte, n)

@@ -10,7 +10,7 @@ import (
 
 func testRoundTrip(t *testing.T, a, b Conn) {
 	t.Helper()
-	want := Message{Type: 3, ReqID: 42, Trace: 0xDEADBEEF, Payload: []byte("hello")}
+	want := Message{Type: 3, ReqID: 42, Trace: 0xDEADBEEF, Deadline: 1500, Payload: []byte("hello")}
 	if err := a.Send(want); err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +18,8 @@ func testRoundTrip(t *testing.T, a, b Conn) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Type != want.Type || got.ReqID != want.ReqID || got.Trace != want.Trace || !bytes.Equal(got.Payload, want.Payload) {
+	if got.Type != want.Type || got.ReqID != want.ReqID || got.Trace != want.Trace ||
+		got.Deadline != want.Deadline || !bytes.Equal(got.Payload, want.Payload) {
 		t.Errorf("round trip: %+v != %+v", got, want)
 	}
 	// And the reverse direction.

@@ -206,6 +206,25 @@ func (a *Account) CounterSnapshot() map[string]int64 {
 	return out
 }
 
+// Absorb folds another account's accumulated cost and counters into a.
+// It is the merge step of shadow accounting: parallel region tasks (and
+// per-request accounts) charge private accounts, which the owner absorbs
+// in a deterministic order — sums commute, so totals are byte-identical
+// to having charged a directly.
+func (a *Account) Absorb(o *Account) {
+	if o == nil {
+		return
+	}
+	cost := o.Cost()
+	ops := o.CounterSnapshot()
+	a.mu.Lock()
+	a.cost = a.cost.Add(cost)
+	for name, v := range ops {
+		a.ops[name] += v
+	}
+	a.mu.Unlock()
+}
+
 // MaxOf combines the costs of parallel accounts: the elapsed virtual time
 // of a fan-out phase is the maximum total across participants.
 func MaxOf(accounts ...*Account) Cost {
