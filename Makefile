@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test cover race fuzz stress bench figures verify examples clean
+.PHONY: all build lint test cover race fuzz stress chaos bench figures verify examples clean
 
 all: build lint test
 
@@ -42,6 +42,17 @@ stress:
 		'TestBusyRetry|TestQueryBudgetEndToEnd|TestRunAsyncReapedOnClose|TestClosedClientReturnsError' \
 		./internal/client/
 	$(GO) test -race -count=2 -run 'Test' ./internal/sched/
+
+# Chaos soak: CHAOS_SEEDS seeded fault schedules (drop/corrupt/storage
+# faults at deterministic operation counts) against the brute-force
+# oracle, plus the pinned corpus and the checkpoint crash-recovery
+# round-trip. Invariant: zero wrong answers — every fault is masked by
+# recovery or surfaces as a typed error. A failing seed replays exactly;
+# pin it in internal/fault/corpus_test.go.
+CHAOS_SEEDS ?= 64
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestCorpus' \
+		./internal/fault/ -chaos-seeds $(CHAOS_SEEDS)
 
 # Short fuzz smoke on the serialization-heavy packages; CI runs this.
 FUZZTIME ?= 20s

@@ -35,6 +35,7 @@ func main() {
 	flag.IntVar(&cfg.Concurrency, "concurrency", cfg.Concurrency, "client sessions for the concurrent-clients experiment")
 	seed := flag.Uint64("seed", cfg.Seed, "dataset seed")
 	csvDir := flag.String("csv", "", "also write each figure's rows as CSV files under this directory")
+	faults := flag.Bool("faults", false, "also run the fault-recovery overhead experiment (seeded connection drops vs a clean run)")
 	flag.Parse()
 	cfg.Seed = *seed
 
@@ -99,6 +100,12 @@ func main() {
 		bench.ConcurrentPrint(os.Stdout, rows)
 		ran = true
 	})
+	if *faults {
+		row, err := bench.FaultsRun(cfg)
+		fail(err)
+		bench.FaultsPrint(os.Stdout, row)
+		ran = true
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, concurrent, or all)\n", *fig)
 		os.Exit(2)

@@ -48,6 +48,8 @@ func main() {
 	// behavior reproducible across machines.
 	workers := flag.Int("workers", 4, "region-task workers shared by all sessions (0 or 1 = serial evaluation)")
 	queueDepth := flag.Int("queue-depth", server.DefaultQueueDepth, "admitted requests per session before the server answers busy")
+	checkpoint := flag.String("checkpoint", "", "write a deployment checkpoint here after startup (the persistence a crashed rank is restarted from via -load)")
+	crashAfter := flag.Uint64("crash-after", 0, "fault injection: exit(3) abruptly after serving this many queries (0 disables)")
 	flag.Parse()
 
 	strat, err := exec.ParseStrategy(*strategy)
@@ -80,6 +82,22 @@ func main() {
 			log.Fatalf("pdc-server: import: %v", err)
 		}
 	}
+	if *checkpoint != "" {
+		// The paper's PDC persists metadata periodically for fault
+		// tolerance; here the full import is written once at startup, so a
+		// crashed rank restarts with -load and recovers identical state.
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			log.Fatalf("pdc-server: checkpoint: %v", err)
+		}
+		if err := d.SaveCheckpoint(f); err != nil {
+			log.Fatalf("pdc-server: checkpoint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("pdc-server: checkpoint: %v", err)
+		}
+		log.Printf("pdc-server rank %d: checkpoint written to %s", *id, *checkpoint)
+	}
 	cfg := server.Config{
 		ID: *id, N: *n,
 		Store:      d.Store(),
@@ -94,6 +112,19 @@ func main() {
 	}
 	if *queryLog {
 		cfg.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *crashAfter > 0 {
+		rank := *id
+		limit := *crashAfter
+		cfg.OnQuery = func(served uint64) {
+			if served >= limit {
+				// A crash, not a shutdown: no teardown, no reply flush —
+				// clients see the connection drop mid-conversation and must
+				// recover via redial against the restarted rank.
+				log.Printf("pdc-server rank %d: injected crash after %d queries", rank, served)
+				os.Exit(3)
+			}
+		}
 	}
 	srv := server.New(cfg)
 

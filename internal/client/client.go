@@ -58,10 +58,16 @@ const (
 	busyMaxRetries = 8
 	busyBaseWait   = 50 * time.Microsecond
 	busyMaxWait    = 10 * time.Millisecond
+	// busyMaxShift bounds the backoff exponent: busyBaseWait<<8 already
+	// exceeds busyMaxWait, and shifting a Duration by ~40+ would wrap
+	// negative (and by 64+ is undefined), so larger retry budgets must
+	// clamp the exponent before shifting, not after.
+	busyMaxShift = 16
+	// maxRedials caps reconnection attempts per server within one call:
+	// a connection that dies repeatedly during a single request is
+	// surfaced as ServerDownError rather than retried forever.
+	maxRedials = 2
 )
-
-// errClientClosed reports a call that raced with or followed Close.
-var errClientClosed = errors.New("client: closed")
 
 // Client talks to an N-server PDC deployment.
 type Client struct {
@@ -91,26 +97,48 @@ type Client struct {
 	mu      sync.Mutex
 	nextReq uint64
 	pending map[uint64]chan reply
-	readErr error
-	budget  time.Duration // virtual-time deadline stamped on requests; 0 = none
-	wg      sync.WaitGroup
-	closed  bool
+	// downErr[i] records why server i's connection died (nil = healthy).
+	// Cleared by a successful redial.
+	downErr []error
+	// redial, when set, re-establishes the connection to one server after
+	// its reader died (SetRedial). Without it a lost connection is
+	// terminal for every call that needs that server. redialMu serializes
+	// recovery so concurrent calls share one reconnection attempt — it is
+	// held across the blocking dial, so it cannot be mu itself.
+	redial   func(srv int) (transport.Conn, error)
+	redialMu sync.Mutex
+	// callTimeout bounds each broadcast in wall-clock time (0 = none).
+	// It is the client's defense against a server that is reachable but
+	// silent: the call fails with ErrTimeout instead of hanging.
+	callTimeout time.Duration
+	// busyRetries is the per-server MsgBusy retry budget (default
+	// busyMaxRetries; SetBusyRetries overrides).
+	busyRetries int
+	budget      time.Duration // virtual-time deadline stamped on requests; 0 = none
+	wg          sync.WaitGroup
+	closed      bool
 }
 
 type reply struct {
 	srv int
 	msg transport.Message
+	// down marks a connection-lost notification rather than a server
+	// reply: the reader for srv died and pending calls must recover
+	// (redial + resend) or fail with a typed error.
+	down bool
 }
 
 // New connects a client to the given server connections. meta may be nil
 // for remote deployments; call SyncMeta to fetch a snapshot.
 func New(conns []transport.Conn, meta *metadata.Service) *Client {
 	c := &Client{
-		conns:   conns,
-		meta:    meta,
-		sleeper: telemetry.NoSleep,
-		nextReq: 1,
-		pending: make(map[uint64]chan reply),
+		conns:       conns,
+		meta:        meta,
+		sleeper:     telemetry.NoSleep,
+		busyRetries: busyMaxRetries,
+		nextReq:     1,
+		pending:     make(map[uint64]chan reply),
+		downErr:     make([]error, len(conns)),
 	}
 	c.closeCtx, c.closeCancel = context.WithCancel(context.Background())
 	// The background aggregator threads (§III-C): one reader per server
@@ -128,18 +156,22 @@ func (c *Client) reader(srv int, conn transport.Conn) {
 		m, err := conn.Recv()
 		if err != nil {
 			c.mu.Lock()
-			if c.readErr == nil {
-				if c.closed {
-					// Record the closure so callers racing with Close get a
-					// real error instead of a nil error with no replies.
-					c.readErr = errClientClosed
-				} else {
-					c.readErr = fmt.Errorf("client: server %d connection: %w", srv, err)
-				}
+			if c.conns[srv] != conn {
+				// A redial already replaced this connection; this reader is
+				// stale and its death is old news.
+				c.mu.Unlock()
+				return
+			}
+			if c.closed {
+				// Record the closure so callers racing with Close get a
+				// real error instead of a nil error with no replies.
+				c.downErr[srv] = ErrClosed
+			} else {
+				c.downErr[srv] = fmt.Errorf("client: server %d connection: %w", srv, err)
 			}
 			for _, ch := range c.pending {
 				select {
-				case ch <- reply{srv: -1}:
+				case ch <- reply{srv: srv, down: true}:
 				default:
 				}
 			}
@@ -148,7 +180,13 @@ func (c *Client) reader(srv int, conn transport.Conn) {
 		}
 		c.mu.Lock()
 		ch := c.pending[m.ReqID]
+		stale := c.conns[srv] != conn
 		c.mu.Unlock()
+		if stale {
+			// Drop replies raced in on a superseded connection: the call
+			// has already resent the request on the replacement.
+			return
+		}
 		if ch != nil {
 			ch <- reply{srv: srv, msg: m}
 		}
@@ -169,6 +207,85 @@ func (c *Client) SetWireModel(latency time.Duration, bw float64) {
 // The default never sleeps (waits are modeled in virtual time only);
 // daemons talking to remote servers may install telemetry.WallSleep.
 func (c *Client) SetSleeper(s telemetry.Sleeper) { c.sleeper = s }
+
+// SetRedial installs a reconnection function: when server srv's
+// connection dies mid-call, the client asks redial for a replacement,
+// resends the in-flight request, and the fault is masked. Without it a
+// dead connection terminates affected calls with ServerDownError.
+// Install before issuing calls; deployments wire this to re-dial (or
+// re-pipe) the same server rank.
+func (c *Client) SetRedial(redial func(srv int) (transport.Conn, error)) {
+	c.mu.Lock()
+	c.redial = redial
+	c.mu.Unlock()
+}
+
+// SetCallTimeout bounds every subsequent broadcast in wall-clock time:
+// a call that outlives d fails with an error matching ErrTimeout (and
+// context.DeadlineExceeded). Zero disables the bound. This is the
+// client's guarantee that a dead-but-undetected server cannot hang a
+// query forever.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.callTimeout = d
+	c.mu.Unlock()
+}
+
+// SetBusyRetries overrides the per-server MsgBusy retry budget (n <= 0
+// restores the default). Large budgets are safe: the backoff exponent is
+// clamped, so waits cap at busyMaxWait instead of wrapping to zero.
+func (c *Client) SetBusyRetries(n int) {
+	c.mu.Lock()
+	if n <= 0 {
+		n = busyMaxRetries
+	}
+	c.busyRetries = n
+	c.mu.Unlock()
+}
+
+// ensureConn re-establishes server srv's connection if it is down,
+// serializing concurrent recovery attempts: the first caller redials,
+// the rest find the connection healthy and return immediately. Terminal
+// outcomes are typed — ErrClosed when the client is closing, otherwise
+// ServerDownError wrapping the cause.
+func (c *Client) ensureConn(srv int) error {
+	c.redialMu.Lock()
+	defer c.redialMu.Unlock()
+	c.mu.Lock()
+	down := c.downErr[srv]
+	closed := c.closed
+	redial := c.redial
+	old := c.conns[srv]
+	c.mu.Unlock()
+	if closed || errors.Is(down, ErrClosed) {
+		return ErrClosed
+	}
+	if down == nil {
+		return nil
+	}
+	if redial == nil {
+		return &ServerDownError{Srv: srv, Cause: down}
+	}
+	nc, err := redial(srv)
+	if err != nil {
+		return &ServerDownError{Srv: srv, Cause: err}
+	}
+	// Unblock the stale reader (it sees conns[srv] != its conn and exits
+	// silently) and swap in the replacement before its reader starts.
+	old.Close()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return ErrClosed
+	}
+	c.conns[srv] = nc
+	c.downErr[srv] = nil
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go c.reader(srv, nc)
+	return nil
+}
 
 // SetQueryBudget sets the virtual-time deadline stamped on every
 // subsequent request (zero clears it). Servers abort evaluation once a
@@ -203,9 +320,11 @@ func (c *Client) Meta() *metadata.Service { return c.meta }
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	// Snapshot under the lock: redial swaps slice elements in place.
+	conns := append([]transport.Conn(nil), c.conns...)
 	c.mu.Unlock()
 	c.closeCancel()
-	for _, conn := range c.conns {
+	for _, conn := range conns {
 		conn.Send(transport.Message{Type: server.MsgShutdown})
 		conn.Close()
 	}
@@ -228,22 +347,20 @@ func (c *Client) broadcast(t byte, perServer func(i int) []byte) (uint64, []tran
 // it into the modeled elapsed time.
 func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int) []byte) (uint64, []transport.Message, time.Duration, error) {
 	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return 0, nil, 0, err
-	}
 	if c.closed {
 		c.mu.Unlock()
-		return 0, nil, 0, errClientClosed
+		return 0, nil, 0, ErrClosed
 	}
 	deadline := uint64(c.budget)
+	maxRetries := c.busyRetries
+	timeout := c.callTimeout
 	req := c.nextReq
 	c.nextReq++
 	// A server can answer the same request several times (busy, busy,
-	// result); size the buffer for the worst case so the reader never
-	// blocks on a call that already gave up.
-	ch := make(chan reply, len(c.conns)*(busyMaxRetries+1))
+	// result), and every dead reader posts one down notification per
+	// pending call; size the buffer for the worst case so the reader
+	// never blocks on a call that already gave up.
+	ch := make(chan reply, len(c.conns)*(maxRetries+4+maxRedials))
 	c.pending[req] = ch
 	c.mu.Unlock()
 	defer func() {
@@ -251,45 +368,102 @@ func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int)
 		delete(c.pending, req)
 		c.mu.Unlock()
 	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
 	send := func(i int) error {
+		c.mu.Lock()
+		conn := c.conns[i]
+		c.mu.Unlock()
 		// The request ID doubles as the telemetry trace ID: it is unique per
 		// client call and deterministic across runs.
-		return c.conns[i].Send(transport.Message{Type: t, ReqID: req, Trace: req, Deadline: deadline, Payload: perServer(i)})
+		return conn.Send(transport.Message{Type: t, ReqID: req, Trace: req, Deadline: deadline, Payload: perServer(i)})
+	}
+	// sendRecover sends to server i, recovering once through the redial
+	// seam when the connection is already known dead (a previous call hit
+	// the fault) or dies at send time. Failure is a typed terminal error.
+	sendRecover := func(i int) error {
+		c.mu.Lock()
+		down := c.downErr[i]
+		c.mu.Unlock()
+		if down == nil {
+			err := send(i)
+			if err == nil {
+				return nil
+			}
+			c.mu.Lock()
+			if c.downErr[i] == nil {
+				c.downErr[i] = fmt.Errorf("client: server %d send: %w", i, err)
+			}
+			c.mu.Unlock()
+		}
+		if err := c.ensureConn(i); err != nil {
+			return err
+		}
+		if err := send(i); err != nil {
+			return &ServerDownError{Srv: i, Cause: err}
+		}
+		return nil
 	}
 	for i := range c.conns {
-		if err := send(i); err != nil {
+		if err := sendRecover(i); err != nil {
 			return 0, nil, 0, err
 		}
 	}
 	out := make([]transport.Message, len(c.conns))
+	got := make([]bool, len(c.conns))
 	attempts := make([]int, len(c.conns))
+	redials := make([]int, len(c.conns))
 	var busyWait time.Duration
 	for n := 0; n < len(c.conns); {
 		var r reply
 		select {
 		case r = <-ch:
 		case <-ctx.Done():
-			return 0, nil, busyWait, ctx.Err()
-		case <-c.closeCtx.Done():
-			return 0, nil, busyWait, errClientClosed
-		}
-		if r.srv < 0 {
-			c.mu.Lock()
-			err := c.readErr
-			c.mu.Unlock()
-			if err == nil {
-				err = errClientClosed
+			err := ctx.Err()
+			if errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w after %v: %w", ErrTimeout, timeout, err)
 			}
 			return 0, nil, busyWait, err
+		case <-c.closeCtx.Done():
+			return 0, nil, busyWait, ErrClosed
+		}
+		if r.down {
+			if got[r.srv] {
+				// That server already answered; its connection dying
+				// afterwards is the next call's problem.
+				continue
+			}
+			if redials[r.srv] >= maxRedials {
+				c.mu.Lock()
+				cause := c.downErr[r.srv]
+				c.mu.Unlock()
+				if errors.Is(cause, ErrClosed) {
+					return 0, nil, busyWait, ErrClosed
+				}
+				if cause == nil {
+					cause = errors.New("connection lost repeatedly")
+				}
+				return 0, nil, busyWait, &ServerDownError{Srv: r.srv, Cause: cause}
+			}
+			redials[r.srv]++
+			// Recover and resend: the in-flight request (and any reply it
+			// produced) died with the connection.
+			if err := sendRecover(r.srv); err != nil {
+				return 0, nil, busyWait, err
+			}
+			continue
 		}
 		if r.msg.Type == server.MsgBusy {
-			wait, err := c.busyBackoff(r, attempts)
+			wait, err := c.busyBackoff(r, attempts, maxRetries)
 			if err != nil {
 				return 0, nil, busyWait, err
 			}
 			busyWait += wait
-			if err := send(r.srv); err != nil {
+			if err := sendRecover(r.srv); err != nil {
 				return 0, nil, busyWait, err
 			}
 			continue
@@ -297,7 +471,13 @@ func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int)
 		if r.msg.Type == server.MsgError {
 			return 0, nil, busyWait, fmt.Errorf("client: server %d: %s", r.srv, r.msg.Payload)
 		}
+		if got[r.srv] {
+			// Duplicate answer (a resend raced with the original reply);
+			// keep the first.
+			continue
+		}
 		out[r.srv] = r.msg
+		got[r.srv] = true
 		n++
 	}
 	return req, out, busyWait, nil
@@ -306,26 +486,73 @@ func (c *Client) broadcastCtx(ctx context.Context, t byte, perServer func(i int)
 // busyBackoff handles one MsgBusy reply: it bumps the per-server attempt
 // count, sleeps (via the Sleeper seam) for the backoff interval, and
 // returns the modeled wait. Exhausting the retry budget yields an error
-// wrapping sched.ErrBusy.
-func (c *Client) busyBackoff(r reply, attempts []int) (time.Duration, error) {
+// wrapping sched.ErrBusy. A server that goes away mid-backoff interrupts
+// the cycle immediately with a typed terminal error — the client must
+// not sleep through the remaining budget against a dead peer.
+func (c *Client) busyBackoff(r reply, attempts []int, maxRetries int) (time.Duration, error) {
 	br, derr := server.DecodeBusyResponse(r.msg.Payload)
 	if derr != nil {
 		return 0, fmt.Errorf("client: server %d: %w", r.srv, derr)
 	}
 	attempts[r.srv]++
-	if attempts[r.srv] > busyMaxRetries {
+	if attempts[r.srv] > maxRetries {
 		return 0, fmt.Errorf("client: server %d (%d queued): %w after %d attempts",
 			r.srv, br.Queued, sched.ErrBusy, attempts[r.srv]-1)
 	}
-	wait := busyBaseWait << (attempts[r.srv] - 1)
+	// Clamp the exponent BEFORE shifting: busyBaseWait << (attempts-1)
+	// with a large retry budget wraps to zero/negative (50µs << 63 == 0),
+	// which the busyMaxWait cap applied after the shift cannot repair —
+	// the capped backoff degenerated into a hot loop of zero-length
+	// sleeps. Past busyMaxShift the wait is busyMaxWait by construction.
+	wait := busyMaxWait
+	if shift := uint(attempts[r.srv] - 1); shift < busyMaxShift {
+		if w := busyBaseWait << shift; w < busyMaxWait {
+			wait = w
+		}
+	}
 	if hint := time.Duration(br.RetryAfterNs); hint > wait {
 		wait = hint
 	}
 	if wait > busyMaxWait {
 		wait = busyMaxWait
 	}
+	if err := c.busyInterrupt(r.srv); err != nil {
+		return 0, err
+	}
 	c.sleeper.Sleep(wait)
+	if err := c.busyInterrupt(r.srv); err != nil {
+		return 0, err
+	}
 	return wait, nil
+}
+
+// busyInterrupt reports the typed terminal condition that should preempt
+// a busy-retry backoff: the client closed, or the rejecting server's
+// connection died with no redial installed. Checked on both sides of the
+// backoff sleep so a server that Shutdown()s or crashes between busy
+// replies fails the call immediately instead of burning the retry
+// budget. With a redial function the connection is recoverable, so the
+// retry proceeds (sendRecover masks the fault).
+func (c *Client) busyInterrupt(srv int) error {
+	select {
+	case <-c.closeCtx.Done():
+		return ErrClosed
+	default:
+	}
+	c.mu.Lock()
+	down := c.downErr[srv]
+	redial := c.redial
+	c.mu.Unlock()
+	if down == nil {
+		return nil
+	}
+	if errors.Is(down, ErrClosed) {
+		return ErrClosed
+	}
+	if redial == nil {
+		return &ServerDownError{Srv: srv, Cause: down}
+	}
+	return nil
 }
 
 // QueryResult is a completed query: the merged selection plus what is
@@ -493,7 +720,7 @@ func (c *Client) RunAsyncContext(ctx context.Context, q *query.Query) *Future {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		f.err = errClientClosed
+		f.err = ErrClosed
 		close(f.done)
 		return f
 	}
@@ -665,12 +892,13 @@ func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, nil, errClientClosed
+		return nil, nil, ErrClosed
 	}
 	deadline := uint64(c.budget)
+	maxRetries := c.busyRetries
 	req := c.nextReq
 	c.nextReq++
-	ch := make(chan reply, busyMaxRetries+1)
+	ch := make(chan reply, maxRetries+4+maxRedials)
 	c.pending[req] = ch
 	c.mu.Unlock()
 	defer func() {
@@ -679,33 +907,59 @@ func (c *Client) GetHistogram(obj object.ID) (*histogram.Histogram, *Info, error
 		c.mu.Unlock()
 	}()
 	send := func() error {
-		return c.conns[owner].Send(transport.Message{Type: server.MsgHistogram, ReqID: req, Deadline: deadline, Payload: payload[:]})
+		c.mu.Lock()
+		conn := c.conns[owner]
+		down := c.downErr[owner]
+		c.mu.Unlock()
+		if down != nil {
+			if err := c.ensureConn(owner); err != nil {
+				return err
+			}
+			c.mu.Lock()
+			conn = c.conns[owner]
+			c.mu.Unlock()
+		}
+		return conn.Send(transport.Message{Type: server.MsgHistogram, ReqID: req, Deadline: deadline, Payload: payload[:]})
 	}
 	if err := send(); err != nil {
 		return nil, nil, err
 	}
 	attempts := make([]int, len(c.conns))
+	redials := 0
 	var busyWait time.Duration
 	var r reply
 	for {
 		select {
 		case r = <-ch:
 		case <-c.closeCtx.Done():
-			return nil, nil, errClientClosed
+			return nil, nil, ErrClosed
 		}
-		if r.srv < 0 {
-			c.mu.Lock()
-			err := c.readErr
-			c.mu.Unlock()
-			if err == nil {
-				err = errClientClosed
+		if r.down {
+			if r.srv != owner {
+				continue
 			}
-			return nil, nil, err
+			if redials >= maxRedials {
+				c.mu.Lock()
+				cause := c.downErr[owner]
+				c.mu.Unlock()
+				if errors.Is(cause, ErrClosed) {
+					return nil, nil, ErrClosed
+				}
+				if cause == nil {
+					cause = errors.New("connection lost repeatedly")
+				}
+				return nil, nil, &ServerDownError{Srv: owner, Cause: cause}
+			}
+			redials++
+			if err := send(); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		if r.msg.Type != server.MsgBusy {
 			break
 		}
-		wait, err := c.busyBackoff(r, attempts)
+		wait, err := c.busyBackoff(r, attempts, maxRetries)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,42 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed terminal errors. A query against a failed deployment must end in
+// one of these deterministically — never a hang, a silently dropped
+// reply, or a corrupt selection. Callers branch with errors.Is.
+var (
+	// ErrClosed reports a call that raced with or followed Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrServerDown matches any ServerDownError: a server connection was
+	// lost and could not be (or was not allowed to be) re-established.
+	ErrServerDown = errors.New("client: server down")
+	// ErrTimeout matches a call that exceeded the per-call wall timeout
+	// installed with SetCallTimeout. It wraps context.DeadlineExceeded.
+	ErrTimeout = errors.New("client: call timed out")
+)
+
+// ServerDownError is the terminal error for a lost server connection:
+// the reader for that server died (connection dropped, torn frame, peer
+// crash) and either no redial function is installed or redialing failed.
+// It matches ErrServerDown via errors.Is and unwraps to the underlying
+// transport error.
+type ServerDownError struct {
+	// Srv is the rank of the unreachable server.
+	Srv int
+	// Cause is the transport-level error that took the connection down.
+	Cause error
+}
+
+func (e *ServerDownError) Error() string {
+	return fmt.Sprintf("client: server %d down: %v", e.Srv, e.Cause)
+}
+
+// Is matches ErrServerDown so callers need not know the concrete type.
+func (e *ServerDownError) Is(target error) bool { return target == ErrServerDown }
+
+// Unwrap exposes the transport-level cause.
+func (e *ServerDownError) Unwrap() error { return e.Cause }

@@ -73,6 +73,18 @@ type Options struct {
 	// server.DefaultQueueDepth). Requests beyond it get busy replies that
 	// the client retries with backoff.
 	QueueDepth int
+	// WrapConn, when set, wraps each client-side connection at Start and
+	// on every redial — the seam fault injection uses to interpose on the
+	// transport (see internal/fault).
+	WrapConn func(srv int, c transport.Conn) transport.Conn
+	// Redial enables the client's reconnection path: a connection lost
+	// mid-call is re-established against the same server rank (a fresh
+	// serve session) and the in-flight request is resent. Off by default
+	// so existing single-connection semantics are unchanged.
+	Redial bool
+	// CallTimeout bounds each client call in wall-clock time (0 = none);
+	// see client.SetCallTimeout. The defense against a wedged server.
+	CallTimeout time.Duration
 }
 
 // Deployment is a running PDC-Query system.
@@ -84,10 +96,16 @@ type Deployment struct {
 
 	importAcct *vclock.Account
 
-	servers []*server.Server
 	cli     *client.Client
 	wg      sync.WaitGroup
 	started bool
+
+	// mu guards servers and listeners: after Start, RestartServer swaps
+	// server instances while accept loops and the redial path resolve
+	// them concurrently.
+	mu        sync.Mutex
+	servers   []*server.Server
+	listeners []*transport.Listener // per-server, TCP mode only
 }
 
 // NewDeployment creates an empty deployment (no servers running yet).
@@ -126,6 +144,13 @@ func NewDeployment(opts Options) *Deployment {
 
 // Store exposes the storage substrate (for experiments and tools).
 func (d *Deployment) Store() *simio.Store { return d.store }
+
+// SetWrapConn installs Options.WrapConn after construction. Must be
+// called before Start; the fault harness uses it to arm the transport
+// seam only after its oracle pass.
+func (d *Deployment) SetWrapConn(f func(srv int, c transport.Conn) transport.Conn) {
+	d.opts.WrapConn = f
+}
 
 // Meta exposes the metadata service.
 func (d *Deployment) Meta() *metadata.Service { return d.meta }
@@ -293,6 +318,60 @@ func (d *Deployment) IndexBytes() int64 {
 	return n
 }
 
+// newServer builds the server instance for rank i from the deployment's
+// options (shared store, metadata, and replicas).
+func (d *Deployment) newServer(i int) *server.Server {
+	return server.New(server.Config{
+		ID: i, N: d.opts.Servers,
+		Store:      d.store,
+		Meta:       d.meta,
+		Replicas:   d.replicas,
+		Strategy:   d.opts.Strategy,
+		CacheBytes: d.opts.CacheBytes,
+		Workers:    d.opts.Workers,
+		QueueDepth: d.opts.QueueDepth,
+	})
+}
+
+// serveConn runs the current server instance for rank i on conn in a
+// deployment-owned goroutine. The instance is resolved at call time so
+// sessions started after RestartServer land on the replacement.
+func (d *Deployment) serveConn(i int, conn transport.Conn) {
+	d.mu.Lock()
+	srv := d.servers[i]
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		srv.Serve(conn)
+		conn.Close()
+	}()
+}
+
+// dialServer establishes one client-side connection to server rank i
+// (and starts the matching serve session), applying Options.WrapConn.
+func (d *Deployment) dialServer(i int) (transport.Conn, error) {
+	var clientSide transport.Conn
+	if d.opts.TCP {
+		d.mu.Lock()
+		l := d.listeners[i]
+		d.mu.Unlock()
+		c, err := transport.Dial(l.Addr())
+		if err != nil {
+			return nil, err
+		}
+		clientSide = c // the accept loop starts the serve session
+	} else {
+		var serverSide transport.Conn
+		clientSide, serverSide = transport.Pipe()
+		d.serveConn(i, serverSide)
+	}
+	if d.opts.WrapConn != nil {
+		clientSide = d.opts.WrapConn(i, clientSide)
+	}
+	return clientSide, nil
+}
+
 // Start launches the servers and connects the client.
 func (d *Deployment) Start() error {
 	if d.started {
@@ -300,76 +379,98 @@ func (d *Deployment) Start() error {
 	}
 	n := d.opts.Servers
 	conns := make([]transport.Conn, n)
+	d.mu.Lock()
 	for i := 0; i < n; i++ {
-		srv := server.New(server.Config{
-			ID: i, N: n,
-			Store:      d.store,
-			Meta:       d.meta,
-			Replicas:   d.replicas,
-			Strategy:   d.opts.Strategy,
-			CacheBytes: d.opts.CacheBytes,
-			Workers:    d.opts.Workers,
-			QueueDepth: d.opts.QueueDepth,
-		})
-		d.servers = append(d.servers, srv)
-
-		var clientSide, serverSide transport.Conn
-		if d.opts.TCP {
+		d.servers = append(d.servers, d.newServer(i))
+	}
+	d.mu.Unlock()
+	if d.opts.TCP {
+		for i := 0; i < n; i++ {
+			// Persistent listener with an accept loop, so the client can
+			// redial a server whose connection dropped (each accepted
+			// connection is a fresh serve session against the rank's
+			// current server instance).
 			l, err := transport.Listen("127.0.0.1:0")
 			if err != nil {
 				return err
 			}
-			accepted := make(chan transport.Conn, 1)
-			go func() {
-				c, err := l.Accept()
-				l.Close()
-				if err == nil {
-					accepted <- c
-				} else {
-					close(accepted)
+			d.mu.Lock()
+			d.listeners = append(d.listeners, l)
+			d.mu.Unlock()
+			go func(i int, l *transport.Listener) {
+				for {
+					c, err := l.Accept()
+					if err != nil {
+						return // listener closed in Close
+					}
+					d.serveConn(i, c)
 				}
-			}()
-			clientSide, err = transport.Dial(l.Addr())
-			if err != nil {
-				return err
-			}
-			var ok bool
-			serverSide, ok = <-accepted
-			if !ok {
-				return fmt.Errorf("core: accept failed for server %d", i)
-			}
-		} else {
-			clientSide, serverSide = transport.Pipe()
+			}(i, l)
 		}
-		conns[i] = clientSide
-		d.wg.Add(1)
-		go func(s *server.Server, c transport.Conn) {
-			defer d.wg.Done()
-			s.Serve(c)
-			c.Close()
-		}(srv, serverSide)
+	}
+	for i := 0; i < n; i++ {
+		c, err := d.dialServer(i)
+		if err != nil {
+			return err
+		}
+		conns[i] = c
 	}
 	d.cli = client.New(conns, d.meta)
 	d.cli.SetSharedBW(d.store.Model().Tiers[simio.PFS].SharedBW)
 	if d.opts.WireScale > 0 {
 		d.cli.SetWireModel(time.Duration(float64(transport.DefaultLatency)*d.opts.WireScale), transport.DefaultBW)
 	}
+	if d.opts.Redial {
+		d.cli.SetRedial(d.dialServer)
+	}
+	if d.opts.CallTimeout > 0 {
+		d.cli.SetCallTimeout(d.opts.CallTimeout)
+	}
 	d.started = true
+	return nil
+}
+
+// RestartServer models a crash/restart of server rank i: the old
+// instance is shut down (in-flight work cancelled, its serve sessions
+// end) and a fresh instance — empty cache, fresh accounts, state rebuilt
+// only from the shared store and metadata (the persistence layer a real
+// restart would reload from disk) — takes over the rank. Existing client
+// connections to the old instance die; with Options.Redial the client
+// reconnects and the next call is served by the replacement.
+func (d *Deployment) RestartServer(i int) error {
+	if !d.started {
+		return fmt.Errorf("core: not started")
+	}
+	if i < 0 || i >= len(d.servers) {
+		return fmt.Errorf("core: no server %d", i)
+	}
+	d.mu.Lock()
+	old := d.servers[i]
+	d.mu.Unlock()
+	old.Shutdown()
+	d.mu.Lock()
+	d.servers[i] = d.newServer(i)
+	d.mu.Unlock()
 	return nil
 }
 
 // Client returns the connected client library. Valid after Start.
 func (d *Deployment) Client() *client.Client { return d.cli }
 
-// Servers exposes the server instances (experiments read their accounts
-// and caches).
-func (d *Deployment) Servers() []*server.Server { return d.servers }
+// Servers exposes the current server instances (experiments read their
+// accounts and caches). The returned slice is a snapshot: RestartServer
+// may swap an instance afterwards.
+func (d *Deployment) Servers() []*server.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*server.Server(nil), d.servers...)
+}
 
 // SetStrategy switches every server's evaluation strategy between
 // experiment runs (the paper restarts servers with a different
 // environment variable).
 func (d *Deployment) SetStrategy(s exec.Strategy) {
-	for _, srv := range d.servers {
+	for _, srv := range d.Servers() {
 		srv.SetStrategy(s)
 	}
 }
@@ -377,20 +478,28 @@ func (d *Deployment) SetStrategy(s exec.Strategy) {
 // ResetCaches clears every server's region cache and virtual-time
 // account, giving each experiment run a cold start.
 func (d *Deployment) ResetCaches() {
-	for _, srv := range d.servers {
+	for _, srv := range d.Servers() {
 		srv.Cache().Clear()
 		srv.Account().Reset()
 	}
 }
 
 // Close shuts down the client and all servers: client connections close,
-// the serve loops drain, then each server's dispatchers are stopped.
+// listeners stop accepting, the serve loops drain, then each server's
+// dispatchers are stopped.
 func (d *Deployment) Close() error {
 	if d.cli != nil {
 		d.cli.Close()
 	}
+	d.mu.Lock()
+	listeners := append([]*transport.Listener(nil), d.listeners...)
+	servers := append([]*server.Server(nil), d.servers...)
+	d.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
 	d.wg.Wait()
-	for _, srv := range d.servers {
+	for _, srv := range servers {
 		srv.Shutdown()
 	}
 	return nil
@@ -415,7 +524,7 @@ type DeploymentStats struct {
 // Stats gathers DeploymentStats from every server.
 func (d *Deployment) Stats() DeploymentStats {
 	var s DeploymentStats
-	for _, srv := range d.servers {
+	for _, srv := range d.Servers() {
 		a := srv.Account()
 		s.ReadOps += a.Counter("read.ops")
 		s.ReadBytes += a.Counter("read.bytes")

@@ -29,7 +29,11 @@ func NewCache(capacity int64) *Cache {
 	return &Cache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached buffer for key, marking it most recently used.
+// Get returns a copy of the cached buffer for key, marking it most
+// recently used. It must copy: the cached bytes alias the storage
+// extent, and callers decode or scratch in returned buffers — returning
+// the live buffer let any in-place mutation silently corrupt the cache
+// (and the backing store) for every later hit on the same region.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -38,11 +42,34 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
+	data := el.Value.(*cacheEntry).data
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true
+}
+
+// Touch marks key most recently used without copying its buffer — the
+// LRU-refresh half of Get for callers that only need to know the region
+// is resident (e.g. the full-scan preload, which skips re-reading cached
+// regions but must keep them hot).
+func (c *Cache) Touch(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(el)
+	return true
 }
 
 // Put inserts a buffer, evicting least-recently-used entries as needed.
-// Buffers larger than the whole capacity are not cached.
+// Buffers larger than the whole capacity are not cached. The cache takes
+// ownership of data: the caller must not modify it afterwards (readers
+// are protected by the Get copy).
 func (c *Cache) Put(key string, data []byte) {
 	if c == nil || c.capacity <= 0 || int64(len(data)) > c.capacity {
 		return

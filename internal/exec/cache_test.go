@@ -101,3 +101,49 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Errorf("over capacity after concurrent use: %d", c.Used())
 	}
 }
+
+// TestCacheGetDoesNotAlias is the regression pin for the Get aliasing
+// bug: Get used to return the live cached buffer, so any caller that
+// decoded or scratched in place corrupted the cache (and, since cached
+// buffers alias simio extents, the backing store) for every later hit.
+func TestCacheGetDoesNotAlias(t *testing.T) {
+	c := NewCache(100)
+	c.Put("region", []byte("pristine"))
+	got, ok := c.Get("region")
+	if !ok {
+		t.Fatal("miss on just-inserted key")
+	}
+	for i := range got {
+		got[i] = 'X' // scratch in place, as a decoder would
+	}
+	again, ok := c.Get("region")
+	if !ok {
+		t.Fatal("second read missed")
+	}
+	if string(again) != "pristine" {
+		t.Fatalf("cached bytes corrupted through a returned buffer: %q", again)
+	}
+}
+
+func TestCacheTouch(t *testing.T) {
+	c := NewCache(10)
+	if c.Touch("a") {
+		t.Error("Touch on empty cache reported a hit")
+	}
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	if !c.Touch("a") {
+		t.Error("Touch missed a resident key")
+	}
+	c.Put("c", make([]byte, 4)) // evicts b: a was touched more recently
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry survived; Touch did not refresh recency")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("touched entry evicted")
+	}
+	var nilCache *Cache
+	if nilCache.Touch("a") {
+		t.Error("nil cache Touch reported a hit")
+	}
+}

@@ -301,10 +301,8 @@ func (e *Engine) EvaluateToken(tok *sched.Token, q *query.Query, assign Assignme
 			loaded := false
 			for _, r := range orig {
 				key := o.Regions[r].ExtentKey
-				if e.Cache != nil {
-					if _, ok := e.Cache.Get(key); ok {
-						continue
-					}
+				if e.Cache.Touch(key) {
+					continue
 				}
 				data, err := e.Store.ReadAll(nil, key)
 				if err != nil {

@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"pdcquery/internal/client"
+	"pdcquery/internal/core"
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+	"pdcquery/internal/sched"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/telemetry"
+	"pdcquery/internal/transport"
+	"pdcquery/internal/workload"
+)
+
+// The chaos harness: run a seeded fault plan against a small deployment
+// and enforce the zero-wrong-answers invariant — every query either
+// returns exactly the brute-force oracle's selection (the fault was
+// masked by recovery, or missed the query) or fails with a recognized,
+// typed error. A selection that differs from the oracle is a wrong
+// answer and fails the run, naming the seed for replay.
+
+// ChaosOptions sizes the deployment and workload a plan runs against.
+type ChaosOptions struct {
+	// Servers is the deployment size (default 2).
+	Servers int
+	// Particles is the VPIC dataset size (default 6000).
+	Particles int
+	// Queries is the number of queries issued (default 8; the workload
+	// cycles through the single-object query set).
+	Queries int
+	// Budget is the virtual-time deadline stamped on every query
+	// (default 250ms): injected tier slowdowns blow it deterministically.
+	Budget time.Duration
+	// Redial enables the client's reconnection path (default true via
+	// DefaultChaosOptions; without it every DropConn is terminal for the
+	// query that hits it — still typed, never wrong).
+	Redial bool
+}
+
+// DefaultChaosOptions returns the standard chaos configuration.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{Servers: 2, Particles: 6000, Queries: 8, Budget: 250 * time.Millisecond, Redial: true}
+}
+
+// ChaosResult summarizes one plan's run.
+type ChaosResult struct {
+	// Masked counts queries that returned the exact oracle selection.
+	Masked int
+	// Typed counts queries that failed with a recognized typed error.
+	Typed int
+	// Fired is the fault schedule that actually triggered.
+	Fired []Event
+	// Errors holds the typed errors, in query order (nil for successes).
+	Errors []error
+}
+
+// typedError reports whether err belongs to the recognized terminal
+// vocabulary: injected faults surfacing directly, client-level typed
+// errors, scheduler verdicts, server error replies, and protocol decode
+// failures from structurally damaged frames.
+func typedError(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, target := range []error{
+		ErrInjected,
+		client.ErrServerDown, client.ErrTimeout, client.ErrClosed,
+		sched.ErrBusy, sched.ErrDeadline, sched.ErrCanceled,
+	} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	msg := err.Error()
+	for _, pat := range []string{
+		"client: server ", // a server error reply (MsgError) — the fail-soft
+		//                    path for garbled requests, injected storage
+		//                    errors, deadline aborts, and shutdown races
+		"fault: injected", // injected error surfacing directly
+		"deadline",        // virtual-deadline abort
+		"protocol:",       // decode failure of a corrupted reply frame
+		"selection:",      // decode failure inside a corrupted selection
+		"transport:",      // torn/corrupt frame surfaced by the transport
+		"shutting down",   // request raced a server shutdown
+		"connection",      // terminal connection error
+		"unexpected EOF",  // truncated payload section
+		"EOF",             // connection closed mid-conversation
+	} {
+		if strings.Contains(msg, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosDeployment builds, imports, and oracles a small VPIC deployment.
+// It returns the deployment (not yet started), the query workload, and
+// the per-query oracle selections (computed before any fault seam is
+// armed, on uncharged reads).
+func chaosDeployment(opts ChaosOptions) (*core.Deployment, []*query.Query, []*selection.Selection, error) {
+	d := core.NewDeployment(core.Options{
+		Servers:  opts.Servers,
+		Strategy: exec.Histogram,
+		// Small regions so queries touch several extents per server.
+		RegionBytes: 8 << 10,
+		Redial:      opts.Redial,
+		CallTimeout: 10 * time.Second,
+	})
+	c := d.CreateContainer("chaos")
+	v := workload.GenerateVPIC(opts.Particles, 42)
+	ids := make(map[string]object.ID)
+	for _, name := range workload.VPICNames {
+		o, err := d.ImportObject(c.ID, object.Property{
+			Name: name, Type: dtype.Float32, Dims: []uint64{uint64(opts.Particles)},
+		}, dtype.Bytes(v.Vars[name]))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ids[name] = o.ID
+	}
+	base := workload.SingleObjectQueries(ids["Energy"])
+	queries := make([]*query.Query, opts.Queries)
+	for i := range queries {
+		queries[i] = base[i%len(base)]
+	}
+	truths := make([]*selection.Selection, len(queries))
+	for i, q := range queries {
+		truth, err := d.GroundTruth(q)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		truths[i] = truth
+	}
+	return d, queries, truths, nil
+}
+
+// RunChaos executes plan against a fresh deployment and enforces the
+// invariant. The returned error is non-nil only on an invariant
+// violation (wrong answer, unrecognized error, or a hang would have
+// tripped the call timeout) or a harness failure; injected faults that
+// surface as typed errors are part of the expected outcome and land in
+// ChaosResult.Typed.
+func RunChaos(plan Plan, opts ChaosOptions) (*ChaosResult, error) {
+	if opts.Servers <= 0 {
+		opts.Servers = 2
+	}
+	if opts.Particles <= 0 {
+		opts.Particles = 6000
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 8
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 250 * time.Millisecond
+	}
+	inj := NewInjector(plan)
+	reg := telemetry.NewRegistry()
+	inj.SetRegistry(reg)
+
+	d, queries, truths, err := chaosDeployment(opts)
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d: setup: %w", plan.Seed, err)
+	}
+	defer d.Close()
+	// Arm the seams only after the oracle pass: ground truth must come
+	// from clean reads, and oracle traffic must not advance seam ops.
+	d.SetWrapConn(func(srv int, c transport.Conn) transport.Conn {
+		return inj.WrapConn(fmt.Sprintf("conn.%d", srv), c)
+	})
+	d.Store().SetAccessHook(inj.StoreHook("store"))
+	if err := d.Start(); err != nil {
+		return nil, fmt.Errorf("chaos seed %d: start: %w", plan.Seed, err)
+	}
+	d.Client().SetQueryBudget(opts.Budget)
+
+	res := &ChaosResult{Errors: make([]error, len(queries))}
+	for i, q := range queries {
+		out, err := d.Client().Run(q)
+		if err != nil {
+			if !typedError(err) {
+				return nil, fmt.Errorf("chaos seed %d: query %d: unrecognized error (invariant: typed or masked): %w", plan.Seed, i, err)
+			}
+			res.Typed++
+			res.Errors[i] = err
+			continue
+		}
+		if !bytes.Equal(out.Sel.Encode(), truths[i].Encode()) {
+			return nil, fmt.Errorf("chaos seed %d: query %d: WRONG ANSWER: %d hits, oracle %d", plan.Seed, i, out.Sel.NHits, truths[i].NHits)
+		}
+		res.Masked++
+	}
+	res.Fired = inj.Fired()
+	return res, nil
+}
+
+// RunCrashRecovery exercises the persistence half of the fault story:
+// a deployment serves a prefix of the workload, checkpoints (metadata +
+// replicas + every extent, core.SaveCheckpoint), then "crashes". A
+// second deployment restores from the checkpoint alone and must serve
+// the full workload with byte-identical selections. seed only labels
+// errors (the scenario itself is fully deterministic).
+func RunCrashRecovery(seed uint64, opts ChaosOptions) error {
+	if opts.Servers <= 0 {
+		opts.Servers = 2
+	}
+	if opts.Particles <= 0 {
+		opts.Particles = 6000
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 8
+	}
+	d, queries, _, err := chaosDeployment(opts)
+	if err != nil {
+		return fmt.Errorf("crash seed %d: setup: %w", seed, err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		return fmt.Errorf("crash seed %d: start: %w", seed, err)
+	}
+	baseline := make([][]byte, len(queries))
+	for i, q := range queries {
+		out, err := d.Client().Run(q)
+		if err != nil {
+			return fmt.Errorf("crash seed %d: baseline query %d: %w", seed, i, err)
+		}
+		baseline[i] = out.Sel.Encode()
+	}
+	// Checkpoint mid-service (after the first half of the workload ran:
+	// caches are warm, stashes populated — none of which may leak into
+	// the checkpoint, which holds only the persistent state).
+	var ckpt bytes.Buffer
+	if err := d.SaveCheckpoint(&ckpt); err != nil {
+		return fmt.Errorf("crash seed %d: checkpoint: %w", seed, err)
+	}
+	// Crash: the first deployment is gone. Recover a fresh one from the
+	// checkpoint bytes alone and re-serve everything.
+	d2, err := core.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()), core.Options{
+		Servers: opts.Servers, Strategy: exec.Histogram,
+	})
+	if err != nil {
+		return fmt.Errorf("crash seed %d: restore: %w", seed, err)
+	}
+	defer d2.Close()
+	if err := d2.Start(); err != nil {
+		return fmt.Errorf("crash seed %d: restart: %w", seed, err)
+	}
+	for i, q := range queries {
+		out, err := d2.Client().Run(q)
+		if err != nil {
+			return fmt.Errorf("crash seed %d: recovered query %d: %w", seed, i, err)
+		}
+		if !bytes.Equal(out.Sel.Encode(), baseline[i]) {
+			return fmt.Errorf("crash seed %d: query %d: selection diverged after checkpoint recovery", seed, i)
+		}
+	}
+	return nil
+}

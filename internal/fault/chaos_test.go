@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// chaosSeeds is the soak width: `make chaos` runs the suite with
+// -chaos-seeds 64 (or more). The default keeps `go test ./...` fast
+// while still exercising every fault kind.
+var chaosSeeds = flag.Int("chaos-seeds", 8, "number of seeded fault schedules TestChaosSoak runs")
+
+// TestChaosSoak is the randomized soak: for each seed, derive a fault
+// plan, run it against a fresh deployment, and enforce zero wrong
+// answers — every injected fault is masked by recovery or surfaces as a
+// typed error. A failure names the seed; pin it in corpus_test.go.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	opts := DefaultChaosOptions()
+	for seed := uint64(1); seed <= uint64(*chaosSeeds); seed++ {
+		plan := RandomPlan(seed, PlanConfig{Servers: opts.Servers, Events: 5, MaxOp: 12})
+		res, err := RunChaos(plan, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v (replay: RandomPlan(%d, ...))", seed, err, seed)
+		}
+		if res.Masked+res.Typed != opts.Queries {
+			t.Fatalf("seed %d: %d masked + %d typed != %d queries", seed, res.Masked, res.Typed, opts.Queries)
+		}
+		t.Logf("seed %d: %d masked, %d typed, %d faults fired", seed, res.Masked, res.Typed, len(res.Fired))
+	}
+}
+
+// TestChaosCrashRecovery runs the checkpoint/restore half of the soak:
+// a deployment serves, checkpoints, "crashes", and a restore from the
+// checkpoint bytes must re-serve byte-identical selections.
+func TestChaosCrashRecovery(t *testing.T) {
+	if err := RunCrashRecovery(1, DefaultChaosOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosReplayDeterminism: the same plan fires the same faults and
+// produces the same outcome split — the property that makes a failing
+// seed a usable replay.
+func TestChaosReplayDeterminism(t *testing.T) {
+	opts := DefaultChaosOptions()
+	opts.Queries = 6
+	plan := RandomPlan(7, PlanConfig{Servers: opts.Servers, Events: 3})
+	a, err := RunChaos(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Masked != b.Masked || a.Typed != b.Typed {
+		t.Fatalf("replay diverged: %d/%d vs %d/%d", a.Masked, a.Typed, b.Masked, b.Typed)
+	}
+	if len(a.Fired) != len(b.Fired) {
+		t.Fatalf("replay fired %d faults, then %d", len(a.Fired), len(b.Fired))
+	}
+}
+
+// TestRandomPlanDeterministic: same seed, same plan — byte for byte.
+func TestRandomPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Servers: 4, Events: 5, SlowNs: uint64(time.Second)}
+	a := RandomPlan(99, cfg)
+	b := RandomPlan(99, cfg)
+	if len(a.Schedule) != len(b.Schedule) {
+		t.Fatal("schedule lengths differ")
+	}
+	for i := range a.Schedule {
+		if a.Schedule[i] != b.Schedule[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Schedule[i], b.Schedule[i])
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package fault is a seeded, deterministic fault-injection subsystem for
+// the PDC deployment's two I/O seams: the client↔server transport
+// (drop a connection, corrupt a delimited frame, tear a frame mid-write)
+// and the simio storage substrate (read errors, tier slowdowns that blow
+// virtual-time deadlines).
+//
+// Faults are driven by a Plan — a seed plus an explicit schedule of
+// events, each pinned to the Nth operation at a named seam — so any
+// failing run replays byte-for-byte: the same plan against the same
+// workload injects the same faults at the same points. RandomPlan
+// derives a schedule deterministically from a seed; pinned plans from
+// failing seeds live in corpus_test.go as replayable regressions.
+//
+// The invariant the chaos harness enforces on top: an injected fault is
+// either masked by recovery (redial + resend, checkpoint restart) or
+// surfaces as a typed error — never a wrong answer.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pdcquery/internal/simio"
+	"pdcquery/internal/telemetry"
+	"pdcquery/internal/transport"
+)
+
+// ErrInjected marks every error originating from the injector, so tests
+// and the chaos harness can distinguish injected failures from organic
+// bugs with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// Kind enumerates the injectable faults.
+type Kind uint8
+
+const (
+	// DropConn closes the connection at the scheduled operation: a send
+	// fails or a pending receive unblocks with an error, modeling a
+	// server crash or network partition. Recovery is the client's redial
+	// path; without it the call fails with a typed terminal error.
+	DropConn Kind = iota
+	// CorruptRequest garbles the payload of a client→server frame. The
+	// frame stays delimited (the stream keeps its sync), so the server's
+	// fail-soft decode path answers with an error frame: the query fails
+	// typed, the session survives.
+	CorruptRequest
+	// CorruptReply truncates the payload of a server→client frame. The
+	// client's decoder rejects it and the call errors. (The corruption
+	// model is structural damage, not silent bit rot: the frame format
+	// carries no checksum, so an undetectable flip is out of scope.)
+	CorruptReply
+	// StorageErr fails the scheduled storage read with ErrInjected: the
+	// server's evaluation errors and the client receives a typed error
+	// reply.
+	StorageErr
+	// SlowRead charges Arg extra nanoseconds of virtual storage time on
+	// the scheduled read — a tier slowdown. Queries carrying a virtual
+	// deadline blow it deterministically and fail with the scheduler's
+	// deadline error; undeadlined queries just get slower.
+	SlowRead
+	numKinds
+)
+
+// String names the kind for telemetry counters and logs.
+func (k Kind) String() string {
+	switch k {
+	case DropConn:
+		return "dropconn"
+	case CorruptRequest:
+		return "corrupt-request"
+	case CorruptReply:
+		return "corrupt-reply"
+	case StorageErr:
+		return "storage-err"
+	case SlowRead:
+		return "slow-read"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event schedules one fault: Kind fires on the Count-th operation
+// (1-based) at seam Seam. Seams are named by the wrapping call sites:
+// WrapConn(seam) counts sends at seam+".send" and receives at
+// seam+".recv"; StoreHook(seam) counts storage reads at seam.
+type Event struct {
+	Seam  string
+	Count uint64
+	Kind  Kind
+	// Arg is kind-specific: for SlowRead, the injected delay in
+	// nanoseconds. Unused otherwise.
+	Arg uint64
+}
+
+// Plan is a reproducible fault schedule. Seed identifies the plan (and,
+// for RandomPlan, fully determines the schedule); Schedule is explicit
+// so pinned regressions can state their faults directly.
+type Plan struct {
+	Seed     uint64
+	Schedule []Event
+}
+
+// Injector applies a Plan: it counts operations per seam and fires the
+// scheduled events. Safe for concurrent use; operation counting within
+// one seam is strictly ordered, so a seam driven by a single goroutine
+// (a connection direction, a serial evaluation) replays exactly.
+type Injector struct {
+	mu    sync.Mutex
+	plan  Plan
+	ops   map[string]uint64
+	fired []Event
+	reg   *telemetry.Registry
+}
+
+// NewInjector returns an injector for plan with no faults fired yet.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, ops: make(map[string]uint64)}
+}
+
+// SetRegistry installs a telemetry registry; every fired fault bumps
+// "fault.injected" and "fault.injected.<kind>".
+func (in *Injector) SetRegistry(reg *telemetry.Registry) {
+	in.mu.Lock()
+	in.reg = reg
+	in.mu.Unlock()
+}
+
+// Plan returns the injector's plan (for error messages naming the seed).
+func (in *Injector) Plan() Plan {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.plan
+}
+
+// Fired returns the events that have fired so far, in firing order.
+func (in *Injector) Fired() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.fired...)
+}
+
+// step advances seam's operation counter and returns the events
+// scheduled for this operation (usually none).
+func (in *Injector) step(seam string) []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops[seam]++
+	n := in.ops[seam]
+	var hits []Event
+	for _, ev := range in.plan.Schedule {
+		if ev.Seam == seam && ev.Count == n {
+			hits = append(hits, ev)
+			in.fired = append(in.fired, ev)
+			if in.reg != nil {
+				in.reg.Add("fault.injected", 1)
+				in.reg.Add("fault.injected."+ev.Kind.String(), 1)
+			}
+		}
+	}
+	return hits
+}
+
+// injectedErr builds the typed error for a fired event.
+func injectedErr(ev Event) error {
+	return fmt.Errorf("%w: %s at %s op %d", ErrInjected, ev.Kind, ev.Seam, ev.Count)
+}
+
+// --- transport seam ---------------------------------------------------------
+
+// faultConn wraps a client-side transport connection: Send carries
+// client→server frames (seam+".send"), Recv server→client frames
+// (seam+".recv").
+type faultConn struct {
+	inner transport.Conn
+	inj   *Injector
+	seam  string
+}
+
+// WrapConn wraps a connection with the injector under the given seam
+// name (deployments use "conn.<rank>"). The wrapper is transparent until
+// a scheduled event fires.
+func (in *Injector) WrapConn(seam string, c transport.Conn) transport.Conn {
+	return &faultConn{inner: c, inj: in, seam: seam}
+}
+
+func (c *faultConn) Send(m transport.Message) error {
+	for _, ev := range c.inj.step(c.seam + ".send") {
+		switch ev.Kind {
+		case DropConn:
+			// Close the underlying connection so the peer and the reader
+			// observe the loss too — a drop must never strand a blocked
+			// receive.
+			c.inner.Close()
+			return injectedErr(ev)
+		case CorruptRequest:
+			p := make([]byte, len(m.Payload))
+			for i, b := range m.Payload {
+				p[i] = b ^ 0xA5
+			}
+			m.Payload = p
+		}
+	}
+	return c.inner.Send(m)
+}
+
+func (c *faultConn) Recv() (transport.Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return m, err
+	}
+	for _, ev := range c.inj.step(c.seam + ".recv") {
+		switch ev.Kind {
+		case DropConn:
+			c.inner.Close()
+			return transport.Message{}, injectedErr(ev)
+		case CorruptReply:
+			m.Payload = m.Payload[:len(m.Payload)/2]
+		}
+	}
+	return m, nil
+}
+
+func (c *faultConn) Close() error { return c.inner.Close() }
+
+// --- storage seam -----------------------------------------------------------
+
+// StoreHook returns a simio.AccessHook that injects StorageErr and
+// SlowRead events scheduled at seam (deployments use "store", shared by
+// all servers over the common substrate: reads are counted in arrival
+// order, which is deterministic for serial evaluation).
+func (in *Injector) StoreHook(seam string) simio.AccessHook {
+	return func(op, key string, tier simio.Tier, bytes int64) (time.Duration, error) {
+		var extra time.Duration
+		for _, ev := range in.step(seam) {
+			switch ev.Kind {
+			case SlowRead:
+				extra += time.Duration(ev.Arg)
+			case StorageErr:
+				return extra, injectedErr(ev)
+			}
+		}
+		return extra, nil
+	}
+}
+
+// --- plan generation --------------------------------------------------------
+
+// PlanConfig bounds RandomPlan's schedule generation.
+type PlanConfig struct {
+	// Servers is the deployment size (seams conn.0 … conn.N-1).
+	Servers int
+	// Events is the number of faults to schedule (default 3).
+	Events int
+	// MaxOp bounds the operation index events attach to (default 24).
+	MaxOp uint64
+	// SlowNs is the SlowRead delay in nanoseconds (default 1s: far past
+	// any query budget the harness sets).
+	SlowNs uint64
+	// StoreSeam names the storage seam (default "store").
+	StoreSeam string
+}
+
+// RandomPlan derives a fault schedule deterministically from seed: the
+// same seed and config always produce the same plan. Kinds, seams, and
+// operation indexes are drawn from a seeded PRNG.
+func RandomPlan(seed uint64, cfg PlanConfig) Plan {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 3
+	}
+	if cfg.MaxOp == 0 {
+		cfg.MaxOp = 24
+	}
+	if cfg.SlowNs == 0 {
+		cfg.SlowNs = uint64(time.Second)
+	}
+	if cfg.StoreSeam == "" {
+		cfg.StoreSeam = "store"
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	p := Plan{Seed: seed}
+	for i := 0; i < cfg.Events; i++ {
+		kind := Kind(rng.Intn(int(numKinds)))
+		ev := Event{Kind: kind, Count: 1 + uint64(rng.Int63n(int64(cfg.MaxOp)))}
+		srv := rng.Intn(cfg.Servers)
+		switch kind {
+		case DropConn:
+			dir := ".send"
+			if rng.Intn(2) == 1 {
+				dir = ".recv"
+			}
+			ev.Seam = fmt.Sprintf("conn.%d%s", srv, dir)
+		case CorruptRequest:
+			ev.Seam = fmt.Sprintf("conn.%d.send", srv)
+		case CorruptReply:
+			ev.Seam = fmt.Sprintf("conn.%d.recv", srv)
+		case StorageErr:
+			ev.Seam = cfg.StoreSeam
+		case SlowRead:
+			ev.Seam = cfg.StoreSeam
+			ev.Arg = cfg.SlowNs
+		}
+		p.Schedule = append(p.Schedule, ev)
+	}
+	return p
+}

@@ -69,6 +69,11 @@ type Config struct {
 	// replies (with a retry-after hint) until the backlog drains. Zero
 	// means DefaultQueueDepth.
 	QueueDepth int
+	// OnQuery, when set, is called after each handled MsgQuery with the
+	// running count of queries this server has served. It is the seam
+	// crash-injection hangs off (cmd/pdc-server's -crash-after exits the
+	// process from it); keep it fast and non-blocking.
+	OnQuery func(served uint64)
 }
 
 // DefaultQueueDepth is the per-session admission bound when Config
@@ -98,15 +103,16 @@ type Server struct {
 	// Serve call and stop in Shutdown. These are immutable after New or
 	// internally synchronized, so they sit above smu: only the session
 	// set below needs the server mutex.
-	pool         *sched.Pool
-	queue        *sched.FairQueue[*queuedReq]
-	queueDepth   int
-	sessKey      atomic.Uint64
-	dispatchOnce sync.Once
-	dwg          sync.WaitGroup
-	shutdownOnce sync.Once
-	baseCtx      context.Context
-	baseCancel   context.CancelFunc
+	pool          *sched.Pool
+	queue         *sched.FairQueue[*queuedReq]
+	queueDepth    int
+	sessKey       atomic.Uint64
+	queriesServed atomic.Int64
+	dispatchOnce  sync.Once
+	dwg           sync.WaitGroup
+	shutdownOnce  sync.Once
+	baseCtx       context.Context
+	baseCancel    context.CancelFunc
 
 	smu      sync.Mutex
 	sessions map[*session]struct{}
@@ -491,7 +497,11 @@ func (s *Server) handle(ss *session, tok *sched.Token, acct *vclock.Account, m t
 	s.telem.Add("msg."+MsgName(m.Type), 1)
 	switch m.Type {
 	case MsgQuery:
-		return s.handleQuery(ss, tok, acct, m)
+		reply := s.handleQuery(ss, tok, acct, m)
+		if s.cfg.OnQuery != nil {
+			s.cfg.OnQuery(uint64(s.queriesServed.Add(1)))
+		}
+		return reply
 	case MsgGetData:
 		return s.handleGetData(ss, tok, acct, m)
 	case MsgHistogram:
@@ -556,6 +566,12 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 	// client explicitly asked for them inline.
 	res, err := s.reqEngine(acct).EvaluateToken(tok, q, assign, true, span)
 	if err != nil {
+		return s.errMsg(err)
+	}
+	// The budget is a deadline on the reply, not just a cancellation
+	// point: a cost charged by the final read can cross it after the last
+	// region-boundary check, and in virtual time that reply arrives late.
+	if err := tok.Err(); err != nil {
 		return s.errMsg(err)
 	}
 	cost := acct.Cost()
@@ -633,6 +649,9 @@ func (s *Server) handleGetData(ss *session, tok *sched.Token, acct *vclock.Accou
 		if err != nil {
 			return s.errMsg(err)
 		}
+	}
+	if err := tok.Err(); err != nil {
+		return s.errMsg(err)
 	}
 	resp := &DataResponse{Cost: acct.Cost(), Coords: coords, Data: data}
 	return transport.Message{Type: MsgDataResult, Payload: resp.Encode()}

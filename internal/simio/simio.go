@@ -166,12 +166,21 @@ type extent struct {
 	tier Tier
 }
 
+// AccessHook observes (and may perturb) every read the store performs.
+// It returns an extra modeled delay charged on top of the tier cost
+// (a fault-injected tier slowdown) and/or an error that fails the read
+// (a fault-injected storage error). A nil return of both leaves the
+// access untouched. Hooks must be deterministic: the store calls them
+// synchronously under no lock, once per Read/ReadRanges call.
+type AccessHook func(op, key string, tier Tier, bytes int64) (time.Duration, error)
+
 // Store holds named extents and charges modeled costs for every access.
 // It is safe for concurrent use.
 type Store struct {
 	mu      sync.RWMutex
 	extents map[string]*extent
 	model   Model
+	hook    AccessHook
 }
 
 // New returns an empty store with the given cost model.
@@ -199,6 +208,33 @@ func (s *Store) SetAggregate(on bool) {
 	s.mu.Lock()
 	s.model.Aggregate = on
 	s.mu.Unlock()
+}
+
+// SetAccessHook installs (or, with nil, removes) the read-path fault
+// seam. Install before serving queries; the hook fires on every Read,
+// ReadAll, and ReadRanges.
+func (s *Store) SetAccessHook(h AccessHook) {
+	s.mu.Lock()
+	s.hook = h
+	s.mu.Unlock()
+}
+
+// applyHook runs the access hook for one read of n bytes, charging any
+// injected slowdown to a. It returns the hook's error, wrapped with the
+// extent key so failures are attributable.
+func (s *Store) applyHook(h AccessHook, a *vclock.Account, op, key string, tier Tier, n int64) error {
+	if h == nil {
+		return nil
+	}
+	extra, err := h(op, key, tier, n)
+	if extra > 0 && a != nil {
+		a.ChargeCost(vclock.CostOf(vclock.Storage, extra))
+		a.Count("fault.slow.ops", 1)
+	}
+	if err != nil {
+		return fmt.Errorf("simio: %s %q: %w", op, key, err)
+	}
+	return nil
 }
 
 // Write stores data (copied) under key on the given tier, replacing any
@@ -247,12 +283,16 @@ func (s *Store) Read(a *vclock.Account, key string, off, n int64) ([]byte, error
 	s.mu.RLock()
 	e, ok := s.extents[key]
 	model := s.model
+	hook := s.hook
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("simio: extent %q not found", key)
 	}
 	if off < 0 || n < 0 || off+n > int64(len(e.data)) {
 		return nil, fmt.Errorf("simio: read [%d,%d) out of bounds of %q (%d bytes)", off, off+n, key, len(e.data))
+	}
+	if err := s.applyHook(hook, a, "read", key, e.tier, n); err != nil {
+		return nil, err
 	}
 	if a != nil {
 		a.ChargeCost(model.ReadCost(e.tier, n))
@@ -278,16 +318,22 @@ func (s *Store) ReadRanges(a *vclock.Account, key string, ranges []Range) ([][]b
 	s.mu.RLock()
 	e, ok := s.extents[key]
 	model := s.model
+	hook := s.hook
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("simio: extent %q not found", key)
 	}
 	out := make([][]byte, len(ranges))
+	var want int64
 	for i, r := range ranges {
 		if r.Off < 0 || r.Len < 0 || r.Off+r.Len > int64(len(e.data)) {
 			return nil, fmt.Errorf("simio: range [%d,%d) out of bounds of %q", r.Off, r.Off+r.Len, key)
 		}
 		out[i] = e.data[r.Off : r.Off+r.Len]
+		want += r.Len
+	}
+	if err := s.applyHook(hook, a, "readranges", key, e.tier, want); err != nil {
+		return nil, err
 	}
 	if a == nil {
 		return out, nil

@@ -160,3 +160,68 @@ func TestSendOnClosedTCPConn(t *testing.T) {
 		t.Error("Recv on closed connection returned nil")
 	}
 }
+
+// TestRecvCutAtEveryByte sweeps a connection cut at every byte offset of
+// an encoded frame. Offset 0 is a clean close between frames (io.EOF);
+// any cut strictly inside the frame must surface the typed
+// TornFrameError — never a clean EOF, which would make a mid-request
+// server death indistinguishable from a graceful shutdown (the client
+// would report a closed connection with a request silently in flight),
+// and never a hang or partial-read loop. The boundary cut exactly
+// between header and payload is the regression pin: io.ReadFull reports
+// a clean io.EOF there, which used to leak through untyped.
+func TestRecvCutAtEveryByte(t *testing.T) {
+	sc := newScriptConn(nil)
+	enc := NewNetConn(sc)
+	msg := Message{Type: 3, ReqID: 42, Trace: 7, Deadline: 11, Payload: []byte("torn-frame-sweep")}
+	if err := enc.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	frame := sc.wrote.Bytes()
+	if len(frame) != frameHeader+len(msg.Payload) {
+		t.Fatalf("encoded frame is %d bytes, want %d", len(frame), frameHeader+len(msg.Payload))
+	}
+	for cut := 0; cut <= len(frame); cut++ {
+		c := NewNetConn(newScriptConn(frame[:cut]))
+		m, err := c.Recv()
+		switch {
+		case cut == 0:
+			if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d: err = %v, want clean io.EOF", cut, err)
+			}
+		case cut < len(frame):
+			var torn *TornFrameError
+			if !errors.As(err, &torn) {
+				t.Fatalf("cut %d: err = %v, want TornFrameError", cut, err)
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d: TornFrameError must unwrap to io.ErrUnexpectedEOF", cut)
+			}
+			wantStage := "payload"
+			if cut < frameHeader {
+				wantStage = "header"
+			}
+			if torn.Stage != wantStage || torn.Got >= torn.Want {
+				t.Fatalf("cut %d: torn = %+v, want stage %q with Got < Want", cut, torn, wantStage)
+			}
+		default:
+			if err != nil || m.ReqID != 42 || string(m.Payload) != "torn-frame-sweep" {
+				t.Fatalf("cut %d (full frame): m = %+v, err = %v", cut, m, err)
+			}
+		}
+	}
+}
+
+// TestRecvOversizedFrameTorn: the stream dies while Recv is discarding an
+// oversized frame's payload — the cut must be typed, not a clean EOF.
+func TestRecvOversizedFrameTorn(t *testing.T) {
+	defer func(old int) { maxFrame = old }(maxFrame)
+	maxFrame = 8
+	// Claims 64 payload bytes, delivers 10, then EOF mid-discard.
+	c := NewNetConn(newScriptConn(frameBytes(64, 1, 5, make([]byte, 10))))
+	_, err := c.Recv()
+	var torn *TornFrameError
+	if !errors.As(err, &torn) || torn.Stage != "payload" || torn.Got != 10 || torn.Want != 64 {
+		t.Fatalf("oversized torn frame: err = %v, want payload TornFrameError 10/64", err)
+	}
+}

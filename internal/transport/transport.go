@@ -151,6 +151,26 @@ type FrameError struct {
 
 func (e *FrameError) Error() string { return "transport: " + e.Reason }
 
+// TornFrameError reports a connection that died in the middle of a
+// frame: some bytes of the header or payload arrived and then the stream
+// ended. Unlike a clean EOF between frames, a torn frame means the peer
+// (or the network) failed mid-message, so readers surface it as a typed,
+// deterministic error — never a clean close, a hang, or a partial-read
+// loop. It unwraps to io.ErrUnexpectedEOF so existing truncation checks
+// keep matching.
+type TornFrameError struct {
+	// Stage is the part of the frame that was cut: "header" or "payload".
+	Stage string
+	// Got and Want count the bytes received vs. expected for that stage.
+	Got, Want int
+}
+
+func (e *TornFrameError) Error() string {
+	return fmt.Sprintf("transport: connection cut mid-frame (%s: %d of %d bytes)", e.Stage, e.Got, e.Want)
+}
+
+func (e *TornFrameError) Unwrap() error { return io.ErrUnexpectedEOF }
+
 type tcpConn struct {
 	c  net.Conn
 	br *bufio.Reader
@@ -182,7 +202,14 @@ func (c *tcpConn) Send(m Message) error {
 
 func (c *tcpConn) Recv() (Message, error) {
 	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+	if n, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		// A clean close lands exactly between frames (zero header bytes,
+		// io.EOF). Any other cut is a torn frame and must be typed: an EOF
+		// after a partial header would otherwise read as a graceful close
+		// with a request silently in flight.
+		if n > 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			return Message{}, &TornFrameError{Stage: "header", Got: n, Want: frameHeader}
+		}
 		return Message{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
@@ -198,7 +225,10 @@ func (c *tcpConn) Recv() (Message, error) {
 		// the stream in sync and report a FrameError carrying the header
 		// fields, so the server can answer this request with an error
 		// frame and keep the session alive.
-		if _, err := io.CopyN(io.Discard, c.br, int64(n)); err != nil {
+		if d, err := io.CopyN(io.Discard, c.br, int64(n)); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Message{}, &TornFrameError{Stage: "payload", Got: int(d), Want: int(n)}
+			}
 			return Message{}, err
 		}
 		return Message{}, &FrameError{
@@ -208,7 +238,13 @@ func (c *tcpConn) Recv() (Message, error) {
 	}
 	if n > 0 {
 		m.Payload = make([]byte, n)
-		if _, err := io.ReadFull(c.br, m.Payload); err != nil {
+		if got, err := io.ReadFull(c.br, m.Payload); err != nil {
+			// The header promised n payload bytes; any EOF before they all
+			// arrive — including at exactly the header/payload boundary,
+			// where ReadFull reports a clean io.EOF — is a torn frame.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Message{}, &TornFrameError{Stage: "payload", Got: got, Want: int(n)}
+			}
 			return Message{}, err
 		}
 	}
