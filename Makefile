@@ -2,18 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build lint test cover race fuzz stress chaos bench figures verify examples clean
+.PHONY: all build lint test cover race fuzz stress chaos bench bench-diff bench-seed bench-smoke hotalloc-report figures verify examples clean
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-# Static analysis in one gate: go vet plus the eight project invariant
+# Static analysis in one gate: go vet plus the ten project invariant
 # checkers (see internal/lint and `pdc-lint -list`): determinism, mutex
 # guarding, protocol exhaustiveness, no panics on request paths, charged
-# request-path I/O, wire symmetry, lock-order acyclicity, and
-# cancellation propagation on request paths.
+# request-path I/O, wire symmetry, lock-order acyclicity, cancellation
+# propagation, alias escapes from exported methods (aliasguard), and
+# hot-path allocation budgets (hotalloc). One pdc-lint invocation runs
+# all ten over a single loaded package set and shared call graph.
 # Also usable as `go vet -vettool=$$(pwd)/bin/pdc-lint ./...`.
 lint:
 	$(GO) vet ./...
@@ -63,6 +65,25 @@ fuzz:
 # One benchmark per paper figure + ablations + throughput benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Performance ratchet: deterministic allocs/op (hot kernels) and modeled
+# virtual-time figures vs the committed BENCH_seed.json baseline. Fails
+# on >10% allocs/op (any alloc for zero-pinned kernels) or >15% modeled
+# wall-clock regression. Deterministic by construction, so CI runs it.
+bench-diff:
+	$(GO) run ./cmd/pdc-benchdiff
+
+# Regenerate the committed baseline after a deliberate perf change.
+bench-seed:
+	$(GO) run ./cmd/pdc-benchdiff -write
+
+# CI smoke alias: the ratchet is cheap enough to run on every push.
+bench-smoke: bench-diff
+
+# Regenerate the hot-path allocation census (the shape the committed
+# internal/lint/hotalloc_budget.json entries are drawn from).
+hotalloc-report:
+	$(GO) run ./cmd/pdc-lint -hotalloc-report ./...
 
 # Regenerate every figure of the paper's evaluation (modeled times).
 figures:

@@ -57,6 +57,7 @@ func main() {
 	}
 	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line on stdout (standalone mode)")
 	listOut := fs.Bool("list", false, "print the analyzer catalog and exit")
+	hotallocReport := fs.Bool("hotalloc-report", false, "print the hot-path allocation census as budget-file JSON and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: pdc-lint [flags] packages...\n       pdc-lint config.cfg  (go vet -vettool mode)\n")
 		fs.PrintDefaults()
@@ -92,6 +93,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdc-lint:", err)
 		os.Exit(1)
 	}
+	if *hotallocReport {
+		// The census in hotalloc_budget.json shape: pipe through jq (or
+		// edit by hand) to prune into the committed budget.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.HotAllocReport(pkgs)); err != nil {
+			fmt.Fprintln(os.Stderr, "pdc-lint:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	diags, err := lint.RunAnalyzers(pkgs, active)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdc-lint:", err)
@@ -101,13 +113,8 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
 			// One object per line so CI can annotate PRs by streaming.
-			if err := enc.Encode(jsonDiagnostic{
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Col:      d.Pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			}); err != nil {
+			// The schema (lint.JSONDiagnostic) is pinned by a unit test.
+			if err := enc.Encode(lint.ToJSON(d)); err != nil {
 				fmt.Fprintln(os.Stderr, "pdc-lint:", err)
 				os.Exit(1)
 			}
@@ -121,15 +128,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdc-lint: %d finding(s)\n", len(diags))
 		os.Exit(2)
 	}
-}
-
-// jsonDiagnostic is the -json line format.
-type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
 }
 
 // printCatalog answers -list: one analyzer per line with its scope and

@@ -156,8 +156,16 @@ func (d *Deployment) SetWrapConn(f func(srv int, c transport.Conn) transport.Con
 func (d *Deployment) Meta() *metadata.Service { return d.meta }
 
 // Replicas exposes the sorted-replica registry (used by standalone
-// server daemons that reuse the import pipeline).
-func (d *Deployment) Replicas() map[object.ID]*sortstore.Replica { return d.replicas }
+// server daemons that reuse the import pipeline). The map is a copy:
+// deleting or replacing entries in it must not detach replicas from
+// the deployment itself.
+func (d *Deployment) Replicas() map[object.ID]*sortstore.Replica {
+	out := make(map[object.ID]*sortstore.Replica, len(d.replicas))
+	for id, r := range d.replicas {
+		out[id] = r
+	}
+	return out
+}
 
 // ImportCost returns the accumulated virtual cost of imports, index
 // builds, and sorted-replica builds (the offline costs the paper reports

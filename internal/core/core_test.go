@@ -395,3 +395,21 @@ func TestLabelHelpers(t *testing.T) {
 		t.Error("empty multi label")
 	}
 }
+
+// TestReplicasSnapshotIsCopy pins the aliasguard fix on
+// Deployment.Replicas: the returned registry map is the caller's copy,
+// so deleting from it must not detach replicas from the deployment.
+func TestReplicasSnapshotIsCopy(t *testing.T) {
+	d, ids := vpicDeployment(t, 64, Options{Servers: 2, Strategy: exec.SortedHistogram})
+	_ = ids
+	snap := d.Replicas()
+	if len(snap) == 0 {
+		t.Fatal("expected at least one replica")
+	}
+	for id := range snap {
+		delete(snap, id)
+	}
+	if got := d.Replicas(); len(got) == 0 {
+		t.Fatal("mutating the snapshot emptied the deployment's registry: Replicas leaked an alias")
+	}
+}

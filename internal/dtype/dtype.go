@@ -94,6 +94,28 @@ func Parse(name string) (Type, error) {
 	return Invalid, fmt.Errorf("dtype: unknown type %q", name)
 }
 
+// ROBytes is a read-only view of a byte extent. The storage layer
+// (simio.Store) and the region cache (exec.Cache) return their internal
+// buffers as ROBytes so reads are zero-copy; in exchange, holders must
+// never write through the view — extents and cached regions are shared
+// by every concurrent query and by the store itself.
+//
+// The contract is enforced statically: the aliasguard analyzer flags
+// any index assignment, copy destination, or append through a value of
+// an immutable-marked type (including values laundered through a
+// []byte conversion). Because a named slice type is assignable to
+// []byte, read-only consumers (dtype.View, dtype.At, kernels) accept
+// ROBytes arguments with no conversion churn. Use Clone for the rare
+// caller that genuinely needs a private mutable copy.
+//
+//lint:immutable
+type ROBytes []byte
+
+// Clone returns a mutable copy of the view's bytes.
+func (b ROBytes) Clone() []byte {
+	return append([]byte(nil), b...)
+}
+
 // Native is the constraint satisfied by every supported element type.
 type Native interface {
 	~float32 | ~float64 | ~int8 | ~int16 | ~int32 | ~int64 |

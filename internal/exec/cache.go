@@ -3,6 +3,8 @@ package exec
 import (
 	"container/list"
 	"sync"
+
+	"pdcquery/internal/dtype"
 )
 
 // Cache is a byte-capacity-bounded LRU of region buffers, modeling the
@@ -10,6 +12,14 @@ import (
 // 64 GB). Query evaluation populates it; get-data drains it — the reason
 // PDC-H/PDC-SH return data so quickly after evaluation (§VI-A) while
 // PDC-HI must go back to storage.
+//
+// Entries are immutable shared extents: Put takes a dtype.ROBytes view
+// (usually the storage extent itself) and Get hands the same view back
+// with no copy. Hits are therefore zero-alloc — the copy-on-Get that
+// once guarded against caller writes is gone, replaced by the static
+// contract on ROBytes (the aliasguard analyzer rejects any write
+// through an immutable-typed value, repo-wide). Concurrent queries on
+// the same region share one buffer safely because nobody can mutate it.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -20,7 +30,7 @@ type Cache struct {
 
 type cacheEntry struct {
 	key  string
-	data []byte
+	data dtype.ROBytes
 }
 
 // NewCache returns an LRU cache bounded to capacity bytes. A zero or
@@ -29,12 +39,10 @@ func NewCache(capacity int64) *Cache {
 	return &Cache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns a copy of the cached buffer for key, marking it most
-// recently used. It must copy: the cached bytes alias the storage
-// extent, and callers decode or scratch in returned buffers — returning
-// the live buffer let any in-place mutation silently corrupt the cache
-// (and the backing store) for every later hit on the same region.
-func (c *Cache) Get(key string) ([]byte, bool) {
+// Get returns the cached immutable view for key, marking it most
+// recently used. The view is shared — zero-copy by design — and the
+// ROBytes type forbids writing through it.
+func (c *Cache) Get(key string) (dtype.ROBytes, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -42,13 +50,10 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	data := el.Value.(*cacheEntry).data
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, true
+	return el.Value.(*cacheEntry).data, true
 }
 
-// Touch marks key most recently used without copying its buffer — the
+// Touch marks key most recently used without returning its buffer — the
 // LRU-refresh half of Get for callers that only need to know the region
 // is resident (e.g. the full-scan preload, which skips re-reading cached
 // regions but must keep them hot).
@@ -66,11 +71,11 @@ func (c *Cache) Touch(key string) bool {
 	return true
 }
 
-// Put inserts a buffer, evicting least-recently-used entries as needed.
-// Buffers larger than the whole capacity are not cached. The cache takes
-// ownership of data: the caller must not modify it afterwards (readers
-// are protected by the Get copy).
-func (c *Cache) Put(key string, data []byte) {
+// Put inserts an immutable view, evicting least-recently-used entries as
+// needed. Views larger than the whole capacity are not cached. Because
+// the data is immutable, the cache can retain the caller's view and
+// later hand it to any number of readers without copies.
+func (c *Cache) Put(key string, data dtype.ROBytes) {
 	if c == nil || c.capacity <= 0 || int64(len(data)) > c.capacity {
 		return
 	}

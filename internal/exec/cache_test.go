@@ -102,26 +102,29 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 }
 
-// TestCacheGetDoesNotAlias is the regression pin for the Get aliasing
-// bug: Get used to return the live cached buffer, so any caller that
-// decoded or scratched in place corrupted the cache (and, since cached
-// buffers alias simio extents, the backing store) for every later hit.
-func TestCacheGetDoesNotAlias(t *testing.T) {
+// TestCacheGetZeroCopy pins the immutable-extent design: Get returns
+// the same shared view Put stored — no defensive copy, no allocation.
+// The old copy-on-Get guarded against callers scratching in returned
+// buffers; that hazard is now excluded statically (ROBytes is
+// //lint:immutable and aliasguard rejects writes through it), so a hit
+// must be the identical backing array.
+func TestCacheGetZeroCopy(t *testing.T) {
 	c := NewCache(100)
-	c.Put("region", []byte("pristine"))
+	put := []byte("pristine")
+	c.Put("region", put)
 	got, ok := c.Get("region")
 	if !ok {
 		t.Fatal("miss on just-inserted key")
 	}
-	for i := range got {
-		got[i] = 'X' // scratch in place, as a decoder would
+	if len(got) != len(put) || &got[0] != &put[0] {
+		t.Fatal("Get copied the cached view; hits must be zero-copy shares of the stored extent")
 	}
-	again, ok := c.Get("region")
-	if !ok {
-		t.Fatal("second read missed")
-	}
-	if string(again) != "pristine" {
-		t.Fatalf("cached bytes corrupted through a returned buffer: %q", again)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := c.Get("region"); !ok {
+			t.Fatal("miss")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Get allocated %.1f times per hit, want 0", allocs)
 	}
 }
 

@@ -23,9 +23,9 @@
 package exec
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
-	"sort"
 	"time"
 
 	"pdcquery/internal/bitindex"
@@ -68,6 +68,7 @@ func (s Strategy) String() string {
 	case SortedHistogram:
 		return "PDC-SH"
 	}
+	//lint:ignore hotalloc unreachable for defined strategies; debug fallback only
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
@@ -173,15 +174,17 @@ type Engine struct {
 	Pool *sched.Pool
 }
 
-// readRegion returns a region's raw bytes, going through the LRU cache.
-// Cache hits are charged at memory-tier cost.
-func (e *Engine) readRegion(o *object.Object, r int) ([]byte, error) {
+// readRegion returns a region's raw bytes as an immutable shared view,
+// going through the LRU cache. Cache hits are charged at memory-tier
+// cost.
+func (e *Engine) readRegion(o *object.Object, r int) (dtype.ROBytes, error) {
 	return e.readExtent(o.Regions[r].ExtentKey)
 }
 
 // readExtent is the cached read used for regions and sorted-replica
-// extents alike.
-func (e *Engine) readExtent(key string) ([]byte, error) {
+// extents alike. Both the cache and the store return immutable views of
+// the same underlying extent, so the whole read path is zero-copy.
+func (e *Engine) readExtent(key string) (dtype.ROBytes, error) {
 	if e.Cache != nil {
 		if data, ok := e.Cache.Get(key); ok {
 			if e.Acct != nil {
@@ -376,7 +379,9 @@ func (e *Engine) orderConditions(c query.Conjunct) []object.ID {
 		}
 		entries = append(entries, entry{id, sel})
 	}
-	sort.SliceStable(entries, func(i, j int) bool { return entries[i].sel < entries[j].sel })
+	// SortStableFunc keeps the comparison monomorphic: no interface boxing
+	// of the entry slice and no capturing closure, unlike sort.SliceStable.
+	slices.SortStableFunc(entries, func(x, y entry) int { return cmp.Compare(x.sel, y.sel) })
 	out := make([]object.ID, len(entries))
 	for i, en := range entries {
 		out[i] = en.id
@@ -639,11 +644,16 @@ func (e *Engine) evalRegionScan(tok *sched.Token, c query.Conjunct, order []obje
 	if err != nil {
 		return nil, err
 	}
-	hits, err := scanRegion(first.Type, data, runs, c[order[0]], buf)
+	n := runsElems(runs)
+	if buf == nil {
+		// Pre-size the hit buffer to the scan's worst case (every scanned
+		// element matches) so the append loop in scanTyped never regrows.
+		buf = make([]uint64, 0, n)
+	}
+	hits, err := scanRegion(first.Type, data, runs, c[order[0]], buf[:0])
 	if err != nil {
 		return nil, err
 	}
-	n := runsElems(runs)
 	stats.ElementsScanned += n
 	condIn(cs, order[0], n)
 	condOut(cs, order[0], int64(len(hits)))
@@ -682,7 +692,11 @@ func (e *Engine) evalRegionScan(tok *sched.Token, c query.Conjunct, order []obje
 func (e *Engine) evalRegionIndex(tok *sched.Token, c query.Conjunct, order []object.ID, objs map[object.ID]*object.Object,
 	r int, runs []localRun, stats *Stats, cs *telemetry.Span) ([]uint64, error) {
 
-	var acc *wah.Bitmap
+	// acc and scratch ping-pong through AndInto: after the first AND the
+	// fold recycles the previous accumulator's storage instead of
+	// allocating a bitmap per condition. Both always point at bitmaps this
+	// loop owns (the first bm or an AndInto result), never a caller's.
+	var acc, scratch *wah.Bitmap
 	for _, id := range order {
 		if err := tok.Err(); err != nil {
 			return nil, err
@@ -720,7 +734,7 @@ func (e *Engine) evalRegionIndex(tok *sched.Token, c query.Conjunct, order []obj
 		if acc == nil {
 			acc = bm
 		} else {
-			acc = wah.And(acc, bm)
+			acc, scratch = wah.AndInto(scratch, acc, bm), acc
 		}
 		if acc.Cardinality() == 0 {
 			return nil, nil // AND short-circuit
@@ -761,7 +775,8 @@ func (e *Engine) evalIndexCondition(o *object.Object, r int, iv query.Interval, 
 		return wah.Empty(nbits), nil
 	}
 	// Read the touched bins' blobs in one aggregated request.
-	bins := append(append([]int(nil), sure...), cands...)
+	bins := make([]int, 0, len(sure)+len(cands))
+	bins = append(append(bins, sure...), cands...)
 	ranges := make([]simio.Range, len(bins))
 	var blobBytes int64
 	for i, b := range bins {
@@ -778,7 +793,7 @@ func (e *Engine) evalIndexCondition(o *object.Object, r int, iv query.Interval, 
 	if e.Acct != nil {
 		e.Acct.Charge(vclock.Compute, time.Duration(blobBytes/1024+1)*decodeCostPerKB)
 	}
-	var parts []*wah.Bitmap
+	parts := make([]*wah.Bitmap, 0, len(sure))
 	for i := range sure {
 		bm, err := bitindex.DecodeBin(blobs[i])
 		if err != nil {
@@ -1026,15 +1041,7 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 		stats.Add(res.stats)
 		hits = append(hits, res.hits...)
 	}
-	slices.SortFunc(hits, func(a, b shHit) int {
-		switch {
-		case a.coord < b.coord:
-			return -1
-		case a.coord > b.coord:
-			return 1
-		}
-		return 0
-	})
+	slices.SortFunc(hits, func(a, b shHit) int { return cmp.Compare(a.coord, b.coord) })
 
 	var vals map[object.ID][]float64
 	if collect {

@@ -99,6 +99,12 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// FuncKey is the call-graph key of the function the finding is in
+	// (empty for analyzers that do not reason per function).
+	FuncKey string
+	// Chain is the call path from a declared analysis root to FuncKey
+	// (root first), for analyzers that attribute findings to roots.
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
@@ -111,6 +117,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAttributed records a diagnostic carrying the enclosing function's
+// FuncKey and the root attribution chain that reaches it — the metadata
+// the pdc-lint -json schema exposes for CI tooling.
+func (p *Pass) ReportAttributed(pos token.Pos, funcKey string, chain []string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		FuncKey:  funcKey,
+		Chain:    chain,
 	})
 }
 
@@ -131,14 +150,38 @@ func All() []*Analyzer {
 		WireSymmetryAnalyzer,
 		LockOrderAnalyzer,
 		CtxPropagateAnalyzer,
+		AliasGuardAnalyzer,
+		HotAllocAnalyzer,
 	}
+}
+
+// Session binds one loaded package set to the expensive artifacts the
+// analyzers derive from it — today the whole-repo call graph — so that
+// several RunAnalyzers-style invocations (one per analyzer, as the
+// repo-clean tests and vet integrations issue them) build the graph once
+// instead of once per invocation.
+type Session struct {
+	pkgs   []*Package
+	shared *sharedState
+}
+
+// NewSession returns a session over pkgs with an empty artifact cache.
+func NewSession(pkgs []*Package) *Session {
+	return &Session{pkgs: pkgs, shared: &sharedState{}}
 }
 
 // RunAnalyzers applies each per-package analyzer to each package and
 // each Global analyzer once to the whole set, filters //lint:ignore'd
 // findings, and returns the remainder sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	shared := &sharedState{}
+	return NewSession(pkgs).Run(analyzers)
+}
+
+// Run applies the analyzers over the session's package set, reusing the
+// session's cached call graph across invocations.
+func (s *Session) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	shared := s.shared
+	pkgs := s.pkgs
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg.Fset, pkg.Files)

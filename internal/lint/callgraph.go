@@ -284,8 +284,11 @@ func resolveBody(node *CallNode, pkg *Package) []ifaceCall {
 // Node returns the node for key, or nil.
 func (g *CallGraph) Node(key string) *CallNode { return g.Nodes[key] }
 
-// Keys returns all node keys in sorted order.
-func (g *CallGraph) Keys() []string { return g.keys }
+// Keys returns all node keys in sorted order. The slice is the
+// caller's to keep: the graph is shared across analyzers in a session,
+// so handing out the internal slice would let one analyzer's sort or
+// filter corrupt every other's iteration order.
+func (g *CallGraph) Keys() []string { return append([]string(nil), g.keys...) }
 
 // NodeFor returns the node for a declared *types.Func, or nil.
 func (g *CallGraph) NodeFor(fn *types.Func) *CallNode { return g.Nodes[FuncKey(fn)] }
@@ -349,6 +352,60 @@ func (g *CallGraph) RootAttribution(roots []string) map[string]string {
 		}
 	}
 	return attr
+}
+
+// RootPaths maps every reachable node to one shortest call path from the
+// first root (in the given order) that reaches it, root first and the
+// node itself last. Roots map to a one-element path. The paths are the
+// "why is this function hot" evidence attached to hotalloc diagnostics.
+func (g *CallGraph) RootPaths(roots []string) map[string][]string {
+	parent := make(map[string]string)
+	attr := make(map[string]string)
+	for _, r := range roots {
+		if g.Nodes[r] == nil {
+			continue
+		}
+		if _, ok := attr[r]; !ok {
+			attr[r] = r
+		}
+		queue := []string{r}
+		for len(queue) > 0 {
+			k := queue[0]
+			queue = queue[1:]
+			n := g.Nodes[k]
+			if n == nil {
+				continue
+			}
+			for _, e := range n.Out {
+				if g.Nodes[e.CalleeKey] == nil {
+					continue
+				}
+				if _, ok := attr[e.CalleeKey]; !ok {
+					attr[e.CalleeKey] = r
+					parent[e.CalleeKey] = k
+					queue = append(queue, e.CalleeKey)
+				}
+			}
+		}
+	}
+	paths := make(map[string][]string, len(attr))
+	for k := range attr {
+		var rev []string
+		for cur := k; ; {
+			rev = append(rev, cur)
+			p, ok := parent[cur]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+		path := make([]string, len(rev))
+		for i, s := range rev {
+			path[len(rev)-1-i] = s
+		}
+		paths[k] = path
+	}
+	return paths
 }
 
 // ShortKey trims the module prefix from a FuncKey for messages:

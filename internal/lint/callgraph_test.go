@@ -110,3 +110,37 @@ func TestCallGraphReachability(t *testing.T) {
 		t.Errorf("cg.helper attributed to %q, want cg.Top", attr["cg.helper"])
 	}
 }
+
+func TestCallGraphRootPaths(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	paths := g.RootPaths([]string{"cg.Top"})
+	if got := paths["cg.Top"]; len(got) != 1 || got[0] != "cg.Top" {
+		t.Errorf("root path for the root itself = %v, want [cg.Top]", got)
+	}
+	if got := paths["cg.helper"]; len(got) != 2 || got[0] != "cg.Top" || got[1] != "cg.helper" {
+		t.Errorf("path to cg.helper = %v, want [cg.Top cg.helper]", got)
+	}
+	if _, ok := paths["cg.Lonely"]; ok {
+		t.Error("cg.Lonely is unreachable and must have no root path")
+	}
+}
+
+// TestCallGraphKeysCopy pins the aliasguard fix: Keys hands back a
+// copy, so a caller sorting or clobbering it cannot corrupt the shared
+// graph's iteration order.
+func TestCallGraphKeysCopy(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	k1 := g.Keys()
+	if len(k1) == 0 {
+		t.Fatal("expected nodes")
+	}
+	for i := range k1 {
+		k1[i] = "clobbered"
+	}
+	k2 := g.Keys()
+	for _, k := range k2 {
+		if k == "clobbered" {
+			t.Fatal("Keys() returned an alias of the graph's internal slice")
+		}
+	}
+}

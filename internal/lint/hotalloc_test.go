@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	// The fixture runs under a synthetic budget: scan keeps one make
+	// (its scratch slice); everything else must be reported.
+	a := lint.NewHotAllocAnalyzer([]lint.HotAllocEntry{
+		{Func: "hotalloc/exec.Engine.scan", Kind: "make", Count: 1,
+			Reason: "scratch slice, reused in the real code"},
+	}, lint.HotAllocRoots)
+	linttest.Run(t, a, "hotalloc")
+}
+
+// TestRepoHotAllocBudget runs the shipped analyzer (embedded budget)
+// over the real tree: every hot-path allocation must be budgeted with
+// a justification or ignored with a reason.
+func TestRepoHotAllocBudget(t *testing.T) {
+	requireRepoClean(t, lint.HotAllocAnalyzer)
+}
+
+// TestHotAllocReportMatchesBudgetShape sanity-checks the report
+// generator against the fixture: hot functions appear with per-kind
+// counts, cold functions don't.
+func TestHotAllocReportMatchesBudgetShape(t *testing.T) {
+	pkgs, err := lint.LoadTree("testdata/src/hotalloc", "hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, e := range lint.HotAllocReport(pkgs) {
+		if e.Reason == "" {
+			t.Errorf("%s/%s: generated entries must carry a placeholder reason", e.Func, e.Kind)
+		}
+		counts[e.Func+"/"+e.Kind] = e.Count
+	}
+	for key, want := range map[string]int{
+		"hotalloc/exec.Engine.Evaluate/make": 1,
+		"hotalloc/exec.Engine.scan/make":     2, // scratch + the lint:ignore'd one
+		"hotalloc/exec.Engine.scan/append":   1,
+		"hotalloc/exec.Engine.scan/convert":  1,
+		"hotalloc/exec.Engine.scan/box":      1,
+		"hotalloc/exec.Engine.scan/closure":  1,
+	} {
+		if counts[key] != want {
+			t.Errorf("report[%s] = %d, want %d", key, counts[key], want)
+		}
+	}
+	if _, ok := counts["hotalloc/exec.Cold/make"]; ok {
+		t.Error("Cold is unreachable from hot roots and must not be in the report")
+	}
+}

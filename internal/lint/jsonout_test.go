@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"pdcquery/internal/lint"
+)
+
+// TestJSONDiagnosticSchema pins the -json line schema CI tooling parses:
+// field names, omission rules, and the func/chain attribution fields.
+func TestJSONDiagnosticSchema(t *testing.T) {
+	d := lint.Diagnostic{
+		Pos:      token.Position{Filename: "internal/exec/exec.go", Line: 42, Column: 7},
+		Analyzer: "hotalloc",
+		Message:  "unbudgeted make",
+		FuncKey:  "pdcquery/internal/exec.Engine.evalRegionScan",
+		Chain: []string{
+			"pdcquery/internal/exec.Engine.Evaluate",
+			"pdcquery/internal/exec.Engine.evalRegionScan",
+		},
+	}
+	b, err := json.Marshal(lint.ToJSON(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"file":     "internal/exec/exec.go",
+		"line":     float64(42),
+		"col":      float64(7),
+		"analyzer": "hotalloc",
+		"message":  "unbudgeted make",
+		"func":     "pdcquery/internal/exec.Engine.evalRegionScan",
+		"chain": []any{
+			"pdcquery/internal/exec.Engine.Evaluate",
+			"pdcquery/internal/exec.Engine.evalRegionScan",
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("schema mismatch:\n got  %v\n want %v", got, want)
+	}
+
+	// Analyzers without per-function attribution omit func and chain
+	// entirely rather than emitting empty values.
+	d.FuncKey, d.Chain = "", nil
+	b, err = json.Marshal(lint.ToJSON(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"func", "chain"} {
+		if _, ok := got[k]; ok {
+			t.Errorf("field %q must be omitted when empty, got %v", k, got[k])
+		}
+	}
+	for _, k := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := got[k]; !ok {
+			t.Errorf("required field %q missing", k)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package cache exercises aliasguard's three rules against a Cache
+// shaped like the real exec.Cache: escape of receiver-owned slices,
+// retention of caller-supplied ones, and writes through immutable
+// views.
+package cache
+
+import "aliasguard/rotypes"
+
+// Cache owns internal buffers; its exported methods are the aliasing
+// boundary aliasguard polices.
+type Cache struct {
+	buf  []byte
+	data map[string][]byte
+	list [][]byte
+
+	// Pub is exported: callers can reach it directly, so returning it
+	// leaks nothing the API didn't already expose.
+	Pub []byte
+}
+
+// Result is an out-parameter target.
+type Result struct {
+	B []byte
+}
+
+// --- rule 1: escape -------------------------------------------------
+
+func (c *Cache) Get(k string) []byte {
+	return c.data[k] // want `returns c\.data\[k\] aliasing receiver-owned state`
+}
+
+func (c *Cache) Buf() []byte {
+	return c.buf // want `returns c\.buf aliasing receiver-owned state`
+}
+
+func (c *Cache) Head() []byte {
+	return c.buf[:4] // want `returns c\.buf\[:4\] aliasing receiver-owned state`
+}
+
+// Grow may return c.buf's own backing array when capacity is spare.
+func (c *Cache) Grow() []byte {
+	return append(c.buf, 0) // want `aliasing receiver-owned state`
+}
+
+// Local stresses the fixpoint: the alias flows through a local first.
+func (c *Cache) Local() []byte {
+	b := c.buf
+	return b // want `returns b aliasing receiver-owned state`
+}
+
+// First leaks a map value obtained by iteration.
+func (c *Cache) First() []byte {
+	for _, v := range c.data {
+		return v // want `returns v aliasing receiver-owned state`
+	}
+	return nil
+}
+
+// Named leaks through a named result and a naked return.
+func (c *Cache) Named() (out []byte) {
+	out = c.buf
+	return // want `returns named result "out" aliasing receiver-owned state`
+}
+
+// Fill is the out-parameter dual of a return escape.
+func (c *Cache) Fill(dst *Result) {
+	dst.B = c.buf // want `stores c\.buf aliasing receiver-owned state into caller-visible memory`
+}
+
+// CopyGet is the sanctioned shape: append onto a nil slice copies.
+func (c *Cache) CopyGet(k string) []byte {
+	return append([]byte(nil), c.data[k]...)
+}
+
+// MakeGet is the other sanctioned shape: fresh make plus copy.
+func (c *Cache) MakeGet() []byte {
+	out := make([]byte, len(c.buf))
+	copy(out, c.buf)
+	return out
+}
+
+// View returns an immutable-typed alias: the audited read-only channel.
+func (c *Cache) View() rotypes.ROBytes {
+	return rotypes.ROBytes(c.buf)
+}
+
+// PubBuf returns an exported field: already caller-reachable.
+func (c *Cache) PubBuf() []byte {
+	return c.Pub
+}
+
+// get is unexported: internal callers share buffers on purpose.
+func (c *Cache) get() []byte {
+	return c.buf
+}
+
+// Each only leaks inside a closure, which returns from the closure,
+// not the method.
+func (c *Cache) Each(visit func([]byte)) {
+	fn := func() []byte { return c.buf }
+	visit(fn())
+}
+
+// Steal is a documented ownership transfer, suppressed at the site.
+func (c *Cache) Steal() []byte {
+	//lint:ignore aliasguard ownership transfer: caller owns the buffer after Steal
+	return c.buf
+}
+
+// --- rule 2: retention ----------------------------------------------
+
+func (c *Cache) Put(k string, v []byte) {
+	c.data[k] = v // want `retains caller-supplied v in receiver state`
+}
+
+func (c *Cache) SetBuf(v []byte) {
+	c.buf = v // want `retains caller-supplied v in receiver state`
+}
+
+// Add stores the slice header itself into receiver state.
+func (c *Cache) Add(v []byte) {
+	c.list = append(c.list, v) // want `retains caller-supplied`
+}
+
+// PutCopy copies before storing: clean.
+func (c *Cache) PutCopy(k string, v []byte) {
+	c.data[k] = append([]byte(nil), v...)
+}
+
+// Absorb appends the caller's *elements* into its own buffer: a copy.
+func (c *Cache) Absorb(v []byte) {
+	c.buf = append(c.buf, v...)
+}
+
+// --- rule 3: immutable writes ---------------------------------------
+
+func Scribble(ro rotypes.ROBytes) {
+	ro[0] = 1 // want `write through immutable value ro`
+}
+
+// Launder converts the immutable view to []byte first; the taint
+// follows the conversion.
+func Launder(ro rotypes.ROBytes) {
+	b := []byte(ro)
+	b[0] = 1 // want `write through immutable value b`
+}
+
+func CopyInto(ro rotypes.ROBytes, src []byte) {
+	copy(ro, src) // want `copy into immutable value ro`
+}
+
+func Extend(ro rotypes.ROBytes) []byte {
+	return append(ro, 1) // want `append to immutable value ro may write its shared backing array`
+}
+
+// ReadOnly uses an immutable view the legal ways: index reads, len,
+// range, and copying out into fresh memory.
+func ReadOnly(ro rotypes.ROBytes) byte {
+	out := make([]byte, len(ro))
+	copy(out, ro)
+	var sum byte
+	for _, b := range ro {
+		sum += b
+	}
+	if len(ro) > 0 {
+		sum += ro[0]
+	}
+	return sum
+}

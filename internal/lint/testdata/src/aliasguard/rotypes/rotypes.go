@@ -1,0 +1,14 @@
+// Package rotypes declares the fixture's immutable type, mirroring
+// dtype.ROBytes: a named []byte whose declaration carries the
+// //lint:immutable directive. aliasguard must pick the marker up from
+// this package and enforce it in importers.
+package rotypes
+
+// ROBytes is a read-only view of a byte extent.
+//
+//lint:immutable
+type ROBytes []byte
+
+// Wrap is the sanctioned constructor: producing an immutable view is
+// fine; only writes through one are findings.
+func Wrap(b []byte) ROBytes { return ROBytes(b) }

@@ -1,0 +1,71 @@
+// Package exec exercises hotalloc from an Evaluate* root: every
+// allocation kind, the budget, the error-branch exemption, and
+// unreachable (cold) code.
+package exec
+
+// Engine mirrors the real engine shape.
+type Engine struct{ buf []byte }
+
+// Evaluate is a hot root (package exec, method prefix Evaluate).
+func (e *Engine) Evaluate(n int) []byte {
+	out := make([]byte, n) // want `hot-path make allocation`
+	_ = e.pure(n)
+	if _, err := e.guard(n); err != nil {
+		return nil
+	}
+	return e.scan(out)
+}
+
+// scan is hot by reachability; its first make is covered by the test's
+// synthetic budget, everything else is a finding.
+func (e *Engine) scan(out []byte) []byte {
+	tmp := make([]int, 4) // budgeted (test budget: scan/make = 1)
+	_ = tmp
+	out = append(out, 1) // want `hot-path append allocation`
+	s := string(out)     // want `hot-path convert allocation`
+	_ = s
+	sink(len(out))                      // want `hot-path box allocation`
+	f := func() int { return len(out) } // want `hot-path closure allocation`
+	_ = f()
+	if err := check(); err != nil {
+		cold := make([]byte, 8) // exempt: error branch
+		_ = cold
+	}
+	//lint:ignore hotalloc scratch slice reused across calls in the real code
+	g := make([]byte, 2)
+	_ = g
+	return out
+}
+
+// pure is hot but allocation-free: closures without captures compile to
+// plain functions and constant interface args are interned.
+func (e *Engine) pure(x int) int {
+	add := func(a, b int) int { return a + b }
+	sink("static")
+	return add(x, 1)
+}
+
+// guard is hot, but all of its allocations sit on failure paths:
+// error-constructing returns and panic messages are exempt.
+func (e *Engine) guard(n int) ([]byte, error) {
+	if n > 1024 {
+		return nil, &sizeErr{detail: make([]byte, 4)} // exempt: error return
+	}
+	if n < 0 {
+		panic(string(make([]byte, 8))) // exempt: panic message
+	}
+	return e.buf, nil
+}
+
+type sizeErr struct{ detail []byte }
+
+func (e *sizeErr) Error() string { return "too big" }
+
+func sink(v any) {}
+
+func check() error { return nil }
+
+// Cold is unreachable from any hot root: it may allocate freely.
+func Cold() []byte {
+	return make([]byte, 1)
+}

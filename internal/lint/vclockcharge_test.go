@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"pdcquery/internal/lint"
@@ -18,18 +19,41 @@ func TestRepoChargesAllRequestIO(t *testing.T) {
 	requireRepoClean(t, lint.VclockChargeAnalyzer)
 }
 
-// requireRepoClean loads the production packages and asserts the
-// analyzer reports nothing.
-func requireRepoClean(t *testing.T, a *lint.Analyzer) {
+// repoSession loads the production tree once per test binary and shares
+// one lint.Session across every repo-clean test, so the whole-repo call
+// graph the global analyzers need is built a single time instead of once
+// per analyzer (the "cache the call graph between lint invocations"
+// behaviour make lint and CI rely on).
+var repoSession = struct {
+	once sync.Once
+	s    *lint.Session
+	err  error
+}{}
+
+func loadRepoSession(t *testing.T) *lint.Session {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("loads the whole module")
 	}
-	pkgs, err := lint.Load("..", "./...")
-	if err != nil {
-		t.Fatal(err)
+	repoSession.once.Do(func() {
+		pkgs, err := lint.Load("..", "./...")
+		if err != nil {
+			repoSession.err = err
+			return
+		}
+		repoSession.s = lint.NewSession(pkgs)
+	})
+	if repoSession.err != nil {
+		t.Fatal(repoSession.err)
 	}
-	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	return repoSession.s
+}
+
+// requireRepoClean loads the production packages and asserts the
+// analyzer reports nothing.
+func requireRepoClean(t *testing.T, a *lint.Analyzer) {
+	t.Helper()
+	diags, err := loadRepoSession(t).Run([]*lint.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,22 +66,15 @@ func requireRepoClean(t *testing.T, a *lint.Analyzer) {
 	}
 }
 
-// TestRepoCleanAllAnalyzers is the eight-analyzer gate: the full
+// TestRepoCleanAllAnalyzers is the ten-analyzer gate: the full
 // catalog must pass over the production tree, matching what make lint
 // and CI enforce.
 func TestRepoCleanAllAnalyzers(t *testing.T) {
-	if testing.Short() {
-		t.Skip("loads the whole module")
-	}
-	pkgs, err := lint.Load("..", "./...")
-	if err != nil {
-		t.Fatal(err)
-	}
 	all := lint.All()
-	if len(all) != 8 {
-		t.Fatalf("analyzer catalog has %d entries, want 8", len(all))
+	if len(all) != 10 {
+		t.Fatalf("analyzer catalog has %d entries, want 10", len(all))
 	}
-	diags, err := lint.RunAnalyzers(pkgs, all)
+	diags, err := loadRepoSession(t).Run(all)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"pdcquery/internal/object"
 	"pdcquery/internal/region"
@@ -130,27 +130,30 @@ func (n *Node) String() string {
 }
 
 // Objects returns the distinct object IDs referenced by the tree, sorted.
+// The walk is a named helper and the sort monomorphic — this runs per
+// request on the server's dispatch path, where recursive closures and
+// sort.Slice boxing would allocate.
 func (n *Node) Objects() []object.ID {
 	set := map[object.ID]bool{}
-	var walk func(*Node)
-	walk = func(x *Node) {
-		if x == nil {
-			return
-		}
-		if x.Kind == KindLeaf {
-			set[x.Obj] = true
-			return
-		}
-		walk(x.Left)
-		walk(x.Right)
-	}
-	walk(n)
+	collectObjects(n, set)
 	out := make([]object.ID, 0, len(set))
 	for id := range set {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
+}
+
+func collectObjects(x *Node, set map[object.ID]bool) {
+	if x == nil {
+		return
+	}
+	if x.Kind == KindLeaf {
+		set[x.Obj] = true
+		return
+	}
+	collectObjects(x.Left, set)
+	collectObjects(x.Right, set)
 }
 
 // Query is a full query: a condition tree plus an optional spatial region
@@ -323,7 +326,7 @@ func (c Conjunct) ObjectsSorted() []object.ID {
 	for id := range c {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -145,6 +145,7 @@ func (q *FairQueue[T]) Drop(session uint64) []T {
 	s.items = nil
 	s.costs = nil
 	q.removeLocked(s)
+	//lint:ignore aliasguard ownership transfer: s.items is nil'd above, the queue keeps no alias
 	return dropped
 }
 

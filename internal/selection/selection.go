@@ -80,25 +80,37 @@ func Merge(a, b *Selection) *Selection {
 	if a.CountOnly || b.CountOnly {
 		return &Selection{NHits: a.NHits + b.NHits, CountOnly: true, Dims: a.Dims}
 	}
-	out := make([]uint64, 0, len(a.Coords)+len(b.Coords))
+	return New(MergeCoords(nil, a.Coords, b.Coords), a.Dims)
+}
+
+// MergeCoords unions two sorted strictly-increasing coordinate lists
+// into dst[:0] and returns the result, growing dst only when its
+// capacity is below the worst case (all coordinates distinct). With a
+// pre-sized dst the merge is allocation-free — the reusable kernel
+// behind Merge and the aggregator's fold loop.
+func MergeCoords(dst, a, b []uint64) []uint64 {
+	if cap(dst) < len(a)+len(b) {
+		dst = make([]uint64, 0, len(a)+len(b))
+	}
+	out := dst[:0]
 	i, j := 0, 0
-	for i < len(a.Coords) && j < len(b.Coords) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case a.Coords[i] < b.Coords[j]:
-			out = append(out, a.Coords[i])
+		case a[i] < b[j]:
+			out = append(out, a[i])
 			i++
-		case a.Coords[i] > b.Coords[j]:
-			out = append(out, b.Coords[j])
+		case a[i] > b[j]:
+			out = append(out, b[j])
 			j++
 		default:
-			out = append(out, a.Coords[i])
+			out = append(out, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a.Coords[i:]...)
-	out = append(out, b.Coords[j:]...)
-	return New(out, a.Dims)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // MergeAll unions many selections.
@@ -121,21 +133,33 @@ func Intersect(a, b *Selection) (*Selection, error) {
 	if a.CountOnly || b.CountOnly {
 		return nil, fmt.Errorf("selection: cannot intersect count-only selections")
 	}
-	out := make([]uint64, 0, min(len(a.Coords), len(b.Coords)))
+	return New(IntersectCoords(nil, a.Coords, b.Coords), a.Dims), nil
+}
+
+// IntersectCoords writes the sorted intersection of two sorted
+// strictly-increasing coordinate lists into dst[:0] and returns it,
+// growing dst only when its capacity is below the worst case (the
+// shorter input). With a pre-sized dst the intersection is
+// allocation-free.
+func IntersectCoords(dst, a, b []uint64) []uint64 {
+	if cap(dst) < min(len(a), len(b)) {
+		dst = make([]uint64, 0, min(len(a), len(b)))
+	}
+	out := dst[:0]
 	i, j := 0, 0
-	for i < len(a.Coords) && j < len(b.Coords) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case a.Coords[i] < b.Coords[j]:
+		case a[i] < b[j]:
 			i++
-		case a.Coords[i] > b.Coords[j]:
+		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a.Coords[i])
+			out = append(out, a[i])
 			i++
 			j++
 		}
 	}
-	return New(out, a.Dims), nil
+	return out
 }
 
 // FromUnsorted builds a selection from unordered, possibly duplicated

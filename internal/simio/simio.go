@@ -15,11 +15,13 @@
 package simio
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
+	"pdcquery/internal/dtype"
 	"pdcquery/internal/vclock"
 )
 
@@ -46,6 +48,7 @@ func (t Tier) String() string {
 	case PFS:
 		return "pfs"
 	}
+	//lint:ignore hotalloc unreachable for defined tiers; debug fallback only
 	return fmt.Sprintf("Tier(%d)", int(t))
 }
 
@@ -277,9 +280,10 @@ func countRW(a *vclock.Account, op string, t Tier, ops, bytes int64) {
 }
 
 // Read returns the bytes [off, off+n) of extent key, charging the modeled
-// cost to a. The returned slice aliases the stored data and must be
-// treated as read-only.
-func (s *Store) Read(a *vclock.Account, key string, off, n int64) ([]byte, error) {
+// cost to a. The returned view aliases the stored data — that is what
+// makes reads zero-copy — and its dtype.ROBytes type declares it
+// read-only; aliasguard rejects writes through it.
+func (s *Store) Read(a *vclock.Account, key string, off, n int64) (dtype.ROBytes, error) {
 	s.mu.RLock()
 	e, ok := s.extents[key]
 	model := s.model
@@ -301,8 +305,8 @@ func (s *Store) Read(a *vclock.Account, key string, off, n int64) ([]byte, error
 	return e.data[off : off+n], nil
 }
 
-// ReadAll reads the whole extent.
-func (s *Store) ReadAll(a *vclock.Account, key string) ([]byte, error) {
+// ReadAll reads the whole extent as a read-only view.
+func (s *Store) ReadAll(a *vclock.Account, key string) (dtype.ROBytes, error) {
 	sz, err := s.Size(key)
 	if err != nil {
 		return nil, err
@@ -314,7 +318,7 @@ func (s *Store) ReadAll(a *vclock.Account, key string) ([]byte, error) {
 // is enabled, ranges whose gaps are at most AggGap are coalesced into a
 // single operation (one latency charge; gap bytes are charged for transfer,
 // modeling the over-read). Results are returned in the order requested.
-func (s *Store) ReadRanges(a *vclock.Account, key string, ranges []Range) ([][]byte, error) {
+func (s *Store) ReadRanges(a *vclock.Account, key string, ranges []Range) ([]dtype.ROBytes, error) {
 	s.mu.RLock()
 	e, ok := s.extents[key]
 	model := s.model
@@ -323,7 +327,7 @@ func (s *Store) ReadRanges(a *vclock.Account, key string, ranges []Range) ([][]b
 	if !ok {
 		return nil, fmt.Errorf("simio: extent %q not found", key)
 	}
-	out := make([][]byte, len(ranges))
+	out := make([]dtype.ROBytes, len(ranges))
 	var want int64
 	for i, r := range ranges {
 		if r.Off < 0 || r.Len < 0 || r.Off+r.Len > int64(len(e.data)) {
@@ -341,7 +345,7 @@ func (s *Store) ReadRanges(a *vclock.Account, key string, ranges []Range) ([][]b
 	// Cost accounting: sort a copy of the ranges and merge.
 	sorted := make([]Range, len(ranges))
 	copy(sorted, ranges)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
+	slices.SortFunc(sorted, func(x, y Range) int { return cmp.Compare(x.Off, y.Off) })
 	gap := model.AggGap
 	if !model.Aggregate {
 		gap = -1
@@ -440,7 +444,7 @@ func (s *Store) Keys() []string {
 		keys = append(keys, k)
 	}
 	s.mu.RUnlock()
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }
 

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"time"
 
 	"pdcquery/internal/dtype"
@@ -256,16 +255,12 @@ func (r *Replica) RegionsOverlapping(iv query.Interval) []int {
 	if iv.Empty() || len(r.Regions) == 0 {
 		return nil
 	}
-	// First region whose Max can reach the interval's low bound.
-	first := sort.Search(len(r.Regions), func(i int) bool {
-		m := r.Regions[i].Max
-		return m > iv.Lo || (iv.LoIncl && m == iv.Lo)
-	})
-	// First region entirely above the interval's high bound.
-	last := sort.Search(len(r.Regions), func(i int) bool {
-		m := r.Regions[i].Min
-		return m > iv.Hi || (!iv.HiIncl && m == iv.Hi)
-	})
+	// First region whose Max can reach the interval's low bound, then the
+	// first region entirely above the high bound. Open-coded binary
+	// searches: a sort.Search closure would capture r and iv and allocate
+	// on every sorted-path evaluation.
+	first := searchRegions(r.Regions, true, iv.Lo, iv.LoIncl)
+	last := searchRegions(r.Regions, false, iv.Hi, !iv.HiIncl)
 	if first >= last {
 		return nil
 	}
@@ -282,16 +277,48 @@ func (r *Replica) RegionsOverlapping(iv query.Interval) []int {
 // binary searches.
 func (r *Replica) EvaluateRegion(vals []byte, iv query.Interval) (lo, hi int) {
 	n := r.Type.Count(len(vals))
-	lo = sort.Search(n, func(i int) bool {
-		v := dtype.At(r.Type, vals, i)
-		return v > iv.Lo || (iv.LoIncl && v == iv.Lo)
-	})
-	hi = sort.Search(n, func(i int) bool {
-		v := dtype.At(r.Type, vals, i)
-		return v > iv.Hi || (!iv.HiIncl && v == iv.Hi)
-	})
+	lo = searchVals(r.Type, vals, n, iv.Lo, iv.LoIncl)
+	hi = searchVals(r.Type, vals, n, iv.Hi, !iv.HiIncl)
 	if hi < lo {
 		hi = lo
 	}
 	return lo, hi
+}
+
+// searchVals returns the first position in the ascending values whose
+// value v satisfies v > bound || (orEqual && v == bound); n if none do.
+// Open-coded sort.Search: this sits on the PDC-SH per-region hot path,
+// where a capturing closure would allocate per call.
+func searchVals(t dtype.Type, vals []byte, n int, bound float64, orEqual bool) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		v := dtype.At(t, vals, mid)
+		if v > bound || (orEqual && v == bound) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// searchRegions returns the first region index whose bound (Max when
+// useMax, else Min) satisfies m > bound || (orEqual && m == bound);
+// len(regions) if none does.
+func searchRegions(regions []RegionInfo, useMax bool, bound float64, orEqual bool) int {
+	lo, hi := 0, len(regions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := regions[mid].Min
+		if useMax {
+			m = regions[mid].Max
+		}
+		if m > bound || (orEqual && m == bound) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }

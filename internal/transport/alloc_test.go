@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestAppendFrameLayout pins the wire layout AppendFrame emits against
+// the header constants Recv decodes with.
+func TestAppendFrameLayout(t *testing.T) {
+	m := Message{Type: 7, ReqID: 42, Trace: 99, Deadline: 1234, Payload: []byte("payload")}
+	f := AppendFrame(nil, m)
+	if len(f) != frameHeader+len(m.Payload) {
+		t.Fatalf("frame length %d, want %d", len(f), frameHeader+len(m.Payload))
+	}
+	if got := binary.LittleEndian.Uint32(f[0:4]); got != uint32(len(m.Payload)) {
+		t.Errorf("payload length field = %d", got)
+	}
+	if f[4] != m.Type {
+		t.Errorf("type field = %d", f[4])
+	}
+	if got := binary.LittleEndian.Uint64(f[5:13]); got != m.ReqID {
+		t.Errorf("reqID field = %d", got)
+	}
+	if got := binary.LittleEndian.Uint64(f[13:21]); got != m.Trace {
+		t.Errorf("trace field = %d", got)
+	}
+	if got := binary.LittleEndian.Uint64(f[21:29]); got != m.Deadline {
+		t.Errorf("deadline field = %d", got)
+	}
+	if string(f[frameHeader:]) != "payload" {
+		t.Errorf("payload bytes = %q", f[frameHeader:])
+	}
+	// Appending to an existing buffer preserves its prefix.
+	withPrefix := AppendFrame([]byte("pre"), m)
+	if string(withPrefix[:3]) != "pre" || string(withPrefix[3:]) != string(f) {
+		t.Error("AppendFrame clobbered the destination prefix")
+	}
+}
+
+// TestAppendFrameZeroAlloc pins the send path's encode cost: once the
+// frame buffer has warmed to the message size, header + payload encode
+// allocates nothing per frame.
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	m := Message{Type: 3, ReqID: 8, Trace: 5, Deadline: 2, Payload: make([]byte, 512)}
+	buf := AppendFrame(nil, m)
+	if n := testing.AllocsPerRun(200, func() { buf = AppendFrame(buf[:0], m) }); n != 0 {
+		t.Errorf("AppendFrame with warm buffer allocated %.1f/op, want 0", n)
+	}
+}

@@ -172,29 +172,42 @@ func (e *TornFrameError) Error() string {
 func (e *TornFrameError) Unwrap() error { return io.ErrUnexpectedEOF }
 
 type tcpConn struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
-	mu sync.Mutex // serializes Send
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	mu  sync.Mutex // serializes Send
+	buf []byte     // reused frame buffer, guarded by mu
 }
 
 // frame layout: u32 payload length | u8 type | u64 reqID | u64 trace |
 // u64 deadline | payload.
 const frameHeader = 4 + 1 + 8 + 8 + 8
 
-func (c *tcpConn) Send(m Message) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// AppendFrame appends the wire encoding of m — the fixed header followed
+// by the payload — to dst and returns it. It grows dst at most once, so
+// a connection that reuses its frame buffer encodes without allocating
+// after the buffer warms to its peak message size.
+func AppendFrame(dst []byte, m Message) []byte {
+	if need := frameHeader + len(m.Payload); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Payload)))
 	hdr[4] = m.Type
 	binary.LittleEndian.PutUint64(hdr[5:13], m.ReqID)
 	binary.LittleEndian.PutUint64(hdr[13:21], m.Trace)
 	binary.LittleEndian.PutUint64(hdr[21:29], m.Deadline)
-	if _, err := c.bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := c.bw.Write(m.Payload); err != nil {
+	dst = append(dst, hdr[:]...)
+	return append(dst, m.Payload...)
+}
+
+func (c *tcpConn) Send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = AppendFrame(c.buf[:0], m)
+	if _, err := c.bw.Write(c.buf); err != nil {
 		return err
 	}
 	return c.bw.Flush()

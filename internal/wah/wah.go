@@ -86,8 +86,46 @@ func (b *Bitmap) ForEach(fn func(idx uint64)) {
 
 // ToIndices returns the sorted indices of all set bits.
 func (b *Bitmap) ToIndices() []uint64 {
-	out := make([]uint64, 0, b.Cardinality())
-	b.ForEach(func(i uint64) { out = append(out, i) })
+	return b.ToIndicesInto(nil)
+}
+
+// ToIndicesInto appends the sorted indices of all set bits to dst[:0]
+// and returns it, growing dst only when its capacity is short — the
+// reusable-buffer variant the per-region hot loop uses to stay
+// allocation-free once warm. The loop is ForEach unrolled: a closure
+// over an append target would itself allocate.
+func (b *Bitmap) ToIndicesInto(dst []uint64) []uint64 {
+	card := b.Cardinality()
+	if uint64(cap(dst)) < card {
+		dst = make([]uint64, 0, card)
+	}
+	out := dst[:0]
+	var pos uint64
+	for _, w := range b.words {
+		if w&fillFlag != 0 {
+			span := uint64(w&maxFillLen) * groupBits
+			if w&fillValue != 0 {
+				end := pos + span
+				if end > b.nbits {
+					end = b.nbits
+				}
+				for i := pos; i < end; i++ {
+					out = append(out, i)
+				}
+			}
+			pos += span
+		} else {
+			for g := w; g != 0; {
+				t := bits.TrailingZeros32(g)
+				idx := pos + uint64(t)
+				if idx < b.nbits {
+					out = append(out, idx)
+				}
+				g &^= 1 << t
+			}
+			pos += groupBits
+		}
+	}
 	return out
 }
 
@@ -253,15 +291,31 @@ func (it *groupIter) advance(n uint32) {
 	it.wi++
 }
 
-// binary combines two bitmaps group-wise with the given 32-bit operation.
-// Both bitmaps must have the same logical length.
-func binary2(a, b *Bitmap, op func(x, y uint32) uint32) *Bitmap {
+// binary2Into combines two bitmaps group-wise with the given 32-bit
+// operation, writing the result into dst when dst can be reused. Both
+// bitmaps must have the same logical length.
+//
+// dst may be nil (a fresh bitmap is allocated, pre-sized to the worst
+// case so the builder never regrows). A non-nil dst must not share
+// storage with a or b; its words capacity is recycled, which makes
+// repeated combines allocation-free once the buffer is warm. Callers
+// that fold a chain of bitmaps ping-pong two accumulators:
+//
+//	acc, scratch = wah.AndInto(scratch, acc, bm), acc
+func binary2Into(dst, a, b *Bitmap, op func(x, y uint32) uint32) *Bitmap {
 	if a.nbits != b.nbits {
 		panic(fmt.Sprintf("wah: length mismatch %d vs %d", a.nbits, b.nbits))
 	}
 	ia := groupIter{words: a.words}
 	ib := groupIter{words: b.words}
 	var bd Builder
+	if dst != nil && dst != a && dst != b {
+		bd.words = dst.words[:0]
+	} else {
+		// Worst case: no run in either operand survives the op, so the
+		// output holds at most one word per input word.
+		bd.words = make([]uint32, 0, len(a.words)+len(b.words))
+	}
 	for !ia.done() && !ib.done() {
 		fa, va, ga, la := ia.peek()
 		fb, vb, gb, lb := ib.peek()
@@ -303,9 +357,14 @@ func binary2(a, b *Bitmap, op func(x, y uint32) uint32) *Bitmap {
 		ia.advance(1)
 		ib.advance(1)
 	}
-	bm := bd.Build()
-	bm.nbits = a.nbits
-	return bm
+	// The loop emits whole groups only, so there is no partial group to
+	// pad; take the builder's words directly instead of Build (which
+	// would allocate a fresh Bitmap even when dst is reusable).
+	if dst == nil || dst == a || dst == b {
+		dst = &Bitmap{}
+	}
+	dst.words, dst.nbits = bd.words, a.nbits
+	return dst
 }
 
 // appendFill2 appends n groups whose 31-bit payload is g (either all zeros
@@ -325,17 +384,30 @@ func (bd *Builder) appendFill2(g uint32, n uint64) {
 	bd.nbits += n * groupBits
 }
 
+func opAnd(x, y uint32) uint32    { return x & y }
+func opOr(x, y uint32) uint32     { return x | y }
+func opAndNot(x, y uint32) uint32 { return x &^ y }
+func opXor(x, y uint32) uint32    { return x ^ y }
+
 // And returns the bitwise AND of two equal-length bitmaps.
-func And(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x & y }) }
+func And(a, b *Bitmap) *Bitmap { return binary2Into(nil, a, b, opAnd) }
+
+// AndInto returns a AND b, reusing dst's storage when it has capacity.
+// dst may be nil and must not share storage with a or b.
+func AndInto(dst, a, b *Bitmap) *Bitmap { return binary2Into(dst, a, b, opAnd) }
 
 // Or returns the bitwise OR of two equal-length bitmaps.
-func Or(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x | y }) }
+func Or(a, b *Bitmap) *Bitmap { return binary2Into(nil, a, b, opOr) }
+
+// OrInto returns a OR b, reusing dst's storage when it has capacity.
+// dst may be nil and must not share storage with a or b.
+func OrInto(dst, a, b *Bitmap) *Bitmap { return binary2Into(dst, a, b, opOr) }
 
 // AndNot returns a AND NOT b.
-func AndNot(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x &^ y }) }
+func AndNot(a, b *Bitmap) *Bitmap { return binary2Into(nil, a, b, opAndNot) }
 
 // Xor returns the bitwise XOR of two equal-length bitmaps.
-func Xor(a, b *Bitmap) *Bitmap { return binary2(a, b, func(x, y uint32) uint32 { return x ^ y }) }
+func Xor(a, b *Bitmap) *Bitmap { return binary2Into(nil, a, b, opXor) }
 
 // Not returns the complement of b (within its logical length).
 func Not(b *Bitmap) *Bitmap {
@@ -344,13 +416,19 @@ func Not(b *Bitmap) *Bitmap {
 }
 
 // OrAll returns the union of the given bitmaps (nil for an empty list).
+// It folds with two ping-ponged accumulators, so the whole union costs
+// two bitmap allocations regardless of list length.
 func OrAll(bms []*Bitmap) *Bitmap {
 	if len(bms) == 0 {
 		return nil
 	}
-	acc := bms[0]
-	for _, b := range bms[1:] {
-		acc = Or(acc, b)
+	if len(bms) == 1 {
+		return bms[0]
+	}
+	acc := Or(bms[0], bms[1])
+	scratch := &Bitmap{}
+	for _, b := range bms[2:] {
+		acc, scratch = OrInto(scratch, acc, b), acc
 	}
 	return acc
 }
