@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test cover race fuzz stress chaos bench bench-diff bench-seed bench-smoke hotalloc-report figures verify examples clean
+.PHONY: all build lint test cover race fuzz stress chaos bench bench-diff bench-seed bench-smoke debug-smoke hotalloc-report figures verify examples clean
 
 all: build lint test
 
@@ -79,6 +79,14 @@ bench-seed:
 
 # CI smoke alias: the ratchet is cheap enough to run on every push.
 bench-smoke: bench-diff
+
+# Observability smoke: boot a real pdc-server daemon, run a query, then
+# scrape /metrics (strict text-exposition parse, expected series),
+# /debug/events (the flight recorder shows the query just served), and
+# /debug/pprof. Validates the whole record→aggregate→expose→scrape path.
+debug-smoke:
+	$(GO) build -o bin/pdc-server ./cmd/pdc-server
+	$(GO) run ./cmd/pdc-debugsmoke -server bin/pdc-server
 
 # Regenerate the hot-path allocation census (the shape the committed
 # internal/lint/hotalloc_budget.json entries are drawn from).

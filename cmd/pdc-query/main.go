@@ -14,6 +14,12 @@
 //	pdc-query stats -servers ...                print the fleet's merged
 //	                                            telemetry registry
 //	                                            (Prometheus text format)
+//	pdc-query top -servers ...                  one-shot health dashboard:
+//	                                            fleet counters, phase
+//	                                            latency quantiles, and a
+//	                                            per-server table
+//	pdc-query events -servers ...               dump every server's
+//	                                            flight-recorder ring
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pdcquery/internal/client"
 	"pdcquery/internal/dtype"
@@ -33,7 +40,7 @@ import (
 func main() {
 	mode := ""
 	args := os.Args[1:]
-	if len(args) > 0 && (args[0] == "trace" || args[0] == "stats") {
+	if len(args) > 0 && (args[0] == "trace" || args[0] == "stats" || args[0] == "top" || args[0] == "events") {
 		mode = args[0]
 		args = args[1:]
 	}
@@ -44,7 +51,8 @@ func main() {
 	countOnly := flag.Bool("count", false, "only report the number of hits")
 	explain := flag.Bool("explain", false, "print the evaluation plan (condition order + selectivity estimates) and exit")
 	flag.CommandLine.Parse(args)
-	if *qstr == "" && mode != "stats" {
+	queryless := mode == "stats" || mode == "top" || mode == "events"
+	if *qstr == "" && !queryless {
 		fmt.Fprintln(os.Stderr, "pdc-query: -query is required")
 		os.Exit(2)
 	}
@@ -67,6 +75,27 @@ func main() {
 		}
 		fmt.Printf("# %d servers\n", len(perServer))
 		telemetry.WritePrometheus(os.Stdout, merged)
+		return
+	}
+
+	if mode == "top" {
+		perServer, merged, err := cli.ServerStats()
+		if err != nil {
+			fatal(err)
+		}
+		printTop(perServer, merged)
+		return
+	}
+
+	if mode == "events" {
+		events, totals, err := cli.ServerEvents()
+		if err != nil {
+			fatal(err)
+		}
+		for i := range events {
+			fmt.Printf("# server %d\n", i)
+			telemetry.WriteEvents(os.Stdout, events[i], totals[i])
+		}
 		return
 	}
 
@@ -148,6 +177,49 @@ func main() {
 	fmt.Printf("modeled get-data time: %v (%d bytes)\n", info.Elapsed.Total(), len(data))
 	for i := 0; i < show; i++ {
 		fmt.Printf("  %s[%d] = %g\n", *dataObj, res.Sel.Coords[i], dtype.At(o.Type, data, i))
+	}
+}
+
+// printTop renders a one-shot health dashboard from the fleet's
+// telemetry: headline counters, latency quantiles over the mergeable
+// phase distributions, and a per-server table.
+func printTop(perServer []*telemetry.Registry, merged *telemetry.Registry) {
+	fmt.Printf("fleet: %d servers\n", len(perServer))
+	fmt.Printf("queries: %d (slow %d, rejected %d, errors %d)\n",
+		merged.Counter("query.count"), merged.Counter("query.slow"),
+		merged.Counter("sched.rejected"), merged.Counter("errors"))
+	hits, misses := merged.Counter("cache.hits"), merged.Counter("cache.misses")
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("cache: %d hits / %d misses (%.1f%% hit), %d evictions\n",
+		hits, misses, rate, merged.Counter("cache.evictions"))
+	fmt.Printf("flight recorder: %d events recorded fleet-wide\n\n", merged.Counter("recorder.events"))
+
+	fmt.Printf("%-28s %8s %12s %12s %12s %12s\n", "latency", "count", "p50", "p95", "p99", "mean")
+	for _, name := range merged.DistNames() {
+		if !strings.HasPrefix(name, "phase.") && !strings.HasPrefix(name, "query.") &&
+			!strings.HasPrefix(name, "sched.") {
+			continue
+		}
+		d := merged.Dist(name)
+		if d == nil || d.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-28s %8d %12v %12v %12v %12v\n", name, d.Count(),
+			time.Duration(int64(d.Quantile(0.5))), time.Duration(int64(d.Quantile(0.95))),
+			time.Duration(int64(d.Quantile(0.99))), time.Duration(int64(d.Sum/float64(d.Count()))))
+	}
+	fmt.Println()
+
+	fmt.Printf("%-6s %8s %9s %12s %16s %8s\n", "server", "queries", "sessions", "queue(d/hw)", "cache(hit/miss)", "events")
+	for i, r := range perServer {
+		fmt.Printf("%-6d %8d %9.0f %6.0f/%-5.0f %8d/%-7d %8d\n", i,
+			r.Counter("query.count"), r.Gauge("sessions.live"),
+			r.Gauge("sched.queue.depth"), r.Gauge("sched.queue.hiwater"),
+			r.Counter("cache.hits"), r.Counter("cache.misses"),
+			r.Counter("recorder.events"))
 	}
 }
 

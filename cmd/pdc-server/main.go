@@ -17,6 +17,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -40,8 +41,10 @@ func main() {
 	regionKB := flag.Int64("region-kb", 64, "region size in KiB")
 	index := flag.Bool("index", true, "build bitmap indexes at import")
 	sorted := flag.Bool("sorted", true, "build the Energy sorted replica at import")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics, plus /debug/events and /debug/pprof (empty disables)")
 	queryLog := flag.Bool("querylog", false, "emit a structured JSON record per handled query on stderr")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this wall-clock threshold with their trace span and surrounding flight-recorder events (0 disables)")
+	recorderEvents := flag.Int("recorder-events", telemetry.DefaultRecorderEvents, "flight-recorder ring capacity (events)")
 	// The worker default is a fixed constant, not NumCPU: results and
 	// costs are identical at any worker count (the determinism contract),
 	// so the default only changes latency, and a fixed value keeps daemon
@@ -108,10 +111,19 @@ func main() {
 		QueueDepth: *queueDepth,
 		// The daemon is a real deployment: traced queries may carry
 		// wall-clock span times (they never enter deterministic encodings).
-		Clock: telemetry.Wall,
+		Clock:          telemetry.Wall,
+		RecorderEvents: *recorderEvents,
+		SlowQueryNs:    slowQuery.Nanoseconds(),
 	}
-	if *queryLog {
-		cfg.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *queryLog || *slowQuery > 0 {
+		// The slow-query log rides on the structured logger: -slow-query
+		// alone installs it (at warn level only the slow records appear
+		// unless -querylog also asked for the per-query info records).
+		opts := &slog.HandlerOptions{Level: slog.LevelWarn}
+		if *queryLog {
+			opts.Level = slog.LevelInfo
+		}
+		cfg.Log = slog.New(slog.NewJSONHandler(os.Stderr, opts))
 	}
 	if *crashAfter > 0 {
 		rank := *id
@@ -136,10 +148,29 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			telemetry.WritePrometheus(w, srv.Metrics())
+			reg := srv.Metrics()
+			// Fold live Go runtime health (heap, GC, scheduler latency)
+			// into the scrape: the gauges land beside the query metrics,
+			// so one endpoint answers both "is the service slow" and "is
+			// the process sick".
+			telemetry.SampleRuntime(reg)
+			telemetry.WritePrometheus(w, reg)
 		})
+		// Live introspection: the flight-recorder ring as text, and the
+		// standard pprof surface (profiles, goroutine dumps, heap) on the
+		// same loopback-intended listener.
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rec := srv.Recorder()
+			telemetry.WriteEvents(w, rec.Snapshot(), rec.Total())
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("pdc-server rank %d: metrics on http://%s/metrics", *id, *metricsAddr)
+			log.Printf("pdc-server rank %d: metrics on http://%s/metrics (debug: /debug/events, /debug/pprof)", *id, *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("pdc-server: metrics server: %v", err)
 			}

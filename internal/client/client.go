@@ -89,6 +89,11 @@ type Client struct {
 	// telemetry.WallSleep.
 	sleeper telemetry.Sleeper
 
+	// rec, when set, records client-side recovery events (EvRedial,
+	// EvBusy) into a flight recorder. Install before issuing calls
+	// (SetRecorder); nil is fine — Record is nil-safe.
+	rec *telemetry.Recorder
+
 	// closeCtx ends at Close and unblocks every in-flight broadcast and
 	// async query, so background aggregators cannot outlive the client.
 	closeCtx    context.Context
@@ -208,6 +213,11 @@ func (c *Client) SetWireModel(latency time.Duration, bw float64) {
 // daemons talking to remote servers may install telemetry.WallSleep.
 func (c *Client) SetSleeper(s telemetry.Sleeper) { c.sleeper = s }
 
+// SetRecorder installs a flight recorder for client-side recovery
+// events: every successful redial records EvRedial and every busy
+// pushback records EvBusy. Install before issuing calls.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
 // SetRedial installs a reconnection function: when server srv's
 // connection dies mid-call, the client asks redial for a replacement,
 // resends the in-flight request, and the fault is masked. Without it a
@@ -284,6 +294,7 @@ func (c *Client) ensureConn(srv int) error {
 	c.wg.Add(1)
 	c.mu.Unlock()
 	go c.reader(srv, nc)
+	c.rec.Record(telemetry.EvRedial, 0, int32(srv), 0, 0, 0)
 	return nil
 }
 
@@ -516,6 +527,7 @@ func (c *Client) busyBackoff(r reply, attempts []int, maxRetries int) (time.Dura
 	if wait > busyMaxWait {
 		wait = busyMaxWait
 	}
+	c.rec.Record(telemetry.EvBusy, 0, int32(r.srv), 0, int64(attempts[r.srv]), int64(wait))
 	if err := c.busyInterrupt(r.srv); err != nil {
 		return 0, err
 	}
@@ -1088,6 +1100,28 @@ func (c *Client) ServerStats() (perServer []*telemetry.Registry, merged *telemet
 		merged.Merge(sr.Reg)
 	}
 	return perServer, merged, nil
+}
+
+// ServerEvents fetches every server's flight-recorder ring. It returns
+// the per-server event snapshots (oldest first, indexed by rank) and
+// each server's lifetime count of recorded events (which exceeds the
+// snapshot length once the ring has wrapped).
+func (c *Client) ServerEvents() (events [][]telemetry.Event, totals []uint64, err error) {
+	_, msgs, _, err := c.broadcast(server.MsgEvents, func(int) []byte { return nil })
+	if err != nil {
+		return nil, nil, err
+	}
+	events = make([][]telemetry.Event, len(msgs))
+	totals = make([]uint64, len(msgs))
+	for i, m := range msgs {
+		evs, total, err := telemetry.DecodeEvents(m.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		events[i] = evs
+		totals[i] = total
+	}
+	return events, totals, nil
 }
 
 // SyncMeta fetches a metadata snapshot from server 0 and installs it as

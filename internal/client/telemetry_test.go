@@ -191,3 +191,44 @@ func TestExplainAnalyze(t *testing.T) {
 		t.Errorf("actual %d outside estimate [%d, %d]", a.Res.Info.NHits, a.Plan.EstLower, a.Plan.EstUpper)
 	}
 }
+
+// TestServerEvents: the client can pull every server's flight-recorder
+// ring over MsgEvents; each rank shows the queries it served, stamped
+// with its own rank, and no wall-clock reading crosses the wire.
+func TestServerEvents(t *testing.T) {
+	d, oid := deploy(t, 10000, 2)
+	const queries = 2
+	for i := 0; i < queries; i++ {
+		q := &query.Query{Root: query.Leaf(oid, query.OpGT, float64(10 * i))}
+		if _, err := d.Client().Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, totals, err := d.Client().ServerEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || len(totals) != 2 {
+		t.Fatalf("got %d event sets, %d totals, want 2", len(events), len(totals))
+	}
+	for srv := range events {
+		if totals[srv] == 0 || len(events[srv]) == 0 {
+			t.Fatalf("server %d ring is empty", srv)
+		}
+		var done int
+		for i, e := range events[srv] {
+			if e.WallNanos != 0 {
+				t.Errorf("server %d event %d: wall clock %d on the wire", srv, i, e.WallNanos)
+			}
+			if e.Srv != int32(srv) {
+				t.Errorf("server %d event %d: stamped srv=%d", srv, i, e.Srv)
+			}
+			if e.Kind == telemetry.EvQueryDone {
+				done++
+			}
+		}
+		if done != queries {
+			t.Errorf("server %d recorded %d query-done events, want %d", srv, done, queries)
+		}
+	}
+}

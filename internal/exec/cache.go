@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pdcquery/internal/dtype"
+	"pdcquery/internal/telemetry"
 )
 
 // Cache is a byte-capacity-bounded LRU of region buffers, modeling the
@@ -26,6 +27,54 @@ type Cache struct {
 	used     int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	// Lifetime operational counters (monotonic, under mu); surfaced
+	// through Stats into the server registry and /metrics.
+	hits      int64
+	misses    int64
+	evictions int64
+	// rec, when set, receives cache-hit/miss/evict flight-recorder
+	// events tagged with srv. Record is nil-safe and alloc-free, so the
+	// zero-copy hit path stays zero-alloc.
+	rec *telemetry.Recorder
+	srv int32
+}
+
+// CacheStats is a point-in-time snapshot of the cache's operational
+// counters plus its current occupancy.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	UsedBytes int64
+	Entries   int64
+}
+
+// SetRecorder attaches a flight recorder; cache events are tagged with
+// server rank srv. Safe to call before concurrent use only.
+func (c *Cache) SetRecorder(rec *telemetry.Recorder, srv int32) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec = rec
+	c.srv = srv
+}
+
+// Stats snapshots the operational counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		UsedBytes: c.used,
+		Entries:   int64(len(c.items)),
+	}
 }
 
 type cacheEntry struct {
@@ -47,10 +96,15 @@ func (c *Cache) Get(key string) (dtype.ROBytes, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses++
+		c.rec.Record(telemetry.EvCacheMiss, 0, c.srv, 0, 0, 0)
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
+	data := el.Value.(*cacheEntry).data
+	c.hits++
+	c.rec.Record(telemetry.EvCacheHit, 0, c.srv, 0, int64(len(data)), 0)
+	return data, true
 }
 
 // Touch marks key most recently used without returning its buffer — the
@@ -99,6 +153,8 @@ func (c *Cache) Put(key string, data dtype.ROBytes) {
 		c.ll.Remove(back)
 		delete(c.items, e.key)
 		c.used -= int64(len(e.data))
+		c.evictions++
+		c.rec.Record(telemetry.EvCacheEvict, 0, c.srv, 0, int64(len(e.data)), 0)
 	}
 }
 

@@ -172,6 +172,37 @@ type Engine struct {
 	// results, traces, and virtual costs are byte-identical at any worker
 	// count by construction.
 	Pool *sched.Pool
+	// Rec, when non-nil, receives flight-recorder events. The engine
+	// records only at the serial barriers (prune pass, merge pass), never
+	// inside pooled region tasks, so the event sequence for a fixed
+	// workload is identical at any worker count.
+	Rec *telemetry.Recorder
+	// Phases, when non-nil, accumulates this request's per-phase latency
+	// (virtual ns at the deterministic barriers, wall ns through Clock).
+	Phases *telemetry.PhaseTimes
+	// Clock supplies wall stamps for phase accounting; nil or NoClock in
+	// every deterministic context.
+	Clock telemetry.Clock
+	// SrvID tags recorded events with this server's rank.
+	SrvID int32
+}
+
+// vnow reads the engine account's accumulated virtual time — the
+// deterministic timestamp base for recorded events and phase deltas.
+func (e *Engine) vnow() int64 {
+	if e.Acct == nil {
+		return 0
+	}
+	return e.Acct.Cost().Total().Nanoseconds()
+}
+
+// wnow reads the wall clock through the seam (0 when no clock is
+// installed, so deterministic runs record zero wall phase time).
+func (e *Engine) wnow() int64 {
+	if e.Clock == nil {
+		return 0
+	}
+	return e.Clock.Now()
 }
 
 // readRegion returns a region's raw bytes as an immutable shared view,
@@ -351,10 +382,12 @@ func (e *Engine) EvaluateToken(tok *sched.Token, q *query.Query, assign Assignme
 			res.Values = vals
 		}
 	}
+	mergeV, mergeW := e.vnow(), e.wnow()
 	res.Sel = selection.MergeAll(parts)
 	if res.Sel == nil {
 		res.Sel = selection.New(nil, anchor.Dims)
 	}
+	e.Phases.Add(telemetry.PhaseMerge, e.vnow()-mergeV, e.wnow()-mergeW)
 	return res, nil
 }
 
@@ -504,6 +537,7 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 	var entries []regionEntry
 	var taskRegions []int
 	var taskRuns [][]localRun
+	pruneV, pruneW := e.vnow(), e.wnow()
 	for _, r := range orig {
 		runs, ok := constraintRuns(anchor, r, q.Constraint)
 		if !ok {
@@ -534,6 +568,7 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 		taskRegions = append(taskRegions, r)
 		taskRuns = append(taskRuns, runs)
 	}
+	e.Phases.Add(telemetry.PhasePrune, e.vnow()-pruneV, e.wnow()-pruneW)
 
 	results := make([]*regionTaskResult, len(taskRegions))
 	runTask := func(i int) error {
@@ -541,6 +576,11 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 		res := &regionTaskResult{}
 		te := *e
 		te.Pool = nil // region tasks never fan out again
+		// Tasks run concurrently: recording or phase accounting from here
+		// would race and make event order depend on scheduling. Both stay
+		// with the serial barriers.
+		te.Rec = nil
+		te.Phases = nil
 		if e.Acct != nil {
 			res.acct = vclock.NewAccount()
 			te.Acct = res.acct
@@ -591,6 +631,7 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 		results[i] = res
 		return nil
 	}
+	execV, execW := e.vnow(), e.wnow()
 	if err := e.Pool.Map(tok, len(taskRegions), runTask); err != nil {
 		return nil, nil, err
 	}
@@ -612,6 +653,10 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 			e.Acct.Absorb(res.acct)
 		}
 		stats.Add(res.stats)
+		// Recorded at the merge barrier (absorb order is region order), so
+		// the sequence is deterministic at any worker count; the vclock
+		// stamp is the account total after this region's absorb.
+		e.Rec.Record(telemetry.EvRegionExec, 0, e.SrvID, e.vnow(), int64(en.r), int64(len(res.hits)))
 		if len(res.hits) == 0 {
 			continue
 		}
@@ -625,6 +670,7 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 			coords = append(coords, start+h)
 		}
 	}
+	e.Phases.Add(telemetry.PhaseRegionExec, e.vnow()-execV, e.wnow()-execW)
 	sel := selection.New(coords, anchor.Dims)
 	var out map[object.ID][]byte
 	if collect {
@@ -880,12 +926,14 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 		}
 	}
 
+	pruneV, pruneW := e.vnow(), e.wnow()
 	var candidates []int
 	for _, s := range rep.RegionsOverlapping(iv) {
 		if assigned[s] {
 			candidates = append(candidates, s)
 		}
 	}
+	e.Phases.Add(telemetry.PhasePrune, e.vnow()-pruneV, e.wnow()-pruneW)
 
 	results := make([]*sortedTaskResult, len(candidates))
 	runTask := func(ti int) error {
@@ -1026,6 +1074,7 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 		finish(len(alive))
 		return nil
 	}
+	execV, execW := e.vnow(), e.wnow()
 	if err := e.Pool.Map(tok, len(candidates), runTask); err != nil {
 		return nil, nil, err
 	}
@@ -1039,6 +1088,7 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 			e.Acct.Absorb(res.acct)
 		}
 		stats.Add(res.stats)
+		e.Rec.Record(telemetry.EvRegionExec, 0, e.SrvID, e.vnow(), int64(candidates[ti]), int64(len(res.hits)))
 		hits = append(hits, res.hits...)
 	}
 	slices.SortFunc(hits, func(a, b shHit) int { return cmp.Compare(a.coord, b.coord) })
@@ -1136,6 +1186,7 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 		rs.SetInt("hits", int64(len(surviving)))
 		i = j
 	}
+	e.Phases.Add(telemetry.PhaseRegionExec, e.vnow()-execV, e.wnow()-execW)
 	sel := selection.New(coords, anchor.Dims)
 	var out map[object.ID][]byte
 	if collect {

@@ -164,6 +164,11 @@ func RunChaos(plan Plan, opts ChaosOptions) (*ChaosResult, error) {
 	inj := NewInjector(plan)
 	reg := telemetry.NewRegistry()
 	inj.SetRegistry(reg)
+	// The injector gets its own flight recorder so the completeness gate
+	// below can audit it: nothing else records here, so the ring holds
+	// exactly the EvFault sequence (capacity far above any schedule).
+	rec := telemetry.NewRecorder(1024, nil)
+	inj.SetRecorder(rec)
 
 	d, queries, truths, err := chaosDeployment(opts)
 	if err != nil {
@@ -198,7 +203,38 @@ func RunChaos(plan Plan, opts ChaosOptions) (*ChaosResult, error) {
 		res.Masked++
 	}
 	res.Fired = inj.Fired()
+	// Observability-completeness gate: the flight recorder is itself
+	// oracle-verified. Every fault the injector fired must appear in the
+	// ring as an EvFault event, in firing order, carrying the same kind,
+	// seam target, and operation count — a recorder that drops or garbles
+	// fault events fails the chaos run even when every answer was right.
+	if err := auditFaultEvents(res.Fired, rec); err != nil {
+		return nil, fmt.Errorf("chaos seed %d: %w", plan.Seed, err)
+	}
 	return res, nil
+}
+
+// auditFaultEvents checks the flight-recorder ring against the
+// injector's fired list (the completeness half of the chaos invariant).
+func auditFaultEvents(fired []Event, rec *telemetry.Recorder) error {
+	var evs []telemetry.Event
+	for _, e := range rec.Snapshot() {
+		if e.Kind == telemetry.EvFault {
+			evs = append(evs, e)
+		}
+	}
+	if len(evs) != len(fired) {
+		return fmt.Errorf("observability gap: %d faults fired but %d flight-recorder events", len(fired), len(evs))
+	}
+	for i, f := range fired {
+		e := evs[i]
+		srv, dir := seamTarget(f.Seam)
+		if e.Code != uint8(f.Kind) || e.Srv != srv || e.B != dir || e.A != int64(f.Count) {
+			return fmt.Errorf("observability mismatch at fault %d: fired %s at %s op %d, recorded code=%d srv=%d dir=%d op=%d",
+				i, f.Kind, f.Seam, f.Count, e.Code, e.Srv, e.B, e.A)
+		}
+	}
+	return nil
 }
 
 // RunCrashRecovery exercises the persistence half of the fault story:

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -112,6 +114,7 @@ type Injector struct {
 	ops   map[string]uint64
 	fired []Event
 	reg   *telemetry.Registry
+	rec   *telemetry.Recorder
 }
 
 // NewInjector returns an injector for plan with no faults fired yet.
@@ -125,6 +128,35 @@ func (in *Injector) SetRegistry(reg *telemetry.Registry) {
 	in.mu.Lock()
 	in.reg = reg
 	in.mu.Unlock()
+}
+
+// SetRecorder installs a flight recorder; every fired fault records an
+// EvFault event (Code=kind, Srv=server rank or -1 for the storage seam,
+// A=operation count at the seam, B=seam direction). The chaos harness's
+// observability-completeness gate audits these events against Fired().
+func (in *Injector) SetRecorder(rec *telemetry.Recorder) {
+	in.mu.Lock()
+	in.rec = rec
+	in.mu.Unlock()
+}
+
+// seamTarget decomposes a seam name into the recorder's (Srv, direction)
+// pair: "conn.<rank>.send"/".recv" map to the rank and transport
+// direction, anything else is the shared storage seam.
+func seamTarget(seam string) (srv int32, dir int64) {
+	if rest, ok := strings.CutPrefix(seam, "conn."); ok {
+		if num, ok := strings.CutSuffix(rest, ".send"); ok {
+			if v, err := strconv.Atoi(num); err == nil {
+				return int32(v), telemetry.SeamSend
+			}
+		}
+		if num, ok := strings.CutSuffix(rest, ".recv"); ok {
+			if v, err := strconv.Atoi(num); err == nil {
+				return int32(v), telemetry.SeamRecv
+			}
+		}
+	}
+	return -1, telemetry.SeamStore
 }
 
 // Plan returns the injector's plan (for error messages naming the seed).
@@ -157,6 +189,8 @@ func (in *Injector) step(seam string) []Event {
 				in.reg.Add("fault.injected", 1)
 				in.reg.Add("fault.injected."+ev.Kind.String(), 1)
 			}
+			srv, dir := seamTarget(ev.Seam)
+			in.rec.Record(telemetry.EvFault, uint8(ev.Kind), srv, 0, int64(n), dir)
 		}
 	}
 	return hits

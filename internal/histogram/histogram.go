@@ -222,6 +222,40 @@ func (h *Histogram) BinRange(i int) (lo, hi float64) {
 	return lo, hi
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values:
+// it walks the cumulative bin counts to the bin containing the rank and
+// interpolates linearly inside it, clamping to the exact observed
+// [Min, Max]. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.Total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if c > 0 && next >= rank {
+			lo, hi := h.BinRange(i)
+			v := lo + (rank-cum)/float64(c)*(hi-lo)
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.Max
+}
+
 // Merge merges o into h in place. Both histograms must come from Build (or
 // Merge), so their widths are powers of two and boundaries grid-aligned;
 // Merge re-bins the finer histogram into the coarser grid, growing the

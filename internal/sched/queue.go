@@ -34,6 +34,7 @@ type FairQueue[T any] struct {
 	ring     []*fqSession[T] // sessions with queued items, visit order
 	cursor   int
 	size     int
+	hiwater  int // max total backlog ever observed (monotonic)
 	closed   bool
 }
 
@@ -75,6 +76,9 @@ func (q *FairQueue[T]) Push(session uint64, cost int64, v T) error {
 	s.items = append(s.items, v)
 	s.costs = append(s.costs, cost)
 	q.size++
+	if q.size > q.hiwater {
+		q.hiwater = q.size
+	}
 	q.cond.Signal()
 	return nil
 }
@@ -154,6 +158,14 @@ func (q *FairQueue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.size
+}
+
+// HighWater returns the maximum total backlog the queue has ever held —
+// the admission-control headroom gauge (sched.queue.hiwater).
+func (q *FairQueue[T]) HighWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hiwater
 }
 
 // SessionLen returns one session's backlog length.

@@ -35,6 +35,8 @@ const (
 	MsgStats        byte = 13 // client -> server: telemetry registry snapshot request
 	MsgStatsResult  byte = 14 // server -> client: encoded telemetry registry
 	MsgBusy         byte = 15 // server -> client: admission rejected, retry after hint
+	MsgEvents       byte = 16 // client -> server: flight-recorder ring snapshot request
+	MsgEventsResult byte = 17 // server -> client: encoded flight-recorder events
 )
 
 // MsgName returns a short stable name for a message type, used as the
@@ -71,6 +73,10 @@ func MsgName(t byte) string {
 		return "stats_result"
 	case MsgBusy:
 		return "busy"
+	case MsgEvents:
+		return "events"
+	case MsgEventsResult:
+		return "events_result"
 	}
 	return fmt.Sprintf("unknown_%d", t)
 }

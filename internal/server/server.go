@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,17 @@ type Config struct {
 	// crash-injection hangs off (cmd/pdc-server's -crash-after exits the
 	// process from it); keep it fast and non-blocking.
 	OnQuery func(served uint64)
+	// RecorderEvents sizes the flight-recorder ring (0 means
+	// telemetry.DefaultRecorderEvents). The recorder is always on; its
+	// overhead is one locked slot write per event.
+	RecorderEvents int
+	// SlowQueryNs, when positive, enables the slow-query log: a handled
+	// query whose latency exceeds the threshold is logged (Log must be
+	// set to see it) together with its trace span summary and the
+	// surrounding flight-recorder events. The latency basis is wall time
+	// when a real Clock is installed, virtual cost otherwise — so the
+	// threshold is testable deterministically.
+	SlowQueryNs int64
 }
 
 // DefaultQueueDepth is the per-session admission bound when Config
@@ -96,6 +108,11 @@ type Server struct {
 	// errors). Per-connection activity lands in each session's registry;
 	// Metrics merges everything into the server-wide view.
 	telem *telemetry.Registry
+
+	// rec is the always-on flight recorder: admission, dispatch,
+	// per-region execution, cache traffic, and failures all land in its
+	// ring. Exposed over MsgEvents and /debug/events.
+	rec *telemetry.Recorder
 
 	// Scheduler state: the region-task pool shared by every request (nil
 	// when Workers < 2), the cross-session fair queue, and the dispatcher
@@ -159,6 +176,7 @@ func New(cfg Config) *Server {
 	s.pool = sched.NewPool(cfg.Workers)
 	s.queue = sched.NewFairQueue[*queuedReq](s.queueDepth, 1)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.rec = telemetry.NewRecorder(cfg.RecorderEvents, cfg.Clock)
 	s.engine = &exec.Engine{
 		Store: cfg.Store,
 		Acct:  s.acct,
@@ -177,7 +195,11 @@ func New(cfg Config) *Server {
 		Strategy: cfg.Strategy,
 		Cache:    exec.NewCache(cfg.CacheBytes),
 		Pool:     s.pool,
+		Rec:      s.rec,
+		Clock:    s.clock(),
+		SrvID:    int32(cfg.ID),
 	}
+	s.engine.Cache.SetRecorder(s.rec, int32(cfg.ID))
 	return s
 }
 
@@ -185,12 +207,18 @@ func New(cfg Config) *Server {
 // account: concurrent requests charge in isolation and serveOne folds
 // each request's account into the server's cumulative one afterwards.
 // Sums commute, so the totals are byte-identical to the serial
-// single-account accounting.
-func (s *Server) reqEngine(acct *vclock.Account) *exec.Engine {
+// single-account accounting. phases, when non-nil, receives the
+// request's per-phase latency accounting.
+func (s *Server) reqEngine(acct *vclock.Account, phases *telemetry.PhaseTimes) *exec.Engine {
 	e := *s.engine
 	e.Acct = acct
+	e.Phases = phases
 	return &e
 }
+
+// Recorder exposes the server's flight recorder (tests, debug handlers,
+// and the MsgEvents path read it; instrumented code writes to it).
+func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
 
 // Account exposes the server's virtual-time account (used by deployments
 // to compose parallel costs).
@@ -222,13 +250,25 @@ func (s *Server) Metrics() *telemetry.Registry {
 	s.smu.Unlock()
 	out.AddCounters("io.", s.acct.CounterSnapshot())
 	out.SetGauge("sessions.live", float64(live))
-	out.SetGauge("cache.bytes", float64(s.engine.Cache.Used()))
-	out.SetGauge("cache.entries", float64(s.engine.Cache.Len()))
+	cs := s.engine.Cache.Stats()
+	out.SetGauge("cache.bytes", float64(cs.UsedBytes))
+	out.SetGauge("cache.entries", float64(cs.Entries))
+	// The cache's own operational counters (every Get/eviction, across
+	// all request paths) — distinct from the io.cache.* account counters,
+	// which count only charged evaluation reads.
+	out.Add("cache.hits", cs.Hits)
+	out.Add("cache.misses", cs.Misses)
+	out.Add("cache.evictions", cs.Evictions)
+	// Flight-recorder occupancy: how much history the ring holds and how
+	// much it has ever seen (the difference is dropped history).
+	out.SetGauge("recorder.capacity", float64(s.rec.Cap()))
+	out.Add("recorder.events", int64(s.rec.Total()))
 	// Scheduler gauges appear only when the scheduler is on, keeping the
 	// single-worker metric set (and its golden test) unchanged.
 	if s.cfg.Workers > 0 {
 		out.SetGauge("sched.workers", float64(s.pool.Workers()))
 		out.SetGauge("sched.queue.depth", float64(s.queue.Len()))
+		out.SetGauge("sched.queue.hiwater", float64(s.queue.HighWater()))
 	}
 	return out
 }
@@ -361,17 +401,26 @@ func (s *Server) dispatcher() {
 func (s *Server) serveOne(qr *queuedReq) {
 	ss, m := qr.ss, qr.m
 	defer ss.inflight.Done()
-	if s.cfg.Workers > 0 {
-		if t0 := s.clock().Now(); t0 != 0 || qr.enq != 0 {
-			ss.reg.Observe("sched.queue_wait_ns", float64(t0-qr.enq))
+	var queueWait int64
+	if t0 := s.clock().Now(); t0 != 0 || qr.enq != 0 {
+		queueWait = t0 - qr.enq
+		if s.cfg.Workers > 0 {
+			ss.reg.Observe("sched.queue_wait_ns", float64(queueWait))
 		}
+		// Queue wait is pure wall time: requests accrue no virtual cost
+		// while queued, so the phase has no _vns twin.
+		ss.reg.Observe("phase.queue_wait_ns", float64(queueWait))
 	}
+	s.rec.Record(telemetry.EvDispatch, 0, int32(s.cfg.ID), 0, int64(m.ReqID), queueWait)
 	acct := vclock.NewAccount()
 	tok := sched.NewToken(ss.ctx, acct, time.Duration(m.Deadline))
 	reply := s.handle(ss, tok, acct, m)
 	s.acct.Absorb(acct)
 	reply.ReqID = m.ReqID
 	reply.Trace = m.Trace
+	if reply.Type == MsgError {
+		s.rec.Record(telemetry.EvError, 0, int32(s.cfg.ID), acct.Cost().Total().Nanoseconds(), int64(m.ReqID), 0)
+	}
 	ss.replyCh <- reply
 }
 
@@ -447,13 +496,17 @@ func (s *Server) Serve(conn transport.Conn) error {
 		}
 		ss.inflight.Add(1)
 		qr := &queuedReq{ss: ss, m: m, enq: s.clock().Now()}
-		if err := s.queue.Push(ss.key, 1, qr); err != nil {
+		err = s.queue.Push(ss.key, 1, qr)
+		if err == nil {
+			s.rec.Record(telemetry.EvAdmit, 0, int32(s.cfg.ID), 0, int64(m.ReqID), int64(s.queue.SessionLen(ss.key)))
+		} else {
 			ss.inflight.Done()
 			if errors.Is(err, sched.ErrBusy) {
 				// Admission control: the session's backlog is full.
 				// Reply MsgBusy with a deterministic retry-after hint
 				// instead of buffering without bound.
 				s.telem.Add("sched.rejected", 1)
+				s.rec.Record(telemetry.EvReject, 0, int32(s.cfg.ID), 0, int64(m.ReqID), int64(s.queue.SessionLen(ss.key)))
 				queued := s.queue.SessionLen(ss.key)
 				busy := &BusyResponse{
 					RetryAfterNs: uint64(queued) * uint64(busyRetryStep),
@@ -510,6 +563,8 @@ func (s *Server) handle(ss *session, tok *sched.Token, acct *vclock.Account, m t
 		return s.handleTagQuery(acct, m)
 	case MsgStats:
 		return s.handleStats(acct, m)
+	case MsgEvents:
+		return transport.Message{Type: MsgEventsResult, Payload: telemetry.EncodeEvents(s.rec.Snapshot(), s.rec.Total())}
 	case MsgMetaSnapshot:
 		snap, err := s.cfg.Meta.Snapshot()
 		if err != nil {
@@ -553,8 +608,12 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 	assign := s.assignment(anchor, rep)
 
 	var span *telemetry.Span
+	// The span is built when the client asked for a trace OR the
+	// slow-query log is armed (the log captures the span of a query that
+	// crossed the threshold); it is only returned on explicit request.
+	wantTrace := flags&FlagWantTrace != 0
 	var wallStart int64
-	if flags&FlagWantTrace != 0 {
+	if wantTrace || s.cfg.SlowQueryNs > 0 {
 		span = telemetry.NewSpan(telemetry.SpanQuery, fmt.Sprintf("server.%d", s.cfg.ID))
 		span.Trace = telemetry.TraceID(m.Trace)
 		wallStart = s.clock().Now()
@@ -564,14 +623,21 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 	// paper's server-side result caching, which the stash serves to later
 	// get-data requests. The response only carries the values when the
 	// client explicitly asked for them inline.
-	res, err := s.reqEngine(acct).EvaluateToken(tok, q, assign, true, span)
+	var phases telemetry.PhaseTimes
+	res, err := s.reqEngine(acct, &phases).EvaluateToken(tok, q, assign, true, span)
 	if err != nil {
+		if errors.Is(err, sched.ErrDeadline) {
+			s.rec.Record(telemetry.EvDeadline, 0, int32(s.cfg.ID), acct.Cost().Total().Nanoseconds(), int64(m.ReqID), 0)
+		}
 		return s.errMsg(err)
 	}
 	// The budget is a deadline on the reply, not just a cancellation
 	// point: a cost charged by the final read can cross it after the last
 	// region-boundary check, and in virtual time that reply arrives late.
 	if err := tok.Err(); err != nil {
+		if errors.Is(err, sched.ErrDeadline) {
+			s.rec.Record(telemetry.EvDeadline, 0, int32(s.cfg.ID), acct.Cost().Total().Nanoseconds(), int64(m.ReqID), 0)
+		}
 		return s.errMsg(err)
 	}
 	cost := acct.Cost()
@@ -580,6 +646,7 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 	ss.put(m.ReqID, &stashEntry{coords: res.Sel.Coords, values: res.Values})
 	ss.reg.Add("query.count", 1)
 	ss.reg.Observe("query.cost_ns", float64(cost.Total()))
+	s.rec.Record(telemetry.EvQueryDone, 0, int32(s.cfg.ID), cost.Total().Nanoseconds(), int64(m.ReqID), int64(res.Sel.NHits))
 
 	if s.cfg.Log != nil {
 		s.cfg.Log.Info("query",
@@ -607,7 +674,9 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 		// payload is part of the modeled wire cost, so span bytes must be
 		// identical at any worker count (worker count is a gauge instead).
 		span.SetInt("hits", int64(res.Sel.NHits))
-		resp.Trace = span
+		if wantTrace {
+			resp.Trace = span
+		}
 	}
 	if flags&FlagWantSelection == 0 {
 		resp.Sel = selection.NewCount(res.Sel.NHits, res.Sel.Dims)
@@ -615,7 +684,85 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 	if flags&FlagWantValues != 0 {
 		resp.Values = res.Values
 	}
-	return transport.Message{Type: MsgQueryResult, Payload: resp.Encode()}
+	encStart := s.clock().Now()
+	payload := resp.Encode()
+	if encEnd := s.clock().Now(); encEnd != 0 || encStart != 0 {
+		// Encoding is pure compute with no modeled virtual cost; the
+		// phase is wall-only.
+		phases.Add(telemetry.PhaseEncode, 0, encEnd-encStart)
+	}
+	s.observePhases(ss, &phases)
+	s.maybeLogSlowQuery(ss, m, span, cost, wallStart, res)
+	return transport.Message{Type: MsgQueryResult, Payload: payload}
+}
+
+// observePhases folds one request's phase accounting into the session
+// registry: virtual-time distributions for the phases that carry
+// modeled cost (always on — they are deterministic and merge exactly
+// across sessions and servers) and wall-time distributions only when a
+// real clock is installed, so goldens stay byte-identical.
+func (s *Server) observePhases(ss *session, p *telemetry.PhaseTimes) {
+	for _, ph := range [...]int{telemetry.PhasePrune, telemetry.PhaseRegionExec, telemetry.PhaseMerge} {
+		ss.reg.Observe("phase."+telemetry.PhaseName(ph)+"_vns", float64(p.VNanos[ph]))
+	}
+	if s.clock().Now() == 0 {
+		return
+	}
+	for _, ph := range [...]int{telemetry.PhasePrune, telemetry.PhaseRegionExec, telemetry.PhaseMerge, telemetry.PhaseEncode} {
+		ss.reg.Observe("phase."+telemetry.PhaseName(ph)+"_ns", float64(p.WallNanos[ph]))
+	}
+}
+
+// slowQueryTail bounds how many ring events a slow-query record quotes.
+const slowQueryTail = 32
+
+// maybeLogSlowQuery emits the slow-query record when the query's
+// latency crossed Config.SlowQueryNs. Latency is wall time when a real
+// clock is installed (the daemon case), virtual cost otherwise (the
+// deterministic case, which is what the tests pin). The record carries
+// the query's full trace span and the most recent flight-recorder
+// events — the "what was the server doing just now" context that makes
+// a slow query debuggable after the fact.
+func (s *Server) maybeLogSlowQuery(ss *session, m transport.Message, span *telemetry.Span, cost vclock.Cost, wallStart int64, res *exec.Result) {
+	thr := s.cfg.SlowQueryNs
+	if thr <= 0 {
+		return
+	}
+	lat := cost.Total().Nanoseconds()
+	basis := "virtual"
+	if now := s.clock().Now(); now != 0 || wallStart != 0 {
+		lat = now - wallStart
+		basis = "wall"
+	}
+	if lat < thr {
+		return
+	}
+	ss.reg.Add("query.slow", 1)
+	if s.cfg.Log == nil {
+		return
+	}
+	events := s.rec.Snapshot()
+	if len(events) > slowQueryTail {
+		events = events[len(events)-slowQueryTail:]
+	}
+	var ring strings.Builder
+	_ = telemetry.WriteEvents(&ring, events, s.rec.Total())
+	var trace string
+	if span != nil {
+		trace = span.Render(basis == "wall")
+	}
+	s.cfg.Log.Warn("slow query",
+		"server", s.cfg.ID,
+		"req", m.ReqID,
+		"trace_id", m.Trace,
+		"latency_ns", lat,
+		"basis", basis,
+		"threshold_ns", thr,
+		"cost", cost.Total().String(),
+		"hits", res.Sel.NHits,
+		"span", trace,
+		"events", ring.String(),
+	)
 }
 
 func (s *Server) handleGetData(ss *session, tok *sched.Token, acct *vclock.Account, m transport.Message) transport.Message {
@@ -623,7 +770,7 @@ func (s *Server) handleGetData(ss *session, tok *sched.Token, acct *vclock.Accou
 	if err != nil {
 		return s.errMsg(err)
 	}
-	engine := s.reqEngine(acct)
+	engine := s.reqEngine(acct, nil)
 	var coords []uint64
 	var data []byte
 	if req.Coords == nil && req.QueryReq != 0 {

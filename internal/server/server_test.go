@@ -20,6 +20,32 @@ import (
 // server of n, served over an in-process pipe.
 func testServer(t *testing.T, id, n int) (*Server, transport.Conn, object.ID) {
 	t.Helper()
+	st, meta, oid := testWorld(t)
+	srv, conn := testServerCfg(t, Config{ID: id, N: n, Store: st, Meta: meta, Strategy: exec.Histogram})
+	return srv, conn, oid
+}
+
+// testServerCfg serves a server built from cfg over an in-process pipe
+// (for tests that need non-default observability or scheduling config).
+func testServerCfg(t *testing.T, cfg Config) (*Server, transport.Conn) {
+	t.Helper()
+	srv := New(cfg)
+	clientSide, serverSide := transport.Pipe()
+	go func() {
+		srv.Serve(serverSide)
+		serverSide.Close()
+	}()
+	t.Cleanup(func() {
+		clientSide.Send(transport.Message{Type: MsgShutdown})
+		clientSide.Close()
+	})
+	return srv, clientSide
+}
+
+// testWorld builds the 1-object store and metadata the test servers
+// share: 1000 float32 values 0.00..9.99 in four 250-element regions.
+func testWorld(t *testing.T) (*simio.Store, *metadata.Service, object.ID) {
+	t.Helper()
 	st := simio.New(simio.DefaultModel())
 	meta := metadata.NewService()
 	cont := meta.CreateContainer("c")
@@ -47,18 +73,7 @@ func testServer(t *testing.T, id, n int) (*Server, transport.Conn, object.ID) {
 		hists = append(hists, h)
 	}
 	o.Global = histogram.MergeAll(hists)
-
-	srv := New(Config{ID: id, N: n, Store: st, Meta: meta, Strategy: exec.Histogram})
-	clientSide, serverSide := transport.Pipe()
-	go func() {
-		srv.Serve(serverSide)
-		serverSide.Close()
-	}()
-	t.Cleanup(func() {
-		clientSide.Send(transport.Message{Type: MsgShutdown})
-		clientSide.Close()
-	})
-	return srv, clientSide, o.ID
+	return st, meta, o.ID
 }
 
 func call(t *testing.T, c transport.Conn, m transport.Message) transport.Message {

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCheckPrometheusTextAcceptsWriter: whatever WritePrometheus emits
+// for a populated registry (including runtime gauges) must pass the
+// strict validator.
+func TestCheckPrometheusTextAcceptsWriter(t *testing.T) {
+	r := NewRegistry()
+	r.Add("query.count", 7)
+	r.Add("msg.query", 7)
+	r.SetGauge("sessions.live", 2)
+	r.SetGauge("cache.bytes", 4096)
+	for i := 0; i < 100; i++ {
+		r.Observe("query.cost_ns", float64(i*1000))
+		r.Observe("phase.merge_vns", float64(i))
+	}
+	SampleRuntime(r)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPrometheusText(buf.Bytes()); err != nil {
+		t.Fatalf("writer output rejected: %v\n%s", err, buf.Bytes())
+	}
+}
+
+func TestCheckPrometheusTextRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"malformed type", "# TYPE foo\n", "malformed TYPE"},
+		{"bad type keyword", "# TYPE foo widget\n", "unknown metric type"},
+		{"bad metric name", "# TYPE 9foo counter\n", "invalid metric name"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a counter\n", "duplicate TYPE"},
+		{"undeclared sample", "foo 1\n", "no TYPE declaration"},
+		{"duplicate series", "# TYPE a counter\na 1\na 2\n", "duplicate series"},
+		{"duplicate labeled series", "# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate series"},
+		{"bad value", "# TYPE a counter\na pickles\n", "unparseable value"},
+		{"missing value", "# TYPE a counter\na\n", "malformed sample"},
+		{"trailing fields", "# TYPE a counter\na 1 2\n", "trailing fields"},
+		{"unterminated labels", "# TYPE a gauge\na{x=\"1\" 5\n", "unterminated"},
+		{"unquoted label value", "# TYPE a gauge\na{x=1} 5\n", "unquoted value"},
+		{"bad label name", "# TYPE a gauge\na{9x=\"1\"} 5\n", "invalid label name"},
+		{"histogram suffix needs histogram type", "# TYPE a counter\na_bucket{le=\"1\"} 5\n", "no TYPE declaration"},
+	}
+	for _, tc := range cases {
+		err := CheckPrometheusText([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCheckPrometheusTextAcceptsEdgeCases(t *testing.T) {
+	good := "" +
+		"# HELP a free text comment\n" +
+		"# TYPE a counter\n" +
+		"a 1\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"0.5\"} 1\n" +
+		"h_bucket{le=\"+Inf\"} 2\n" +
+		"h_sum 3.5\n" +
+		"h_count 2\n" +
+		"# TYPE g gauge\n" +
+		"g{lab=\"va\\\"lue\",other=\"x\"} 2e9\n"
+	if err := CheckPrometheusText([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+// TestRegistryConcurrentMerge is the multi-session race test: many
+// writer registries observed concurrently while a shared cluster view
+// merges them and readers walk it. Run under -race (make race / CI),
+// this pins the lock discipline of Observe/Merge/Dist/Encode.
+func TestRegistryConcurrentMerge(t *testing.T) {
+	const sessions = 8
+	const perSession = 200
+	cluster := NewRegistry()
+	regs := make([]*Registry, sessions)
+	for i := range regs {
+		regs[i] = NewRegistry()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(r *Registry) {
+			defer wg.Done()
+			for j := 0; j < perSession; j++ {
+				r.Add("query.count", 1)
+				r.Observe("query.cost_ns", float64(j))
+				r.SetGauge("sessions.live", 1)
+			}
+		}(regs[i])
+		wg.Add(1)
+		go func(r *Registry) {
+			defer wg.Done()
+			// Merge and read concurrently with the writer.
+			for j := 0; j < 20; j++ {
+				cluster.Merge(r)
+				_ = r.Dist("query.cost_ns")
+				_ = r.Encode()
+				_ = cluster.Counter("query.count")
+			}
+		}(regs[i])
+	}
+	wg.Wait()
+	// Final exact merge into a fresh view: totals must be exact.
+	final := NewRegistry()
+	for _, r := range regs {
+		final.Merge(r)
+	}
+	if got := final.Counter("query.count"); got != sessions*perSession {
+		t.Errorf("merged query.count = %d, want %d", got, sessions*perSession)
+	}
+	d := final.Dist("query.cost_ns")
+	if d == nil || d.Count() != sessions*perSession {
+		t.Fatalf("merged distribution = %+v", d)
+	}
+	if q := d.Quantile(0.5); q <= 0 || q > perSession {
+		t.Errorf("merged p50 = %v out of range", q)
+	}
+}

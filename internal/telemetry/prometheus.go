@@ -11,6 +11,16 @@ import (
 // deterministically (Distribution.Buckets).
 const maxPromBuckets = 32
 
+// promQuantiles are the SLO quantiles every distribution exposes.
+var promQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
 // promName sanitizes a registry name into a Prometheus metric name:
 // '.' and '-' become '_', anything else outside [a-zA-Z0-9_:] becomes '_',
 // and a leading digit is prefixed. Names are pre-sorted by the registry,
@@ -69,6 +79,16 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
 			n, d.Count(), n, d.Sum, n, d.Count()); err != nil {
 			return err
+		}
+		// Quantile estimates as a separate gauge family (suffixed _q so
+		// the series never collides with the histogram's own families).
+		if _, err := fmt.Fprintf(w, "# TYPE %s_q gauge\n", n); err != nil {
+			return err
+		}
+		for _, pq := range promQuantiles {
+			if _, err := fmt.Fprintf(w, "%s_q{quantile=\"%s\"} %v\n", n, pq.label, d.Quantile(pq.q)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

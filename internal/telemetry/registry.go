@@ -49,6 +49,16 @@ func (d *Distribution) Clone() *Distribution {
 	return &Distribution{Hist: d.Hist.Clone(), Sum: d.Sum}
 }
 
+// Quantile estimates the q-quantile of the observed values by
+// interpolating inside the backing histogram's bins. Because the
+// histograms merge exactly, a quantile over merged per-server
+// distributions is the quantile of the union of their observations (to
+// bin resolution) — the substrate the phase-level p50/p95/p99 SLO
+// accounting stands on.
+func (d *Distribution) Quantile(q float64) float64 {
+	return d.Hist.Quantile(q)
+}
+
 // Bucket is one cumulative bucket of a distribution rendered for
 // exposition: Count observations were <= UpperBound.
 type Bucket struct {

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// Runtime introspection: a fixed set of Go runtime metrics sampled into
+// Registry gauges so the live daemon's /metrics scrape shows GC
+// pressure, goroutine count, and scheduler latency next to the query
+// metrics. This file is inherently nondeterministic — it reads process
+// state — which is why it lives in telemetry, the one package the
+// nondeterminism analyzer exempts. Nothing on a request path calls it;
+// only cmd/pdc-server's metrics handler samples on scrape.
+
+// runtimeSampleNames is the fixed runtime/metrics set SampleRuntime
+// reads. Kept small and stable so gauge names are predictable.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+	"/sched/latencies:seconds",
+}
+
+// SampleRuntime reads the pinned runtime metric set plus the goroutine
+// count into reg as runtime.* gauges. Safe to call repeatedly; each call
+// overwrites the previous sample.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	reg.SetGauge("runtime.goroutines", float64(runtime.NumGoroutine()))
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.SetGauge("runtime.heap_bytes", float64(s.Value.Uint64()))
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.SetGauge("runtime.mem_total_bytes", float64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.SetGauge("runtime.gc_cycles", float64(s.Value.Uint64()))
+			}
+		case "/gc/heap/allocs:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.SetGauge("runtime.alloc_bytes_total", float64(s.Value.Uint64()))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				reg.SetGauge("runtime.sched_latency_p50_s", runtimeHistQuantile(h, 0.5))
+				reg.SetGauge("runtime.sched_latency_p99_s", runtimeHistQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+// runtimeHistQuantile estimates a quantile from a runtime/metrics
+// histogram by walking the cumulative counts and reporting the upper
+// bound of the bucket holding the rank (a conservative estimate for an
+// SLO gauge).
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 1) {
+		last = h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}
