@@ -161,8 +161,8 @@ func main() {
 		// same loopback-intended listener.
 		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			rec := srv.Recorder()
-			telemetry.WriteEvents(w, rec.Snapshot(), rec.Total())
+			events, total := srv.Recorder().SnapshotTotal()
+			telemetry.WriteEvents(w, events, total)
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

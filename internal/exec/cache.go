@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"pdcquery/internal/dtype"
-	"pdcquery/internal/telemetry"
 )
 
 // Cache is a byte-capacity-bounded LRU of region buffers, modeling the
@@ -28,15 +27,14 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	// Lifetime operational counters (monotonic, under mu); surfaced
-	// through Stats into the server registry and /metrics.
+	// through Stats into the server registry and /metrics. The cache
+	// itself never records flight-recorder events: recording happens in
+	// the engine (readExtent and the merge barriers), outside c.mu, so
+	// the cache mutex never nests the recorder mutex and pooled region
+	// tasks cannot interleave cache events in scheduling order.
 	hits      int64
 	misses    int64
 	evictions int64
-	// rec, when set, receives cache-hit/miss/evict flight-recorder
-	// events tagged with srv. Record is nil-safe and alloc-free, so the
-	// zero-copy hit path stays zero-alloc.
-	rec *telemetry.Recorder
-	srv int32
 }
 
 // CacheStats is a point-in-time snapshot of the cache's operational
@@ -47,18 +45,6 @@ type CacheStats struct {
 	Evictions int64
 	UsedBytes int64
 	Entries   int64
-}
-
-// SetRecorder attaches a flight recorder; cache events are tagged with
-// server rank srv. Safe to call before concurrent use only.
-func (c *Cache) SetRecorder(rec *telemetry.Recorder, srv int32) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rec = rec
-	c.srv = srv
 }
 
 // Stats snapshots the operational counters.
@@ -75,6 +61,17 @@ func (c *Cache) Stats() CacheStats {
 		UsedBytes: c.used,
 		Entries:   int64(len(c.items)),
 	}
+}
+
+// CacheTraffic accumulates one region task's cache operations so they
+// can be recorded as aggregate flight-recorder events at the serial
+// merge barrier instead of per-operation from inside concurrently
+// executing tasks (which would make event order and Seq numbers depend
+// on scheduling). It is a plain value embedded in the task result, so
+// accumulating costs no allocation.
+type CacheTraffic struct {
+	Hits, Misses, Evictions         int64
+	HitBytes, MissBytes, EvictBytes int64
 }
 
 type cacheEntry struct {
@@ -97,13 +94,11 @@ func (c *Cache) Get(key string) (dtype.ROBytes, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		c.rec.Record(telemetry.EvCacheMiss, 0, c.srv, 0, 0, 0)
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
 	data := el.Value.(*cacheEntry).data
 	c.hits++
-	c.rec.Record(telemetry.EvCacheHit, 0, c.srv, 0, int64(len(data)), 0)
 	return data, true
 }
 
@@ -128,10 +123,12 @@ func (c *Cache) Touch(key string) bool {
 // Put inserts an immutable view, evicting least-recently-used entries as
 // needed. Views larger than the whole capacity are not cached. Because
 // the data is immutable, the cache can retain the caller's view and
-// later hand it to any number of readers without copies.
-func (c *Cache) Put(key string, data dtype.ROBytes) {
+// later hand it to any number of readers without copies. It reports the
+// entries and bytes it evicted to make room, so the caller can account
+// for the eviction (the engine turns it into an EvCacheEvict event).
+func (c *Cache) Put(key string, data dtype.ROBytes) (evicted int64, evictedBytes int64) {
 	if c == nil || c.capacity <= 0 || int64(len(data)) > c.capacity {
-		return
+		return 0, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,8 +151,10 @@ func (c *Cache) Put(key string, data dtype.ROBytes) {
 		delete(c.items, e.key)
 		c.used -= int64(len(e.data))
 		c.evictions++
-		c.rec.Record(telemetry.EvCacheEvict, 0, c.srv, 0, int64(len(e.data)), 0)
+		evicted++
+		evictedBytes += int64(len(e.data))
 	}
+	return evicted, evictedBytes
 }
 
 // Contains reports whether key is cached without touching the LRU order —

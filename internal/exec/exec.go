@@ -180,6 +180,11 @@ type Engine struct {
 	// Phases, when non-nil, accumulates this request's per-phase latency
 	// (virtual ns at the deterministic barriers, wall ns through Clock).
 	Phases *telemetry.PhaseTimes
+	// cacheEv, when non-nil, collects cache traffic instead of recording
+	// it: region tasks point it at their task result (alongside nilling
+	// Rec) and the merge barrier flushes the totals as aggregate events
+	// in region order.
+	cacheEv *CacheTraffic
 	// Clock supplies wall stamps for phase accounting; nil or NoClock in
 	// every deterministic context.
 	Clock telemetry.Clock
@@ -223,6 +228,7 @@ func (e *Engine) readExtent(key string) (dtype.ROBytes, error) {
 				e.Acct.ChargeCost(m.ReadCost(simio.Memory, int64(len(data))))
 				e.Acct.Count("cache.hits", 1)
 			}
+			e.noteCache(telemetry.EvCacheHit, int64(len(data)), 1)
 			return data, nil
 		}
 		if e.Acct != nil {
@@ -233,8 +239,53 @@ func (e *Engine) readExtent(key string) (dtype.ROBytes, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.Cache.Put(key, data)
+	if e.Cache != nil {
+		e.noteCache(telemetry.EvCacheMiss, int64(len(data)), 1)
+	}
+	if n, freed := e.Cache.Put(key, data); n > 0 {
+		e.noteCache(telemetry.EvCacheEvict, freed, n)
+	}
 	return data, nil
+}
+
+// noteCache accounts one cache operation (ops operations touching the
+// given byte count). Pooled region tasks accumulate into the task's
+// CacheTraffic — their Rec is nil, and the serial merge barrier flushes
+// the totals in region order — while serial contexts (get-data extract,
+// the full-scan preload, sorted rest-probes) record the event directly.
+// Both halves are nil-safe, so an unconfigured engine records nothing.
+func (e *Engine) noteCache(kind telemetry.EventKind, bytes, ops int64) {
+	if e.cacheEv != nil {
+		switch kind {
+		case telemetry.EvCacheHit:
+			e.cacheEv.Hits += ops
+			e.cacheEv.HitBytes += bytes
+		case telemetry.EvCacheMiss:
+			e.cacheEv.Misses += ops
+			e.cacheEv.MissBytes += bytes
+		case telemetry.EvCacheEvict:
+			e.cacheEv.Evictions += ops
+			e.cacheEv.EvictBytes += bytes
+		}
+		return
+	}
+	e.Rec.Record(kind, 0, e.SrvID, e.vnow(), bytes, ops)
+}
+
+// flushCacheTraffic records one task's accumulated cache traffic as up
+// to three aggregate events. Called only at the serial merge barriers,
+// after the task's account is absorbed, so ordering and the vclock
+// stamps are identical at any worker count.
+func (e *Engine) flushCacheTraffic(t *CacheTraffic) {
+	if t.Hits > 0 {
+		e.Rec.Record(telemetry.EvCacheHit, 0, e.SrvID, e.vnow(), t.HitBytes, t.Hits)
+	}
+	if t.Misses > 0 {
+		e.Rec.Record(telemetry.EvCacheMiss, 0, e.SrvID, e.vnow(), t.MissBytes, t.Misses)
+	}
+	if t.Evictions > 0 {
+		e.Rec.Record(telemetry.EvCacheEvict, 0, e.SrvID, e.vnow(), t.EvictBytes, t.Evictions)
+	}
 }
 
 // Evaluate runs the query over the assigned regions and returns the
@@ -342,7 +393,9 @@ func (e *Engine) EvaluateToken(tok *sched.Token, q *query.Query, assign Assignme
 				if err != nil {
 					return nil, err
 				}
-				e.Cache.Put(key, data)
+				if n, freed := e.Cache.Put(key, data); n > 0 {
+					e.noteCache(telemetry.EvCacheEvict, freed, n)
+				}
 				bytes += int64(len(data))
 				tier = o.Regions[r].Tier
 				loaded = true
@@ -496,6 +549,7 @@ type regionTaskResult struct {
 	condLog *telemetry.Span // private condition-selectivity log
 	acct    *vclock.Account // shadow account (nil when the engine has none)
 	stats   Stats
+	cacheEv CacheTraffic // cache traffic, flushed at the merge barrier
 	hits    []uint64
 	vals    map[object.ID][]float64
 }
@@ -578,9 +632,11 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 		te.Pool = nil // region tasks never fan out again
 		// Tasks run concurrently: recording or phase accounting from here
 		// would race and make event order depend on scheduling. Both stay
-		// with the serial barriers.
+		// with the serial barriers; cache traffic accumulates in the task
+		// result and is flushed there too.
 		te.Rec = nil
 		te.Phases = nil
+		te.cacheEv = &res.cacheEv
 		if e.Acct != nil {
 			res.acct = vclock.NewAccount()
 			te.Acct = res.acct
@@ -655,7 +711,9 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 		stats.Add(res.stats)
 		// Recorded at the merge barrier (absorb order is region order), so
 		// the sequence is deterministic at any worker count; the vclock
-		// stamp is the account total after this region's absorb.
+		// stamp is the account total after this region's absorb. Cache
+		// traffic the task accumulated flushes here for the same reason.
+		e.flushCacheTraffic(&res.cacheEv)
 		e.Rec.Record(telemetry.EvRegionExec, 0, e.SrvID, e.vnow(), int64(en.r), int64(len(res.hits)))
 		if len(res.hits) == 0 {
 			continue
@@ -895,6 +953,7 @@ type sortedTaskResult struct {
 	condLog *telemetry.Span
 	acct    *vclock.Account
 	stats   Stats
+	cacheEv CacheTraffic // cache traffic, flushed at the merge barrier
 	hits    []shHit
 }
 
@@ -941,6 +1000,12 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 		res := &sortedTaskResult{}
 		te := *e
 		te.Pool = nil
+		// Same discipline as the scan-path tasks: no recording or phase
+		// accounting from concurrent tasks; cache traffic accumulates in
+		// the result and flushes at the serial merge barrier.
+		te.Rec = nil
+		te.Phases = nil
+		te.cacheEv = &res.cacheEv
 		if e.Acct != nil {
 			res.acct = vclock.NewAccount()
 			te.Acct = res.acct
@@ -1088,6 +1153,7 @@ func (e *Engine) evalConjunctSorted(tok *sched.Token, q *query.Query, c query.Co
 			e.Acct.Absorb(res.acct)
 		}
 		stats.Add(res.stats)
+		e.flushCacheTraffic(&res.cacheEv)
 		e.Rec.Record(telemetry.EvRegionExec, 0, e.SrvID, e.vnow(), int64(candidates[ti]), int64(len(res.hits)))
 		hits = append(hits, res.hits...)
 	}
@@ -1221,6 +1287,7 @@ func (e *Engine) probeValues(o *object.Object, r int, local []uint64, regionElem
 			m := e.Store.Model()
 			e.Acct.ChargeCost(m.ReadCost(simio.Memory, int64(len(local))*es))
 		}
+		e.noteCache(telemetry.EvCacheHit, int64(len(data)), 1)
 		for k, lidx := range local {
 			out[k] = dtype.At(o.Type, data, int(lidx))
 		}

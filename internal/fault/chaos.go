@@ -166,8 +166,11 @@ func RunChaos(plan Plan, opts ChaosOptions) (*ChaosResult, error) {
 	inj.SetRegistry(reg)
 	// The injector gets its own flight recorder so the completeness gate
 	// below can audit it: nothing else records here, so the ring holds
-	// exactly the EvFault sequence (capacity far above any schedule).
-	rec := telemetry.NewRecorder(1024, nil)
+	// exactly the EvFault sequence. Capacity is sized from the plan — a
+	// scheduled event fires at most once, so len(Schedule) plus headroom
+	// can never wrap, no matter how large the plan (a wrapped ring would
+	// drop history and fail the audit spuriously).
+	rec := telemetry.NewRecorder(2*len(plan.Schedule)+64, nil)
 	inj.SetRecorder(rec)
 
 	d, queries, truths, err := chaosDeployment(opts)
@@ -217,8 +220,15 @@ func RunChaos(plan Plan, opts ChaosOptions) (*ChaosResult, error) {
 // auditFaultEvents checks the flight-recorder ring against the
 // injector's fired list (the completeness half of the chaos invariant).
 func auditFaultEvents(fired []Event, rec *telemetry.Recorder) error {
+	events, total := rec.SnapshotTotal()
+	if total > uint64(len(events)) {
+		// The ring wrapped: history was overwritten, so a count mismatch
+		// below would be a sizing bug in the harness, not a recorder that
+		// dropped events. Name the real problem.
+		return fmt.Errorf("audit ring wrapped: %d events recorded into a %d-slot ring; size the recorder from the plan", total, rec.Cap())
+	}
 	var evs []telemetry.Event
-	for _, e := range rec.Snapshot() {
+	for _, e := range events {
 		if e.Kind == telemetry.EvFault {
 			evs = append(evs, e)
 		}

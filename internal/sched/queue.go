@@ -54,15 +54,19 @@ func NewFairQueue[T any](depth int, quantum int64) *FairQueue[T] {
 
 // Push enqueues v for the session, with a relative service cost (floored
 // at 1; use 1 for uniform requests). It returns ErrBusy when the
-// session's backlog is at depth, and ErrClosed after Close.
-func (q *FairQueue[T]) Push(session uint64, cost int64, v T) error {
+// session's backlog is at depth, and ErrClosed after Close. The returned
+// length is the session's backlog observed inside the critical section —
+// after the push on success, the full depth on ErrBusy — so callers can
+// report admission state without a racy re-read (a dispatcher may pop
+// the item the instant the lock is released).
+func (q *FairQueue[T]) Push(session uint64, cost int64, v T) (int, error) {
 	if cost < 1 {
 		cost = 1
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	s := q.sessions[session]
 	if s == nil {
@@ -71,7 +75,7 @@ func (q *FairQueue[T]) Push(session uint64, cost int64, v T) error {
 		q.ring = append(q.ring, s)
 	}
 	if len(s.items) >= q.depth {
-		return ErrBusy
+		return len(s.items), ErrBusy
 	}
 	s.items = append(s.items, v)
 	s.costs = append(s.costs, cost)
@@ -80,7 +84,7 @@ func (q *FairQueue[T]) Push(session uint64, cost int64, v T) error {
 		q.hiwater = q.size
 	}
 	q.cond.Signal()
-	return nil
+	return len(s.items), nil
 }
 
 // Pop blocks until an item is available and returns the next item in

@@ -114,18 +114,20 @@ func TestTokenVirtualDeadline(t *testing.T) {
 
 func TestFairQueueAdmissionControl(t *testing.T) {
 	q := NewFairQueue[int](2, 1)
-	if err := q.Push(7, 1, 10); err != nil {
-		t.Fatal(err)
+	// Push reports the backlog from inside its critical section: the
+	// post-push length on success, the full depth on rejection.
+	if n, err := q.Push(7, 1, 10); err != nil || n != 1 {
+		t.Fatalf("first push: n=%d err=%v, want 1, nil", n, err)
 	}
-	if err := q.Push(7, 1, 11); err != nil {
-		t.Fatal(err)
+	if n, err := q.Push(7, 1, 11); err != nil || n != 2 {
+		t.Fatalf("second push: n=%d err=%v, want 2, nil", n, err)
 	}
-	if err := q.Push(7, 1, 12); !errors.Is(err, ErrBusy) {
-		t.Fatalf("third push: err = %v, want ErrBusy", err)
+	if n, err := q.Push(7, 1, 12); !errors.Is(err, ErrBusy) || n != 2 {
+		t.Fatalf("third push: n=%d err=%v, want 2, ErrBusy", n, err)
 	}
 	// A different session still gets in.
-	if err := q.Push(8, 1, 20); err != nil {
-		t.Fatalf("other session rejected: %v", err)
+	if n, err := q.Push(8, 1, 20); err != nil || n != 1 {
+		t.Fatalf("other session rejected: n=%d err=%v", n, err)
 	}
 	if got := q.Len(); got != 3 {
 		t.Fatalf("Len = %d, want 3", got)
@@ -139,12 +141,12 @@ func TestFairQueueInterleavesSessions(t *testing.T) {
 	q := NewFairQueue[string](16, 1)
 	// Session 1 floods first; session 2 arrives after.
 	for i := 0; i < 4; i++ {
-		if err := q.Push(1, 1, fmt.Sprintf("a%d", i)); err != nil {
+		if _, err := q.Push(1, 1, fmt.Sprintf("a%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 4; i++ {
-		if err := q.Push(2, 1, fmt.Sprintf("b%d", i)); err != nil {
+		if _, err := q.Push(2, 1, fmt.Sprintf("b%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,12 +173,12 @@ func TestFairQueueDeficitWeighting(t *testing.T) {
 	// Session 1's requests cost 4 units each; session 2's cost 1. With a
 	// quantum of 2, session 2 gets ~4 requests served per expensive one.
 	for i := 0; i < 2; i++ {
-		if err := q.Push(1, 4, fmt.Sprintf("big%d", i)); err != nil {
+		if _, err := q.Push(1, 4, fmt.Sprintf("big%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 8; i++ {
-		if err := q.Push(2, 1, fmt.Sprintf("s%d", i)); err != nil {
+		if _, err := q.Push(2, 1, fmt.Sprintf("s%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -209,11 +211,11 @@ func TestFairQueueDeficitWeighting(t *testing.T) {
 func TestFairQueueDropAndClose(t *testing.T) {
 	q := NewFairQueue[int](8, 1)
 	for i := 0; i < 3; i++ {
-		if err := q.Push(1, 1, i); err != nil {
+		if _, err := q.Push(1, 1, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := q.Push(2, 1, 99); err != nil {
+	if _, err := q.Push(2, 1, 99); err != nil {
 		t.Fatal(err)
 	}
 	dropped := q.Drop(1)
@@ -240,7 +242,7 @@ func TestFairQueueDropAndClose(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Close did not wake the blocked Pop")
 	}
-	if err := q.Push(1, 1, 1); !errors.Is(err, ErrClosed) {
+	if _, err := q.Push(1, 1, 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Push after close: err = %v, want ErrClosed", err)
 	}
 }
@@ -255,7 +257,7 @@ func TestFairQueueConcurrentProducersConsumers(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perSession; i++ {
 				for {
-					if err := q.Push(uint64(s), 1, s*perSession+i); err == nil {
+					if _, err := q.Push(uint64(s), 1, s*perSession+i); err == nil {
 						break
 					} else if errors.Is(err, ErrClosed) {
 						return

@@ -199,7 +199,6 @@ func New(cfg Config) *Server {
 		Clock:    s.clock(),
 		SrvID:    int32(cfg.ID),
 	}
-	s.engine.Cache.SetRecorder(s.rec, int32(cfg.ID))
 	return s
 }
 
@@ -496,9 +495,12 @@ func (s *Server) Serve(conn transport.Conn) error {
 		}
 		ss.inflight.Add(1)
 		qr := &queuedReq{ss: ss, m: m, enq: s.clock().Now()}
-		err = s.queue.Push(ss.key, 1, qr)
+		// The queue reports the session backlog from inside its critical
+		// section: re-reading SessionLen here would race with dispatchers
+		// popping the request we just pushed.
+		queued, err := s.queue.Push(ss.key, 1, qr)
 		if err == nil {
-			s.rec.Record(telemetry.EvAdmit, 0, int32(s.cfg.ID), 0, int64(m.ReqID), int64(s.queue.SessionLen(ss.key)))
+			s.rec.Record(telemetry.EvAdmit, 0, int32(s.cfg.ID), 0, int64(m.ReqID), int64(queued))
 		} else {
 			ss.inflight.Done()
 			if errors.Is(err, sched.ErrBusy) {
@@ -506,8 +508,7 @@ func (s *Server) Serve(conn transport.Conn) error {
 				// Reply MsgBusy with a deterministic retry-after hint
 				// instead of buffering without bound.
 				s.telem.Add("sched.rejected", 1)
-				s.rec.Record(telemetry.EvReject, 0, int32(s.cfg.ID), 0, int64(m.ReqID), int64(s.queue.SessionLen(ss.key)))
-				queued := s.queue.SessionLen(ss.key)
+				s.rec.Record(telemetry.EvReject, 0, int32(s.cfg.ID), 0, int64(m.ReqID), int64(queued))
 				busy := &BusyResponse{
 					RetryAfterNs: uint64(queued) * uint64(busyRetryStep),
 					Queued:       uint32(queued),
@@ -564,7 +565,8 @@ func (s *Server) handle(ss *session, tok *sched.Token, acct *vclock.Account, m t
 	case MsgStats:
 		return s.handleStats(acct, m)
 	case MsgEvents:
-		return transport.Message{Type: MsgEventsResult, Payload: telemetry.EncodeEvents(s.rec.Snapshot(), s.rec.Total())}
+		events, total := s.rec.SnapshotTotal()
+		return transport.Message{Type: MsgEventsResult, Payload: telemetry.EncodeEvents(events, total)}
 	case MsgMetaSnapshot:
 		snap, err := s.cfg.Meta.Snapshot()
 		if err != nil {
@@ -741,12 +743,12 @@ func (s *Server) maybeLogSlowQuery(ss *session, m transport.Message, span *telem
 	if s.cfg.Log == nil {
 		return
 	}
-	events := s.rec.Snapshot()
+	events, total := s.rec.SnapshotTotal()
 	if len(events) > slowQueryTail {
 		events = events[len(events)-slowQueryTail:]
 	}
 	var ring strings.Builder
-	_ = telemetry.WriteEvents(&ring, events, s.rec.Total())
+	_ = telemetry.WriteEvents(&ring, events, total)
 	var trace string
 	if span != nil {
 		trace = span.Render(basis == "wall")

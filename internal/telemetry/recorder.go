@@ -37,10 +37,11 @@ const (
 	// EvNone is the zero value (an unwritten ring slot).
 	EvNone EventKind = iota
 	// EvAdmit: a request passed admission control. A=request ID,
-	// B=session backlog length after the push.
+	// B=session backlog length after the push (reported by the queue
+	// from inside its critical section).
 	EvAdmit
 	// EvReject: admission control answered busy. A=request ID,
-	// B=session backlog length.
+	// B=session backlog length at rejection (the full depth).
 	EvReject
 	// EvDispatch: a dispatcher picked the request up. A=request ID,
 	// B=queue wait in wall ns (0 under NoClock).
@@ -53,12 +54,17 @@ const (
 	// EvRegionExec: one region's evaluation merged. A=region index,
 	// B=hits in the region.
 	EvRegionExec
-	// EvCacheHit: a region read was served from the cache. A=bytes.
+	// EvCacheHit: region reads served from the cache. A=bytes, B=reads.
+	// Cache events from pooled region tasks are aggregated per task and
+	// recorded at the serial merge barrier (in region order), so their
+	// sequence is worker-count-deterministic; serial read paths record
+	// per operation with B=1.
 	EvCacheHit
-	// EvCacheMiss: a region read went to storage. A=bytes read.
+	// EvCacheMiss: region reads that went to storage. A=bytes read,
+	// B=reads (aggregated like EvCacheHit).
 	EvCacheMiss
-	// EvCacheEvict: the cache evicted an entry to make room. A=bytes
-	// freed.
+	// EvCacheEvict: the cache evicted entries to make room. A=bytes
+	// freed, B=entries (aggregated like EvCacheHit).
 	EvCacheEvict
 	// EvFault: the fault injector fired a scheduled event.
 	// Code=fault kind, Srv=server rank (-1 for the storage seam),
@@ -279,8 +285,18 @@ func (r *Recorder) Cap() int {
 // is consistent (taken under the lock) and detached: the recorder keeps
 // recording while callers inspect it.
 func (r *Recorder) Snapshot() []Event {
+	events, _ := r.SnapshotTotal()
+	return events
+}
+
+// SnapshotTotal returns the ring's current contents (oldest first) and
+// the lifetime event count as one consistent pair, taken under a single
+// lock acquisition — total minus len(events) is exactly the history the
+// ring has dropped, which separate Snapshot()/Total() calls cannot
+// guarantee while writers are active.
+func (r *Recorder) SnapshotTotal() ([]Event, uint64) {
 	if r == nil {
-		return nil
+		return nil, 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -294,7 +310,7 @@ func (r *Recorder) Snapshot() []Event {
 	for i := uint64(0); i < count; i++ {
 		out = append(out, r.buf[(start+i)%n])
 	}
-	return out
+	return out, r.total
 }
 
 // WriteEvents renders events as the /debug/events text format: a header

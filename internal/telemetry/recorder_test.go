@@ -52,6 +52,26 @@ func TestRecorderRingWrap(t *testing.T) {
 	}
 }
 
+// TestRecorderSnapshotTotal: the pair is taken under one lock, so a
+// wrapped ring's dropped history is exactly total - len(events).
+func TestRecorderSnapshotTotal(t *testing.T) {
+	r := NewRecorder(4, nil)
+	for i := 0; i < 7; i++ {
+		r.Record(EvRegionExec, 0, 0, 0, int64(i), 0)
+	}
+	events, total := r.SnapshotTotal()
+	if total != 7 || len(events) != 4 {
+		t.Fatalf("SnapshotTotal = %d events, total %d; want 4, 7", len(events), total)
+	}
+	if dropped := total - uint64(len(events)); dropped != 3 {
+		t.Fatalf("dropped history = %d, want 3", dropped)
+	}
+	var nilRec *Recorder
+	if events, total := nilRec.SnapshotTotal(); events != nil || total != 0 {
+		t.Fatal("nil recorder SnapshotTotal must be empty")
+	}
+}
+
 func TestRecorderPartialRing(t *testing.T) {
 	r := NewRecorder(8, nil)
 	r.Record(EvAdmit, 0, 0, 0, 7, 1)
