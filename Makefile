@@ -9,17 +9,22 @@ all: build lint test
 build:
 	$(GO) build ./...
 
-# Static analysis in one gate: go vet plus the ten project invariant
-# checkers (see internal/lint and `pdc-lint -list`): determinism, mutex
-# guarding, protocol exhaustiveness, no panics on request paths, charged
-# request-path I/O, wire symmetry, lock-order acyclicity, cancellation
-# propagation, alias escapes from exported methods (aliasguard), and
-# hot-path allocation budgets (hotalloc). One pdc-lint invocation runs
-# all ten over a single loaded package set and shared call graph.
+# Static analysis in one gate: go vet plus the fourteen project
+# invariant checkers (see internal/lint and `pdc-lint -list`):
+# determinism, mutex guarding, protocol exhaustiveness, no panics on
+# request paths, charged request-path I/O, wire symmetry, lock-order
+# acyclicity, cancellation propagation, alias escapes from exported
+# methods (aliasguard), hot-path allocation budgets (hotalloc), and the
+# CFG/dataflow tier — barrier determinism in pooled workers
+# (barrierdet), request-path error propagation (errflow), path-sensitive
+# nilness at charge sites (nilcharge), and lock-hold hygiene (lockhold).
+# One pdc-lint invocation runs all fourteen over a single loaded package
+# set, call graph, and CFG cache; -timing prints the per-analyzer step
+# budget, and the run also fails on stale hotalloc_budget.json entries.
 # Also usable as `go vet -vettool=$$(pwd)/bin/pdc-lint ./...`.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/pdc-lint ./...
+	$(GO) run ./cmd/pdc-lint -timing ./...
 
 test:
 	$(GO) test ./...

@@ -1,15 +1,24 @@
-// pdc-lint is the repo's multichecker: it runs the custom invariant
-// analyzers in internal/lint over Go packages — the four per-package
-// checkers (nondeterminism, mutexguard, protoexhaustive, nopanic) plus
-// the call-graph tier (vclockcharge, wiresymmetry, lockorder,
-// ctxpropagate).
+// pdc-lint is the repo's multichecker: it runs the fourteen custom
+// invariant analyzers in internal/lint over Go packages — the
+// per-package checkers (nondeterminism, mutexguard, protoexhaustive,
+// nopanic), the call-graph tier (vclockcharge, wiresymmetry, lockorder,
+// ctxpropagate, aliasguard, hotalloc), and the CFG/dataflow tier
+// (barrierdet, errflow, nilcharge, lockhold). All analyzers in one
+// invocation share a single loaded package set, call graph, and CFG
+// cache.
 //
 // Standalone:
 //
 //	go run ./cmd/pdc-lint ./...
 //	go run ./cmd/pdc-lint -nondeterminism=false ./internal/server
-//	go run ./cmd/pdc-lint -json ./...   # one JSON diagnostic per line
-//	go run ./cmd/pdc-lint -list         # print the analyzer catalog
+//	go run ./cmd/pdc-lint -json ./...    # one JSON diagnostic per line
+//	go run ./cmd/pdc-lint -sarif ./...   # one SARIF 2.1.0 log on stdout
+//	go run ./cmd/pdc-lint -timing ./...  # per-analyzer wall time on stderr
+//	go run ./cmd/pdc-lint -list          # print the analyzer catalog
+//
+// Standalone runs that include the hotalloc analyzer also verify the
+// committed allocation budget (internal/lint/hotalloc_budget.json) is
+// not stale: an entry whose function no longer exists fails the run.
 //
 // As a vet tool (unitchecker mode — the go command hands the tool one
 // *.cfg file per package):
@@ -17,7 +26,8 @@
 //	go build -o bin/pdc-lint ./cmd/pdc-lint
 //	go vet -vettool=$(pwd)/bin/pdc-lint ./...
 //
-// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found.
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found
+// (stale budget entries count as findings).
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pdcquery/internal/lint"
 )
@@ -56,6 +67,8 @@ func main() {
 		enabled[a.Name] = fs.Bool(a.Name, true, doc)
 	}
 	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line on stdout (standalone mode)")
+	sarifOut := fs.Bool("sarif", false, "emit one SARIF 2.1.0 log on stdout (standalone mode)")
+	timing := fs.Bool("timing", false, "print per-analyzer wall time on stderr (standalone mode)")
 	listOut := fs.Bool("list", false, "print the analyzer catalog and exit")
 	hotallocReport := fs.Bool("hotalloc-report", false, "print the hot-path allocation census as budget-file JSON and exit")
 	fs.Usage = func() {
@@ -68,6 +81,10 @@ func main() {
 	if *listOut {
 		printCatalog(analyzers)
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "pdc-lint: -json and -sarif are mutually exclusive")
+		os.Exit(1)
 	}
 	var active []*lint.Analyzer
 	for _, a := range analyzers {
@@ -104,12 +121,39 @@ func main() {
 		}
 		return
 	}
-	diags, err := lint.RunAnalyzers(pkgs, active)
+
+	// One session for the whole run: the call graph and CFG cache are
+	// built once and shared by every analyzer — and by the budget
+	// staleness check afterwards.
+	session := lint.NewSession(pkgs)
+	diags, err := runActive(session, active, *timing)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdc-lint:", err)
 		os.Exit(1)
 	}
-	if *jsonOut {
+
+	// Budget hygiene rides along whenever hotalloc itself runs: entries
+	// naming functions that no longer exist fail the run so renames
+	// can't leave justification orphans behind.
+	failures := len(diags)
+	if *enabled["hotalloc"] {
+		for _, e := range lint.StaleHotAllocBudget(pkgs, session.Graph(), lint.HotAllocBudget()) {
+			fmt.Fprintf(os.Stderr, "pdc-lint: stale budget entry: %s (%s) no longer exists; delete it from internal/lint/hotalloc_budget.json\n", e.Func, e.Kind)
+			failures++
+		}
+	}
+
+	switch {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		// The serialized shape is pinned by the golden test in
+		// internal/lint/sarif_test.go.
+		if err := enc.Encode(lint.ToSARIF(diags, active)); err != nil {
+			fmt.Fprintln(os.Stderr, "pdc-lint:", err)
+			os.Exit(1)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
 			// One object per line so CI can annotate PRs by streaming.
@@ -119,15 +163,45 @@ func main() {
 				os.Exit(1)
 			}
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s\n", d)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pdc-lint: %d finding(s)\n", len(diags))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "pdc-lint: %d finding(s)\n", failures)
 		os.Exit(2)
 	}
+}
+
+// runActive applies the active analyzers over one session. Without
+// -timing that is a single Run; with it, one Run per analyzer so each
+// step's wall time can be measured and printed — the shared session
+// keeps the call graph and CFGs cached across steps, so the split costs
+// only scheduling noise.
+func runActive(session *lint.Session, active []*lint.Analyzer, timing bool) ([]lint.Diagnostic, error) {
+	if !timing {
+		return session.Run(active)
+	}
+	var diags []lint.Diagnostic
+	var total time.Duration
+	for _, a := range active {
+		start := time.Now() //lint:ignore nondeterminism -timing measures the lint run itself, not simulated behaviour
+		ds, err := session.Run([]*lint.Analyzer{a})
+		if err != nil {
+			return nil, err
+		}
+		step := time.Now().Sub(start) //lint:ignore nondeterminism -timing measures the lint run itself, not simulated behaviour
+		total += step
+		fmt.Fprintf(os.Stderr, "pdc-lint: timing %-16s %8.1fms  %d finding(s)\n",
+			a.Name, float64(step.Microseconds())/1000, len(ds))
+		diags = append(diags, ds...)
+	}
+	fmt.Fprintf(os.Stderr, "pdc-lint: timing %-16s %8.1fms\n", "total", float64(total.Microseconds())/1000)
+	// Interleaving per-analyzer runs loses the global position sort a
+	// single Run would produce; restore it.
+	lint.SortDiagnostics(diags)
+	return diags, nil
 }
 
 // printCatalog answers -list: one analyzer per line with its scope and

@@ -282,11 +282,14 @@ func (c *Client) ensureConn(srv int) error {
 	}
 	// Unblock the stale reader (it sees conns[srv] != its conn and exits
 	// silently) and swap in the replacement before its reader starts.
-	old.Close()
+	// The old conn is already dead; its close error carries no news.
+	_ = old.Close()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		nc.Close()
+		// The replacement never carried traffic; ErrClosed is the error
+		// the caller needs.
+		_ = nc.Close()
 		return ErrClosed
 	}
 	c.conns[srv] = nc
@@ -335,12 +338,17 @@ func (c *Client) Close() error {
 	conns := append([]transport.Conn(nil), c.conns...)
 	c.mu.Unlock()
 	c.closeCancel()
+	var errs []error
 	for _, conn := range conns {
-		conn.Send(transport.Message{Type: server.MsgShutdown})
-		conn.Close()
+		// Shutdown is best-effort — a downed server cannot hear it —
+		// but a failed close means leaked resources and must surface.
+		_ = conn.Send(transport.Message{Type: server.MsgShutdown})
+		if err := conn.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	c.wg.Wait()
-	return nil
+	return errors.Join(errs...)
 }
 
 // broadcast sends one message to every server (payload may differ per

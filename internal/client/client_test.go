@@ -5,6 +5,7 @@ package client_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
 	"pdcquery/internal/selection"
+	"pdcquery/internal/transport"
 )
 
 func deploy(t *testing.T, n int, servers int) (*core.Deployment, object.ID) {
@@ -269,5 +271,41 @@ func TestRunContext(t *testing.T) {
 	res2, err := d.Client().Run(q)
 	if err != nil || res2.Sel.NHits != res.Sel.NHits {
 		t.Errorf("client broken after cancellation: %v, %v", res2, err)
+	}
+}
+
+// failCloseConn is a transport.Conn whose Close always fails; Recv
+// blocks until the conn is closed, like a quiet server.
+type failCloseConn struct {
+	closed chan struct{}
+	once   sync.Once
+	err    error
+}
+
+func (c *failCloseConn) Send(transport.Message) error { return nil }
+
+func (c *failCloseConn) Recv() (transport.Message, error) {
+	<-c.closed
+	return transport.Message{}, errors.New("conn closed")
+}
+
+func (c *failCloseConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.err
+}
+
+// TestClosePropagatesConnCloseErrors pins the errflow fix: Close used
+// to drop every per-connection Send and Close error and return nil
+// unconditionally; a failed close must now surface to the caller.
+func TestClosePropagatesConnCloseErrors(t *testing.T) {
+	sentinel := errors.New("close failed: fd leaked")
+	conns := []transport.Conn{
+		&failCloseConn{closed: make(chan struct{})},
+		&failCloseConn{closed: make(chan struct{}), err: sentinel},
+	}
+	cli := client.New(conns, metadata.NewService())
+	err := cli.Close()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Close() = %v, want the connection's close error", err)
 	}
 }

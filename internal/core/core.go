@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -351,8 +352,11 @@ func (d *Deployment) serveConn(i int, conn transport.Conn) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		srv.Serve(conn)
-		conn.Close()
+		// The serve loop's exit error has no caller to flow to here;
+		// sessions that die abnormally surface through the client's
+		// redial path instead.
+		_ = srv.Serve(conn)
+		_ = conn.Close()
 	}()
 }
 
@@ -496,21 +500,26 @@ func (d *Deployment) ResetCaches() {
 // listeners stop accepting, the serve loops drain, then each server's
 // dispatchers are stopped.
 func (d *Deployment) Close() error {
+	var errs []error
 	if d.cli != nil {
-		d.cli.Close()
+		if err := d.cli.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	d.mu.Lock()
 	listeners := append([]*transport.Listener(nil), d.listeners...)
 	servers := append([]*server.Server(nil), d.servers...)
 	d.mu.Unlock()
 	for _, l := range listeners {
-		l.Close()
+		if err := l.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	d.wg.Wait()
 	for _, srv := range servers {
 		srv.Shutdown()
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DeploymentStats summarizes the fleet's activity since the last cache

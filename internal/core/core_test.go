@@ -413,3 +413,21 @@ func TestReplicasSnapshotIsCopy(t *testing.T) {
 		t.Fatal("mutating the snapshot emptied the deployment's registry: Replicas leaked an alias")
 	}
 }
+
+// TestDeploymentClosePropagatesTeardownErrors pins the errflow fix:
+// Deployment.Close used to drop the client's and every listener's close
+// error and return nil unconditionally. Closing twice makes the second
+// teardown fail (sockets and listeners are already gone), and that
+// failure must now surface instead of silently reporting success.
+func TestDeploymentClosePropagatesTeardownErrors(t *testing.T) {
+	d := NewDeployment(Options{Servers: 2, TCP: true})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("first Close() = %v, want nil", err)
+	}
+	if err := d.Close(); err == nil {
+		t.Fatal("second Close() = nil, want the double-close errors to propagate")
+	}
+}

@@ -225,8 +225,8 @@ func (c *faultConn) Send(m transport.Message) error {
 		case DropConn:
 			// Close the underlying connection so the peer and the reader
 			// observe the loss too — a drop must never strand a blocked
-			// receive.
-			c.inner.Close()
+			// receive. The injected error is the one callers must see.
+			_ = c.inner.Close()
 			return injectedErr(ev)
 		case CorruptRequest:
 			p := make([]byte, len(m.Payload))
@@ -247,7 +247,7 @@ func (c *faultConn) Recv() (transport.Message, error) {
 	for _, ev := range c.inj.step(c.seam + ".recv") {
 		switch ev.Kind {
 		case DropConn:
-			c.inner.Close()
+			_ = c.inner.Close()
 			return transport.Message{}, injectedErr(ev)
 		case CorruptReply:
 			m.Payload = m.Payload[:len(m.Payload)/2]

@@ -76,10 +76,12 @@ type Pass struct {
 }
 
 // sharedState caches artifacts that several analyzers in one
-// RunAnalyzers invocation want to reuse (today: the call graph, which
-// both vclockcharge and lockorder need).
+// RunAnalyzers invocation want to reuse: the call graph (vclockcharge,
+// lockorder, barrierdet, errflow, lockhold) and the per-function CFGs
+// the dataflow tier walks.
 type sharedState struct {
 	graph *CallGraph
+	cfgs  map[string]*CFG
 }
 
 // CallGraph returns the static call graph over Pass.Pkgs, building it on
@@ -92,6 +94,27 @@ func (p *Pass) CallGraph() *CallGraph {
 		p.shared.graph = NewCallGraph(p.Pkgs)
 	}
 	return p.shared.graph
+}
+
+// CFG returns the control-flow graph of the declared function funcKey
+// (a call-graph key), building it on first use and caching it for the
+// rest of the run. Returns nil when the key is unknown or the function
+// has no body. Function literals are not keyed — analyzers build their
+// CFGs directly with NewCFG on the literal body.
+func (p *Pass) CFG(funcKey string) *CFG {
+	node := p.CallGraph().Nodes[funcKey]
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil
+	}
+	if p.shared.cfgs == nil {
+		p.shared.cfgs = make(map[string]*CFG)
+	}
+	if c, ok := p.shared.cfgs[funcKey]; ok {
+		return c
+	}
+	c := NewCFG(node.Decl.Body)
+	p.shared.cfgs[funcKey] = c
+	return c
 }
 
 // Diagnostic is one finding.
@@ -152,6 +175,10 @@ func All() []*Analyzer {
 		CtxPropagateAnalyzer,
 		AliasGuardAnalyzer,
 		HotAllocAnalyzer,
+		BarrierDetAnalyzer,
+		ErrFlowAnalyzer,
+		NilChargeAnalyzer,
+		LockHoldAnalyzer,
 	}
 }
 
@@ -168,6 +195,24 @@ type Session struct {
 // NewSession returns a session over pkgs with an empty artifact cache.
 func NewSession(pkgs []*Package) *Session {
 	return &Session{pkgs: pkgs, shared: &sharedState{}}
+}
+
+// Graph returns the session's cached whole-repo call graph, building it
+// on first use. It is the same graph the session's Global analyzers
+// share via Pass.CallGraph, so callers that need graph-level facts after
+// a Run (the hotalloc budget staleness check, for one) pay nothing
+// extra.
+func (s *Session) Graph() *CallGraph {
+	if s.shared.graph == nil {
+		s.shared.graph = NewCallGraph(s.pkgs)
+	}
+	return s.shared.graph
+}
+
+// Packages returns the package set the session was created over (a
+// fresh slice — appends by the caller cannot disturb the session).
+func (s *Session) Packages() []*Package {
+	return append([]*Package(nil), s.pkgs...)
 }
 
 // RunAnalyzers applies each per-package analyzer to each package and
@@ -237,8 +282,17 @@ func (s *Session) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// SortDiagnostics orders findings by position then analyzer name — the
+// stable output order of Run. Exported for callers that collect
+// diagnostics across several Run invocations (pdc-lint -timing runs one
+// analyzer at a time) and need the merged list back in canonical order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -250,7 +304,6 @@ func (s *Session) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
 // ignoreSet records which (file, line) pairs are exempt per analyzer.

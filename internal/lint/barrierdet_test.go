@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestBarrierDet(t *testing.T) {
+	linttest.Run(t, lint.BarrierDetAnalyzer, "barrierdet")
+}
+
+// TestRepoBarrierDeterminism runs barrierdet over the real tree: every
+// pooled worker must confine its effects to per-task aggregates.
+func TestRepoBarrierDeterminism(t *testing.T) {
+	requireRepoClean(t, lint.BarrierDetAnalyzer)
+}
+
+// TestBarrierDetCatchesPooledRecord pins the PR 7 regression: a direct
+// Recorder.Record inside a Pool.Map worker task must fail the lint. The
+// fixture's BadDirectRecord reproduces exactly the bug shape (cache
+// traffic recorded from pooled region tasks) that forced the rebuild
+// around per-task aggregates flushed at the barrier.
+func TestBarrierDetCatchesPooledRecord(t *testing.T) {
+	pkgs, err := lint.LoadTree("testdata/src/barrierdet", "barrierdet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.BarrierDetAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "telemetry Recorder write inside a Pool.Map worker task") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-introducing a direct Recorder.Record in a pooled task must fail barrierdet")
+	}
+}

@@ -83,6 +83,48 @@ func embeddedHotAllocBudget() []HotAllocEntry {
 	return entries
 }
 
+// HotAllocBudget returns a copy of the committed budget
+// (hotalloc_budget.json) for callers outside the analyzer — the
+// pdc-lint staleness check compares it against the live call graph.
+func HotAllocBudget() []HotAllocEntry {
+	return append([]HotAllocEntry(nil), embeddedHotAllocBudget()...)
+}
+
+// StaleHotAllocBudget returns the budget entries whose function no
+// longer exists: the entry's package is among the loaded packages, yet
+// its FuncKey resolves to no call-graph node. Renamed or deleted hot
+// functions leave such orphans behind, and an orphaned entry is a
+// silent budget leak — a future allocation in a same-named function
+// would inherit a justification written for different code. Entries
+// whose package is not loaded are not stale (running pdc-lint on a
+// package subset must not condemn the rest of the budget).
+func StaleHotAllocBudget(pkgs []*Package, g *CallGraph, budget []HotAllocEntry) []HotAllocEntry {
+	loaded := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		loaded[p.PkgPath] = true
+	}
+	var stale []HotAllocEntry
+	for _, e := range budget {
+		if loaded[funcKeyPkgPath(e.Func)] && g.Nodes[e.Func] == nil {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
+// funcKeyPkgPath extracts the package import path from a call-graph
+// FuncKey: the prefix up to the first '.' after the last '/' (package
+// paths may contain dots only before the final element; func and type
+// names cannot contain slashes).
+func funcKeyPkgPath(key string) string {
+	start := strings.LastIndexByte(key, '/') + 1
+	dot := strings.IndexByte(key[start:], '.')
+	if dot < 0 {
+		return key
+	}
+	return key[:start+dot]
+}
+
 // NewHotAllocAnalyzer builds a hotalloc analyzer over an explicit
 // budget and root set; the package-level HotAllocAnalyzer binds the
 // embedded budget. Tests use this to run fixtures under synthetic

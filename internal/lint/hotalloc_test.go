@@ -55,3 +55,39 @@ func TestHotAllocReportMatchesBudgetShape(t *testing.T) {
 		t.Error("Cold is unreachable from hot roots and must not be in the report")
 	}
 }
+
+// TestStaleHotAllocBudget checks the staleness predicate pdc-lint
+// enforces: an entry is stale exactly when its package was loaded but
+// its FuncKey resolves to no call-graph node.
+func TestStaleHotAllocBudget(t *testing.T) {
+	pkgs, err := lint.LoadTree("testdata/src/hotalloc", "hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lint.NewCallGraph(pkgs)
+	budget := []lint.HotAllocEntry{
+		// Live: the function exists in the fixture.
+		{Func: "hotalloc/exec.Engine.scan", Kind: "make", Count: 1, Reason: "live"},
+		// Stale: the package is loaded, the function is not.
+		{Func: "hotalloc/exec.Engine.renamedAway", Kind: "append", Count: 1, Reason: "orphan"},
+		// Not stale: the entry's package is outside the loaded set, so
+		// a partial run must not condemn it.
+		{Func: "pdcquery/internal/exec.Engine.Evaluate", Kind: "make", Count: 1, Reason: "unloaded"},
+	}
+	stale := lint.StaleHotAllocBudget(pkgs, g, budget)
+	if len(stale) != 1 || stale[0].Func != "hotalloc/exec.Engine.renamedAway" {
+		t.Fatalf("StaleHotAllocBudget = %+v, want exactly the orphaned entry", stale)
+	}
+}
+
+// TestRepoHotAllocBudgetFresh is the staleness gate over the real
+// tree: every entry in the committed hotalloc_budget.json must name a
+// function that still exists. Renames and deletions must prune their
+// budget lines in the same change.
+func TestRepoHotAllocBudgetFresh(t *testing.T) {
+	s := loadRepoSession(t)
+	stale := lint.StaleHotAllocBudget(s.Packages(), s.Graph(), lint.HotAllocBudget())
+	for _, e := range stale {
+		t.Errorf("hotalloc_budget.json entry %s (%s) names a function that no longer exists; delete the entry", e.Func, e.Kind)
+	}
+}

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHoldAnalyzer extends lockorder from lock *ordering* to lock
+// *hold-time* hygiene: no simio storage I/O, transport send, or
+// blocking channel send may execute on any CFG path between a Lock and
+// its releasing Unlock. Such calls under a mutex serialize the very
+// work the parallel query service exists to overlap — and a blocking
+// send under a lock is a deadlock seed (the receiver may need the same
+// lock to drain).
+//
+// The analysis is a forward may-analysis over the per-function CFG:
+// the fact is the set of locks possibly held at a program point.
+// `defer mu.Unlock()` releases at function exit, so the lock counts as
+// held for the remainder of the function — exactly the hold-time the
+// analyzer measures. A call is a sink if it is storage I/O or a
+// transport send directly, or if it reaches one transitively through
+// the call graph. Channel sends inside a `select` containing a
+// `default` clause are exempt: they cannot block.
+//
+// The simio and transport packages are themselves exempt — they are
+// the I/O layer and legitimately hold their own mutexes while moving
+// bytes; holding *engine* or *server* locks across them is the defect.
+var LockHoldAnalyzer = &Analyzer{
+	Name:   "lockhold",
+	Doc:    "forbid storage I/O, transport sends, and blocking channel sends while holding a mutex",
+	Global: true,
+	Run:    runLockHold,
+}
+
+// lockholdExemptSuffixes lists packages whose own locks guard the I/O
+// being modeled; hold-time hygiene applies to their callers.
+var lockholdExemptSuffixes = []string{
+	"internal/simio",
+	"internal/transport",
+}
+
+func runLockHold(pass *Pass) error {
+	g := pass.CallGraph()
+
+	// Pass 1: which functions perform a sink operation directly?
+	direct := make(map[string]string) // FuncKey -> sink description
+	for _, key := range g.Keys() {
+		n := g.Nodes[key]
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if _, seen := direct[key]; seen {
+				return false
+			}
+			if call, ok := node.(*ast.CallExpr); ok {
+				if d := directSinkCall(n.Pkg.Info, call); d != "" {
+					direct[key] = d
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: propagate sink-reachability up the call graph to a
+	// fixpoint, remembering one representative description per key.
+	// Static edges only: name-based dynamic dispatch would pull every
+	// `Write`-shaped interface into the storage sink set.
+	reach := make(map[string]string, len(direct))
+	for k, d := range direct {
+		reach[k] = d
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range g.Keys() {
+			if _, ok := reach[key]; ok {
+				continue
+			}
+			for _, e := range g.Nodes[key].Out {
+				if e.Dynamic {
+					continue
+				}
+				if d, ok := reach[e.CalleeKey]; ok {
+					reach[key] = d + " via " + ShortKey(e.CalleeKey)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: per function (and per function literal), run the
+	// held-locks dataflow and report sinks executed while holding.
+	for _, key := range g.Keys() {
+		n := g.Nodes[key]
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		if pass.InTestFile(n.Decl.Pos()) || lockholdExempt(n.Pkg.PkgPath) {
+			continue
+		}
+		lh := &lockholdFunc{pass: pass, node: n, key: key, reach: reach}
+		lh.check(pass.CFG(key))
+		for _, lit := range collectDeclLits(n.Decl.Body) {
+			// A literal's body runs wherever the value is called; locks
+			// held at the call site are unknown, so each literal starts
+			// from an empty held set.
+			lh.check(NewCFG(lit.Body))
+		}
+	}
+	return nil
+}
+
+func lockholdExempt(pkgPath string) bool {
+	for _, sfx := range lockholdExemptSuffixes {
+		if pkgPathHasSuffix(pkgPath, sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// heldSetLattice is a may-analysis over sets of held lock names.
+type heldSetLattice struct{}
+
+type heldSet map[string]bool
+
+var heldBottom = heldSet{"\x00bottom": true}
+
+func (heldSetLattice) Bottom() any { return heldBottom }
+
+func (heldSetLattice) Join(a, b any) any {
+	as, bs := a.(heldSet), b.(heldSet)
+	if as["\x00bottom"] {
+		return bs
+	}
+	if bs["\x00bottom"] {
+		return as
+	}
+	out := heldSet{}
+	for k := range as {
+		out[k] = true
+	}
+	for k := range bs {
+		out[k] = true
+	}
+	return out
+}
+
+func (heldSetLattice) Equal(a, b any) bool {
+	as, bs := a.(heldSet), b.(heldSet)
+	if len(as) != len(bs) {
+		return false
+	}
+	for k := range as {
+		if !bs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+type lockholdFunc struct {
+	pass     *Pass
+	node     *CallNode
+	key      string
+	reach    map[string]string
+	nonblock map[ast.Node]bool
+}
+
+func (lh *lockholdFunc) check(c *CFG) {
+	if c == nil {
+		return
+	}
+	lh.nonblock = c.NonBlock
+	transfer := func(n ast.Node, fact any) any {
+		return lh.apply(n, fact.(heldSet), nil)
+	}
+	res := c.ForwardFlow(heldSetLattice{}, heldSet{}, transfer, nil)
+	// Reporting sweep: re-simulate each reachable block from its
+	// in-fact so every sink sees the precise held set at its point.
+	for _, b := range c.Blocks {
+		in, ok := res.In[b].(heldSet)
+		if !ok || in["\x00bottom"] {
+			continue
+		}
+		fact := in
+		for _, n := range b.Nodes {
+			fact = lh.apply(n, fact, func(pos ast.Node, what, lock string) {
+				lh.pass.ReportAttributed(pos.Pos(), lh.key, nil,
+					"%s while holding %s; release the lock before I/O or sends (lockhold)",
+					what, lock)
+			})
+		}
+	}
+}
+
+// apply is the transfer function: Lock/Unlock update the held set, and
+// when report is non-nil each sink found under a non-empty held set is
+// reported. Function literal bodies are skipped (checked separately).
+func (lh *lockholdFunc) apply(n ast.Node, in heldSet, report func(pos ast.Node, what, lock string)) heldSet {
+	out := in
+	copied := false
+	set := func(lock string, held bool) {
+		if !copied {
+			c := heldSet{}
+			for k := range out {
+				c[k] = true
+			}
+			out, copied = c, true
+		}
+		if held {
+			out[lock] = true
+		} else {
+			delete(out, lock)
+		}
+	}
+	anyHeld := func() string {
+		locks := make([]string, 0, len(out))
+		for k := range out {
+			locks = append(locks, k)
+		}
+		sort.Strings(locks)
+		return strings.Join(locks, ", ")
+	}
+	info := lh.node.Pkg.Info
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at exit, not here; a deferred
+			// sink runs after the body, outside the modeled window.
+			return false
+		case *ast.SendStmt:
+			// A bare send statement blocks until a receiver is ready;
+			// sends under a select with default cannot block.
+			if report != nil && len(out) > 0 && !lh.nonblock[m] {
+				report(m, "channel send", anyHeld())
+			}
+		case *ast.CallExpr:
+			if lock, op, ok := mutexOp(info, lh.node, m); ok {
+				switch op {
+				case "Lock", "RLock":
+					set(lock, true)
+				case "Unlock", "RUnlock":
+					set(lock, false)
+				}
+				return true
+			}
+			if report == nil || len(out) == 0 {
+				return true
+			}
+			if d := directSinkCall(info, m); d != "" {
+				report(m, d, anyHeld())
+				return true
+			}
+			if key := resolveCalleeKey(info, m); key != "" && key != lh.key {
+				if d, ok := lh.reach[key]; ok {
+					report(m, d+" via "+ShortKey(key), anyHeld())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// directSinkCall reports a human-readable description when call is a
+// direct sink: simio storage I/O or a transport send.
+func directSinkCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return ""
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok {
+		return ""
+	}
+	if storeIOMethods[m.Name()] && isNamedFromPkg(s.Recv(), "Store", "simio") {
+		return "storage " + m.Name()
+	}
+	if m.Name() == "Send" && recvFromPkgSuffix(s.Recv(), "transport") {
+		return "transport Send"
+	}
+	return ""
+}
+
+// recvFromPkgSuffix reports whether the receiver type (named or
+// interface, possibly behind a pointer) is declared in a package whose
+// path ends in last.
+func recvFromPkgSuffix(t types.Type, last string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return pkgPathHasSuffix(n.Obj().Pkg().Path(), last)
+}
+
+// collectDeclLits gathers the function literals in a declared body,
+// excluding literals nested inside other literals (NewCFG on the outer
+// literal's body exposes its own Lits; here we want every literal in
+// the decl, so we walk recursively).
+func collectDeclLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestLockHold(t *testing.T) {
+	linttest.Run(t, lint.LockHoldAnalyzer, "lockhold")
+}
+
+// TestRepoLockHoldHygiene runs lockhold over the real tree: no storage
+// I/O, transport send, or blocking channel send under a mutex.
+func TestRepoLockHoldHygiene(t *testing.T) {
+	requireRepoClean(t, lint.LockHoldAnalyzer)
+}

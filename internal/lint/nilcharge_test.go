@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pdcquery/internal/lint"
+	"pdcquery/internal/lint/linttest"
+)
+
+func TestNilCharge(t *testing.T) {
+	linttest.Run(t, lint.NilChargeAnalyzer, "nilcharge")
+}
+
+// TestRepoNilCharges runs nilcharge over the real tree: accounts and
+// tokens must be provably non-nil wherever they are charged or deref'd.
+func TestRepoNilCharges(t *testing.T) {
+	requireRepoClean(t, lint.NilChargeAnalyzer)
+}

@@ -1,0 +1,142 @@
+package lint
+
+import "path/filepath"
+
+// SARIF output: the minimal, stable subset of SARIF 2.1.0 that GitHub
+// code scanning and editor SARIF viewers consume — one run, the
+// analyzer catalog as the rule table, one result per diagnostic. The
+// func/chain attribution that pdc-lint -json exposes rides along in
+// each result's property bag so SARIF consumers lose nothing relative
+// to the line-JSON mode. The exact serialized shape is pinned by the
+// golden-file test in sarif_test.go.
+
+// SARIFLog is the top-level SARIF 2.1.0 document.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation: the driver (with its rule table) and
+// the results it produced.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool wraps the driver description.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver names the tool and carries one rule per analyzer, in
+// catalog order; SARIFResult.RuleIndex indexes into Rules.
+type SARIFDriver struct {
+	Name  string      `json:"name"`
+	Rules []SARIFRule `json:"rules"`
+}
+
+// SARIFRule describes one analyzer: its name as the stable rule ID and
+// the first line of its doc as the short description.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFMessage is SARIF's string wrapper.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding. Level is always "warning": pdc-lint
+// signals severity through its exit status, not per finding.
+type SARIFResult struct {
+	RuleID     string          `json:"ruleId"`
+	RuleIndex  int             `json:"ruleIndex"`
+	Level      string          `json:"level"`
+	Message    SARIFMessage    `json:"message"`
+	Locations  []SARIFLocation `json:"locations"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+// SARIFLocation wraps the physical location of a finding.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation is a file URI plus a start position.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation holds the slash-separated file path.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is the finding's 1-based start position.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// ToSARIF converts a diagnostic list into a SARIF log. analyzers is the
+// active catalog (usually All()); every analyzer appears in the rule
+// table even when it produced no findings, so consumers can distinguish
+// "checked and clean" from "not checked". Diagnostics from analyzers
+// outside the catalog keep their ruleId but get ruleIndex -1.
+func ToSARIF(diags []Diagnostic, analyzers []*Analyzer) *SARIFLog {
+	rules := make([]SARIFRule, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = SARIFRule{ID: a.Name, ShortDescription: SARIFMessage{Text: docSummary(a.Doc)}}
+		index[a.Name] = i
+	}
+	// Keep results a non-nil empty array on a clean run: `"results": []`
+	// is what SARIF consumers expect, not a missing/null field.
+	results := make([]SARIFResult, 0, len(diags))
+	for _, d := range diags {
+		ri, ok := index[d.Analyzer]
+		if !ok {
+			ri = -1
+		}
+		res := SARIFResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ri,
+			Level:     "warning",
+			Message:   SARIFMessage{Text: d.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           SARIFRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		if d.FuncKey != "" {
+			res.Properties = map[string]any{"func": d.FuncKey}
+			if len(d.Chain) > 0 {
+				res.Properties["chain"] = d.Chain
+			}
+		}
+		results = append(results, res)
+	}
+	return &SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "pdc-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// docSummary is the first line of an analyzer doc string.
+func docSummary(doc string) string {
+	for i := 0; i < len(doc); i++ {
+		if doc[i] == '\n' {
+			return doc[:i]
+		}
+	}
+	return doc
+}

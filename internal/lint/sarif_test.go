@@ -1,0 +1,101 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdcquery/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSARIFGolden pins the serialized SARIF shape against a golden
+// file: schema/version header, rule table with indexes, warning-level
+// results with physical locations, and the func/chain property bag.
+// The diagnostics are hand-built (not produced by running fixtures) so
+// the golden file contains stable relative paths.
+func TestSARIFGolden(t *testing.T) {
+	analyzers := []*lint.Analyzer{
+		{Name: "barrierdet", Doc: "forbid telemetry and captured-state writes inside Pool.Map worker tasks\n\nLong doc."},
+		{Name: "hotalloc", Doc: "budget heap-allocation sites in functions reachable from query hot paths"},
+	}
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/exec/exec.go", Line: 42, Column: 7},
+			Analyzer: "hotalloc",
+			Message:  "hot-path make allocation exceeds budget",
+			FuncKey:  "pdcquery/internal/exec.Engine.evalRegionScan",
+			Chain: []string{
+				"pdcquery/internal/exec.Engine.Evaluate",
+				"pdcquery/internal/exec.Engine.evalRegionScan",
+			},
+		},
+		{
+			Pos:      token.Position{Filename: "internal/server/server.go", Line: 7, Column: 2},
+			Analyzer: "barrierdet",
+			Message:  "telemetry Recorder write inside a Pool.Map worker task",
+			FuncKey:  "pdcquery/internal/server.Server.handleQuery",
+		},
+		{
+			// An analyzer outside the passed catalog keeps its ruleId
+			// but cannot be indexed.
+			Pos:      token.Position{Filename: "internal/core/core.go", Line: 3, Column: 1},
+			Analyzer: "errflow",
+			Message:  "request-path error dropped",
+		},
+	}
+	got, err := json.MarshalIndent(lint.ToSARIF(diags, analyzers), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "sarif_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/lint -run TestSARIFGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output drifted from golden file:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSARIFCatalogAndCleanRun checks the properties the golden file
+// can't: the full shipped catalog becomes the rule table (checked-and-
+// clean is distinguishable from not-checked), and a clean run emits a
+// non-nil empty results array rather than null.
+func TestSARIFCatalogAndCleanRun(t *testing.T) {
+	log := lint.ToSARIF(nil, lint.All())
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != len(lint.All()) {
+		t.Fatalf("rule table has %d entries, want %d", len(rules), len(lint.All()))
+	}
+	for i, a := range lint.All() {
+		if rules[i].ID != a.Name {
+			t.Errorf("rules[%d].ID = %q, want %q", i, rules[i].ID, a.Name)
+		}
+		if rules[i].ShortDescription.Text == "" {
+			t.Errorf("rules[%d] (%s) has an empty description", i, a.Name)
+		}
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("clean run must serialize as \"results\": [], not null")
+	}
+	b, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"results":[]`)) {
+		t.Errorf("clean-run serialization lacks empty results array: %s", b)
+	}
+}

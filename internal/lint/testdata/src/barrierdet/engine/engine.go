@@ -1,0 +1,129 @@
+// Package engine exercises barrierdet: telemetry writes and captured
+// state inside Pool.Map worker tasks versus per-task shadow aggregates
+// flushed at the serial barrier.
+package engine
+
+import (
+	"barrierdet/sched"
+	"barrierdet/telemetry"
+)
+
+// Engine is the shape under test: shared telemetry handles plus a pool.
+type Engine struct {
+	Pool   *sched.Pool
+	Rec    *telemetry.Recorder
+	Reg    *telemetry.Registry
+	Phases *telemetry.PhaseTimes
+	scale  int
+}
+
+type result struct{ hits int }
+
+// note reaches both Recorder and PhaseTimes (a helper a worker may only
+// call on a neutralized clone).
+func (e *Engine) note(v int) {
+	if e.Rec != nil {
+		e.Rec.Record(2, v, 0, 0, 0, 0)
+	}
+	if e.Phases != nil {
+		e.Phases.Add(0, int64(v))
+	}
+}
+
+// eval reaches Recorder only.
+func (e *Engine) eval(i int) int {
+	if e.Rec != nil {
+		e.Rec.Record(3, i, 0, 0, 0, 0)
+	}
+	return i * e.scale
+}
+
+// BadDirectRecord is the PR 7 regression shape: a direct Recorder write
+// from a pooled task interleaves events in worker-completion order.
+func (e *Engine) BadDirectRecord(tok *sched.Token, n int) {
+	e.Pool.Map(tok, n, func(i int) {
+		e.Rec.Record(1, 0, 0, 0, 0, 0) // want `telemetry Recorder write inside a Pool\.Map worker task`
+	})
+}
+
+// BadRegistry mutates the shared counter registry from a task.
+func (e *Engine) BadRegistry(tok *sched.Token, n int) {
+	e.Pool.Map(tok, n, func(i int) {
+		e.Reg.Add("hits", 1) // want `telemetry Registry write inside a Pool\.Map worker task`
+	})
+}
+
+// BadWorkerVar resolves the worker through a local variable.
+func (e *Engine) BadWorkerVar(tok *sched.Token, n int) {
+	worker := func(i int) {
+		e.Phases.Add(1, 7) // want `telemetry PhaseTimes write inside a Pool\.Map worker task`
+	}
+	e.Pool.Map(tok, n, worker)
+}
+
+// BadCapturedWrites covers rule 2: captured scalars, fields, maps, and
+// slices written outside the per-index slot.
+func (e *Engine) BadCapturedWrites(tok *sched.Token, n int) {
+	total := 0
+	counts := map[int]int{}
+	all := make([]int, n)
+	e.Pool.Map(tok, n, func(i int) {
+		total++       // want `write to captured variable "total" inside a Pool\.Map worker task`
+		counts[0] = 1 // want `write to captured map "counts" inside a Pool\.Map worker task`
+		all[0] = 1    // want `write to captured slice "all" outside the task's index slot`
+		all[i] = 1    // the per-index slot discipline: no finding
+		e.scale = 2   // want `write to field e\.scale of captured variable`
+	})
+	_, _, _ = total, counts, all
+}
+
+// BadTransitive calls a sink-reaching helper on a clone that was never
+// neutralized.
+func (e *Engine) BadTransitive(tok *sched.Token, n int) {
+	e.Pool.Map(tok, n, func(i int) {
+		te := *e
+		te.Pool = nil
+		te.note(i) // want `reaches telemetry Recorder\+PhaseTimes without a dominating nil-out`
+	})
+}
+
+// BadConditionalNeutralize nils the handle on only one branch; the
+// analysis demands neutralization on every path to the call.
+func (e *Engine) BadConditionalNeutralize(tok *sched.Token, n int) {
+	e.Pool.Map(tok, n, func(i int) {
+		te := *e
+		te.Pool = nil
+		if i%2 == 0 {
+			te.Rec = nil
+		}
+		te.eval(i) // want `reaches telemetry Recorder without a dominating nil-out`
+	})
+}
+
+// GoodShadowClone is the blessed idiom: clone the engine, neutralize
+// its telemetry handles, accumulate into the per-index result slot, and
+// flush at the barrier.
+func (e *Engine) GoodShadowClone(tok *sched.Token, n int) {
+	results := make([]result, n)
+	e.Pool.Map(tok, n, func(i int) {
+		te := *e
+		te.Pool = nil
+		te.Rec = nil
+		te.Phases = nil
+		res := result{}
+		res.hits = te.eval(i)
+		results[i] = res
+	})
+	for _, r := range results {
+		e.Reg.Add("hits", int64(r.hits))
+		e.Rec.Record(5, r.hits, 0, 0, 0, 0)
+	}
+}
+
+// IgnoredDirect shows the escape hatch for a measured exception.
+func (e *Engine) IgnoredDirect(tok *sched.Token, n int) {
+	e.Pool.Map(tok, n, func(i int) {
+		//lint:ignore barrierdet events are idempotent here and order-checked downstream
+		e.Rec.Record(4, 0, 0, 0, 0, 0)
+	})
+}

@@ -1,0 +1,18 @@
+// Package sched mirrors internal/sched's Pool surface for the fixture:
+// the analyzer matches Pool.Map by name and package path suffix.
+package sched
+
+// Token carries cancellation state.
+type Token struct{ err error }
+
+// Pool runs tasks on worker goroutines.
+type Pool struct{ workers int }
+
+// Map runs fn(i) for i in [0, n) across the pool and returns after all
+// tasks complete (the serial barrier).
+func (p *Pool) Map(t *Token, n int, fn func(i int)) error {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	return nil
+}

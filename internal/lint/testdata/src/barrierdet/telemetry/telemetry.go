@@ -1,0 +1,38 @@
+// Package telemetry mirrors internal/telemetry's mutator surface: the
+// analyzer matches Recorder.Record, the Registry mutators, and
+// PhaseTimes.Add by receiver type and package path suffix.
+package telemetry
+
+// Recorder appends events to a shared ring.
+type Recorder struct{ n int }
+
+// Record appends one event.
+func (r *Recorder) Record(ev, a, b, c, d, e int) { r.n++ }
+
+// Registry aggregates named counters.
+type Registry struct{ counters map[string]int64 }
+
+// Add increments a counter.
+func (g *Registry) Add(name string, v int64) { g.counters[name] += v }
+
+// SetGauge stores a gauge sample.
+func (g *Registry) SetGauge(name string, v int64) { g.counters[name] = v }
+
+// Observe records a distribution sample.
+func (g *Registry) Observe(name string, v int64) { g.counters[name] += v }
+
+// AddCounters merges a counter delta map.
+func (g *Registry) AddCounters(o map[string]int64) {
+	for k, v := range o {
+		g.counters[k] += v
+	}
+}
+
+// Merge folds another registry in.
+func (g *Registry) Merge(o *Registry) { g.AddCounters(o.counters) }
+
+// PhaseTimes accumulates per-phase latency.
+type PhaseTimes struct{ t [4]int64 }
+
+// Add charges d to a phase.
+func (p *PhaseTimes) Add(phase int, d int64) { p.t[phase] += d }

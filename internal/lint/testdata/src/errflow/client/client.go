@@ -1,0 +1,122 @@
+// Package client exercises errflow on a request-path root package:
+// every exported function here is an analysis root.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"errflow/transport"
+)
+
+// Client fans requests over connections.
+type Client struct {
+	conns []transport.Conn
+}
+
+func (c *Client) note(err error) {}
+
+func (c *Client) probe() error { return nil }
+
+// BadDrop silently discards a teardown error.
+func (c *Client) BadDrop() {
+	for _, conn := range c.conns {
+		conn.Close() // want `error result of Close dropped`
+	}
+}
+
+// BadDropInRepo drops an error produced by in-repo code.
+func (c *Client) BadDropInRepo() {
+	c.probe() // want `error result of probe dropped`
+}
+
+// GoodExplicitDiscard is visible intent.
+func (c *Client) GoodExplicitDiscard() {
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+}
+
+// GoodJoin propagates every close error.
+func (c *Client) GoodJoin() error {
+	var errs []error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// GoodOutOfRepoNonTeardown: a dropped fmt error is not request-path.
+func (c *Client) GoodOutOfRepoNonTeardown() {
+	fmt.Println("status")
+}
+
+// BadShadow overwrites the first Recv error before anything reads it.
+func (c *Client) BadShadow() ([]byte, error) {
+	var m transport.Message
+	var err error
+	m, err = c.conns[0].Recv() // want `error assigned to "err" is rewritten or lost`
+	m, err = c.conns[1].Recv()
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// BadLoopShadow keeps only the final iteration's error.
+func (c *Client) BadLoopShadow() error {
+	var err error
+	for _, conn := range c.conns {
+		_, err = conn.Recv() // want `error assigned to "err" is rewritten or lost`
+	}
+	return err
+}
+
+// GoodCheckEach checks before the next overwrite.
+func (c *Client) GoodCheckEach() error {
+	for _, conn := range c.conns {
+		if _, err := conn.Recv(); err != nil {
+			return fmt.Errorf("recv: %w", err)
+		}
+	}
+	return nil
+}
+
+// GoodNamedResult: a bare return reads the named error result.
+func (c *Client) GoodNamedResult() (err error) {
+	_, err = c.conns[0].Recv()
+	return
+}
+
+// GoodDeferRead: the deferred closure consumes the error at exit.
+func (c *Client) GoodDeferRead() {
+	var err error
+	defer func() {
+		if err != nil {
+			c.note(err)
+		}
+	}()
+	_, err = c.conns[0].Recv()
+}
+
+// GoodCapturedWalk writes a captured error inside a closure; the value
+// escapes the literal's frame and is read by the enclosing return.
+func (c *Client) GoodCapturedWalk() error {
+	var bad error
+	walk := func(i int) {
+		if i > len(c.conns) {
+			bad = fmt.Errorf("conn %d out of range", i)
+		}
+	}
+	walk(0)
+	walk(1)
+	return bad
+}
+
+// IgnoredDrop documents the suppression.
+func (c *Client) IgnoredDrop() {
+	//lint:ignore errflow teardown race is benign: the conn is already dead
+	c.conns[0].Close()
+}

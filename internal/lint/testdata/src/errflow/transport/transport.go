@@ -1,0 +1,13 @@
+// Package transport supplies the conn surface the errflow fixture's
+// client closes and reads from.
+package transport
+
+// Message is one frame.
+type Message struct{ Payload []byte }
+
+// Conn is the message transport.
+type Conn interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}

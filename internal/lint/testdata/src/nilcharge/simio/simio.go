@@ -1,0 +1,17 @@
+// Package simio mirrors internal/simio's Store: ReadAll takes the
+// account to charge, and guards a nil one itself.
+package simio
+
+import "nilcharge/vclock"
+
+// Store is the storage backend.
+type Store struct{ data map[uint64][]byte }
+
+// ReadAll reads a whole object, charging the account when present.
+func (s *Store) ReadAll(a *vclock.Account, key uint64) []byte {
+	b := s.data[key]
+	if a != nil {
+		a.Charge(int64(len(b)))
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+// Package vclock mirrors internal/vclock's Account surface: no method
+// guards a nil receiver, so every call requires a proven-non-nil path.
+package vclock
+
+// Account accumulates virtual cost.
+type Account struct{ total int64 }
+
+// NewAccount allocates a fresh account.
+func NewAccount() *Account { return &Account{} }
+
+// Charge adds n.
+func (a *Account) Charge(n int64) { a.total += n }
+
+// Total reads the sum.
+func (a *Account) Total() int64 { return a.total }

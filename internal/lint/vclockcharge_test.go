@@ -66,13 +66,13 @@ func requireRepoClean(t *testing.T, a *lint.Analyzer) {
 	}
 }
 
-// TestRepoCleanAllAnalyzers is the ten-analyzer gate: the full
+// TestRepoCleanAllAnalyzers is the fourteen-analyzer gate: the full
 // catalog must pass over the production tree, matching what make lint
 // and CI enforce.
 func TestRepoCleanAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) != 10 {
-		t.Fatalf("analyzer catalog has %d entries, want 10", len(all))
+	if len(all) != 14 {
+		t.Fatalf("analyzer catalog has %d entries, want 14", len(all))
 	}
 	diags, err := loadRepoSession(t).Run(all)
 	if err != nil {
