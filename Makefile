@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test cover race fuzz stress chaos bench bench-diff bench-seed bench-smoke debug-smoke hotalloc-report figures verify examples clean
+.PHONY: all build lint test cover race fuzz stress chaos bench bench-diff bench-seed bench-smoke debug-smoke cluster-smoke cluster-test hotalloc-report figures verify examples clean
 
 all: build lint test
 
@@ -57,9 +57,10 @@ stress:
 # recovery or surfaces as a typed error. A failing seed replays exactly;
 # pin it in internal/fault/corpus_test.go.
 CHAOS_SEEDS ?= 64
+CLUSTER_SEEDS ?= 32
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestCorpus' \
-		./internal/fault/ -chaos-seeds $(CHAOS_SEEDS)
+	$(GO) test -race -count=1 -run 'TestChaos|TestCorpus|TestClusterChaos' \
+		./internal/fault/ -chaos-seeds $(CHAOS_SEEDS) -cluster-seeds $(CLUSTER_SEEDS)
 
 # Short fuzz smoke on the serialization-heavy packages; CI runs this.
 FUZZTIME ?= 20s
@@ -92,6 +93,20 @@ bench-smoke: bench-diff
 debug-smoke:
 	$(GO) build -o bin/pdc-server ./cmd/pdc-server
 	$(GO) run ./cmd/pdc-debugsmoke -server bin/pdc-server
+
+# Distributed smoke: boot a real pdc-server catalog plus three member
+# processes over TCP, import with R=2 replication, answer the corpus
+# byte-identically to the brute-force oracle through a mid-corpus
+# SIGKILL and a replacement join, then strictly parse every process's
+# /metrics. Exercises the whole multi-process path end to end.
+cluster-smoke:
+	$(GO) build -o bin/pdc-server ./cmd/pdc-server
+	$(GO) run ./cmd/pdc-clustersmoke -server bin/pdc-server
+
+# Multi-process cluster tests (process spawn + drain) outside -short.
+cluster-test:
+	$(GO) test -race -count=1 -run 'TestProcess' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestCluster|TestCatalog|TestPlacement' ./internal/cluster/
 
 # Regenerate the hot-path allocation census (the shape the committed
 # internal/lint/hotalloc_budget.json entries are drawn from).

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, ablations, concurrent, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, ablations, concurrent, scaleout, or all (scaleout only by name)")
 	flag.IntVar(&cfg.LogN, "logn", cfg.LogN, "VPIC scale: 2^logn particles")
 	flag.IntVar(&cfg.Servers, "servers", cfg.Servers, "PDC server count for Figs. 3-5")
 	flag.IntVar(&cfg.BOSSObjects, "boss", cfg.BOSSObjects, "BOSS object count for Fig. 5")
@@ -94,6 +94,20 @@ func main() {
 		ran = true
 	})
 	run("ablations", func() { fail(bench.Ablations(os.Stdout, cfg)); ran = true })
+	// The scale-out figure boots real clusters (catalog + members), so it
+	// runs only when asked for by name, not under "all".
+	if *fig == "scaleout" {
+		rows, err := bench.ScaleoutRun(cfg)
+		fail(err)
+		bench.ScaleoutPrint(os.Stdout, rows)
+		writeCSV("scaleout.csv", func(w io.Writer) { bench.ScaleoutCSV(w, rows) })
+		f, err := os.Create("BENCH_scaleout.json")
+		fail(err)
+		fail(bench.ScaleoutJSON(f, rows))
+		fail(f.Close())
+		fmt.Fprintln(os.Stderr, "pdc-bench: wrote BENCH_scaleout.json")
+		ran = true
+	}
 	run("concurrent", func() {
 		rows, err := bench.ConcurrentRun(cfg)
 		fail(err)
@@ -107,7 +121,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, concurrent, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, concurrent, scaleout, or all)\n", *fig)
 		os.Exit(2)
 	}
 }

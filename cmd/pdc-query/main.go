@@ -6,6 +6,12 @@
 //	          -query "Energy > 2.0 and 100 < x and x < 200" \
 //	          -data Energy -limit 10
 //
+// Against a cluster deployment (pdc-server -catalog / -join), pass the
+// catalog instead of a server list; the committed view supplies the
+// members and the query is stamped with the placement epoch:
+//
+//	pdc-query -catalog 127.0.0.1:7000 -query "Energy > 2.0"
+//
 // Subcommands:
 //
 //	pdc-query trace -servers ... -query "..."   run the query traced and
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"pdcquery/internal/client"
+	"pdcquery/internal/cluster"
 	"pdcquery/internal/dtype"
 	"pdcquery/internal/object"
 	"pdcquery/internal/query"
@@ -45,6 +52,7 @@ func main() {
 		args = args[1:]
 	}
 	servers := flag.String("servers", "127.0.0.1:7100", "comma-separated server addresses")
+	catalog := flag.String("catalog", "", "cluster mode: resolve the serving members from this catalog address instead of -servers")
 	qstr := flag.String("query", "", "query text, e.g. \"Energy > 2.0 and x < 200\"")
 	dataObj := flag.String("data", "", "also fetch the matching values of this object")
 	limit := flag.Int("limit", 10, "print at most this many matches")
@@ -57,16 +65,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	var conns []transport.Conn
-	for _, addr := range strings.Split(*servers, ",") {
-		conn, err := transport.Dial(strings.TrimSpace(addr))
+	var cli *client.Client
+	if *catalog != "" {
+		// Cluster mode: the catalog hands us the committed view and the
+		// metadata snapshot; the session builds an epoch-stamped client
+		// routed by placement.
+		sess, err := cluster.DialSession(cluster.SessionOptions{
+			Net:         cluster.TCPNetwork{},
+			CatalogAddr: *catalog,
+			CallTimeout: 30 * time.Second,
+			RetryWait:   50 * time.Millisecond,
+			Sleeper:     telemetry.WallSleep,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		conns = append(conns, conn)
+		defer sess.Close()
+		if cli, err = sess.Client(); err != nil {
+			fatal(err)
+		}
+	} else {
+		var conns []transport.Conn
+		for _, addr := range strings.Split(*servers, ",") {
+			conn, err := transport.Dial(strings.TrimSpace(addr))
+			if err != nil {
+				fatal(err)
+			}
+			conns = append(conns, conn)
+		}
+		cli = client.New(conns, nil)
+		defer cli.Close()
 	}
-	cli := client.New(conns, nil)
-	defer cli.Close()
 
 	if mode == "stats" {
 		perServer, merged, err := cli.ServerStats()
@@ -195,7 +224,17 @@ func printTop(perServer []*telemetry.Registry, merged *telemetry.Registry) {
 	}
 	fmt.Printf("cache: %d hits / %d misses (%.1f%% hit), %d evictions\n",
 		hits, misses, rate, merged.Counter("cache.evictions"))
-	fmt.Printf("flight recorder: %d events recorded fleet-wide\n\n", merged.Counter("recorder.events"))
+	fmt.Printf("flight recorder: %d events recorded fleet-wide\n", merged.Counter("recorder.events"))
+	// Cluster deployments carry membership/rebalance telemetry; the
+	// section only appears when the fleet reports a placement epoch.
+	if epoch := merged.Gauge("cluster.epoch"); epoch > 0 {
+		fmt.Printf("cluster: epoch %.0f; %d transfers (%d bytes, %d errors), %d failover regions promoted\n",
+			epoch, merged.Counter("cluster.transfers"), merged.Counter("cluster.transfer.bytes"),
+			merged.Counter("cluster.transfer.errors"), merged.Counter("cluster.failover.regions"))
+		fmt.Printf("ingest: %d extents (%d bytes), %d meta snapshots\n",
+			merged.Counter("ingest.extents"), merged.Counter("ingest.bytes"), merged.Counter("ingest.meta"))
+	}
+	fmt.Println()
 
 	fmt.Printf("%-28s %8s %12s %12s %12s %12s\n", "latency", "count", "p50", "p95", "p99", "mean")
 	for _, name := range merged.DistNames() {

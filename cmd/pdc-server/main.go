@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
 	"pdcquery/internal/core"
 	"pdcquery/internal/exec"
@@ -53,12 +54,29 @@ func main() {
 	queueDepth := flag.Int("queue-depth", server.DefaultQueueDepth, "admitted requests per session before the server answers busy")
 	checkpoint := flag.String("checkpoint", "", "write a deployment checkpoint here after startup (the persistence a crashed rank is restarted from via -load)")
 	crashAfter := flag.Uint64("crash-after", 0, "fault injection: exit(3) abruptly after serving this many queries (0 disables)")
+	catalogMode := flag.Bool("catalog", false, "run the cluster catalog service instead of a data server")
+	join := flag.String("join", "", "join the cluster at this catalog address as a data member (starts empty; import through the catalog)")
+	clusterR := flag.Int("cluster-r", 2, "catalog mode: replication factor for placements")
+	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "member mode: heartbeat interval (0 disables)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 2*time.Second, "catalog mode: declare a member down after this long without a beat (0 disables)")
 	flag.Parse()
 
 	strat, err := exec.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdc-server:", err)
 		os.Exit(2)
+	}
+	if *catalogMode && *join != "" {
+		fmt.Fprintln(os.Stderr, "pdc-server: -catalog and -join are mutually exclusive")
+		os.Exit(2)
+	}
+	if *catalogMode {
+		runCatalog(*addr, *seed, *clusterR, *heartbeatTimeout, *metricsAddr, *recorderEvents)
+		return
+	}
+	if *join != "" {
+		runMember(*join, *addr, strat, *workers, *queueDepth, *heartbeat, *metricsAddr, *recorderEvents, *queryLog)
+		return
 	}
 	if *id < 0 || *id >= *n {
 		fmt.Fprintln(os.Stderr, "pdc-server: id must be in [0, n)")

@@ -119,6 +119,15 @@ type Client struct {
 	// busyRetries is the per-server MsgBusy retry budget (default
 	// busyMaxRetries; SetBusyRetries overrides).
 	busyRetries int
+	// epoch, when useEpoch is set, stamps every query request with the
+	// placement epoch (cluster mode): servers reject mismatches so a
+	// query never spans two placements.
+	epoch    uint64
+	useEpoch bool
+	// router, when set, overrides the static region→server mapping for
+	// get-data requests (cluster mode routes each region to its
+	// placement primary instead of region mod N).
+	router func(o *object.Object, region int) int
 	budget      time.Duration // virtual-time deadline stamped on requests; 0 = none
 	wg          sync.WaitGroup
 	closed      bool
@@ -238,6 +247,27 @@ func (c *Client) SetRedial(redial func(srv int) (transport.Conn, error)) {
 func (c *Client) SetCallTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.callTimeout = d
+	c.mu.Unlock()
+}
+
+// SetEpoch stamps every subsequent query request with a placement epoch
+// (cluster mode). Servers compare it against their installed view and
+// answer an epoch mismatch error when a rebalance moved placement under
+// the client — the cluster session refreshes its view and retries.
+func (c *Client) SetEpoch(epoch uint64) {
+	c.mu.Lock()
+	c.epoch = epoch
+	c.useEpoch = true
+	c.mu.Unlock()
+}
+
+// SetRouter overrides the static region→server mapping used to group
+// get-data coordinates (cluster mode: each region is asked from its
+// placement primary). The function maps (object, region index) to a
+// connection rank.
+func (c *Client) SetRouter(router func(o *object.Object, region int) int) {
+	c.mu.Lock()
+	c.router = router
 	c.mu.Unlock()
 }
 
@@ -656,7 +686,15 @@ func (c *Client) run(ctx context.Context, q *query.Query, flags byte) (*QueryRes
 			return nil, err
 		}
 	}
-	payload := server.EncodeQueryRequest(flags, q.Encode())
+	c.mu.Lock()
+	useEpoch, epoch := c.useEpoch, c.epoch
+	c.mu.Unlock()
+	var payload []byte
+	if useEpoch {
+		payload = server.EncodeQueryRequestEpoch(flags, epoch, q.Encode())
+	} else {
+		payload = server.EncodeQueryRequest(flags, q.Encode())
+	}
 	reqID, msgs, busyWait, err := c.broadcastCtx(ctx, server.MsgQuery, func(int) []byte { return payload })
 	if err != nil {
 		return nil, err
@@ -842,7 +880,11 @@ func (r *QueryResult) GetDataBatch(obj object.ID, batchSize uint64, fn func(batc
 		// r mod N, the same mapping the servers derive).
 		groups := make([][]uint64, n)
 		for _, coord := range batch.Coords {
-			srv := o.RegionOfLinear(coord) % n
+			region := o.RegionOfLinear(coord)
+			srv := region % n
+			if r.client.router != nil {
+				srv = r.client.router(o, region)
+			}
 			groups[srv] = append(groups[srv], coord)
 		}
 		_, msgs, busyWait, err := r.client.broadcast(server.MsgGetData, func(i int) []byte {

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+
+	"pdcquery/internal/telemetry"
+	"pdcquery/internal/transport"
+)
+
+// stepClock is a test clock the test advances by hand.
+type stepClock struct{ ns int64 }
+
+func (c *stepClock) Now() int64 { return c.ns }
+
+// fakeMember joins the catalog over a pipe and acks every Prepare, like
+// a real member that never has extents to pull.
+type fakeMember struct {
+	id   MemberID
+	conn transport.Conn
+	done chan struct{}
+}
+
+func joinFake(t *testing.T, cat *Catalog, addr string) *fakeMember {
+	t.Helper()
+	local, remote := transport.Pipe()
+	go cat.ServeConn(remote)
+	if err := local.Send(transport.Message{Type: MsgCatHello, ReqID: 1, Payload: EncodeHello(addr)}); err != nil {
+		t.Fatalf("hello send: %v", err)
+	}
+	reply, err := local.Recv()
+	if err != nil {
+		t.Fatalf("hello recv: %v", err)
+	}
+	if reply.Type != MsgCatHelloResult {
+		t.Fatalf("hello reply = %s, want hello_result", CatMsgName(reply.Type))
+	}
+	hr, err := DecodeHelloResult(reply.Payload)
+	if err != nil {
+		t.Fatalf("decode hello result: %v", err)
+	}
+	f := &fakeMember{id: hr.ID, conn: local, done: make(chan struct{})}
+	go f.loop()
+	t.Cleanup(func() { _ = local.Close(); <-f.done })
+	return f
+}
+
+// loop acks Prepares so rebalances commit; Commits need no reply.
+func (f *fakeMember) loop() {
+	defer close(f.done)
+	for {
+		m, err := f.conn.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type == MsgCatPrepare {
+			p, perr := DecodePrepare(m.Payload)
+			if perr != nil {
+				return
+			}
+			_ = f.conn.Send(transport.Message{Type: MsgCatReady, Payload: EncodeReady(f.id, p.Pending.Epoch)})
+		}
+	}
+}
+
+func (f *fakeMember) beat() error {
+	return f.conn.Send(transport.Message{Type: MsgCatHeartbeat, Payload: EncodeMemberID(f.id)})
+}
+
+func waitView(t *testing.T, cat *Catalog, n int) View {
+	t.Helper()
+	for i := 0; i < 25000; i++ {
+		v := cat.CommittedView()
+		if len(v.Members) == n {
+			return v
+		}
+		telemetry.WallSleep.Sleep(waitPoll)
+	}
+	v := cat.CommittedView()
+	t.Fatalf("view has %d members, want %d", len(v.Members), n)
+	return v
+}
+
+func TestCatalogHeartbeatExpiry(t *testing.T) {
+	clk := &stepClock{}
+	cat := NewCatalog(CatalogConfig{Seed: 7, R: 2, Clock: clk, HeartbeatTimeoutNs: 100})
+	defer cat.Close()
+
+	a := joinFake(t, cat, "fake:a")
+	joinFake(t, cat, "fake:b")
+	waitView(t, cat, 2)
+
+	// Member a keeps beating; b goes silent. Advance the clock past the
+	// timeout: the sweep must expire exactly b and commit a one-member
+	// view (a was a replica for every region, so promotion needs no
+	// data movement — stateDown members are simply dropped).
+	clk.ns = 80
+	if err := a.beat(); err != nil {
+		t.Fatalf("beat: %v", err)
+	}
+	// The beat is handled asynchronously; wait for it to land before
+	// sweeping, or a could expire too.
+	for i := 0; i < 25000 && cat.Metrics().Counter("cluster.heartbeats") == 0; i++ {
+		telemetry.WallSleep.Sleep(waitPoll)
+	}
+	clk.ns = 150
+	cat.CheckExpiry(clk.ns)
+	v := waitView(t, cat, 1)
+	if v.Members[0].ID != a.id {
+		t.Fatalf("survivor = %d, want %d", v.Members[0].ID, a.id)
+	}
+	if got := cat.Metrics().Counter("cluster.heartbeat.misses"); got != 1 {
+		t.Errorf("cluster.heartbeat.misses = %d, want 1", got)
+	}
+	if got := cat.Metrics().Counter("cluster.member.down"); got != 1 {
+		t.Errorf("cluster.member.down = %d, want 1", got)
+	}
+
+	// Sweeping again at the same instant is a no-op: a beat at 80.
+	cat.CheckExpiry(clk.ns)
+	if got := len(cat.CommittedView().Members); got != 1 {
+		t.Fatalf("second sweep removed the live member (view has %d)", got)
+	}
+}
+
+func TestCatalogExpiryDisabled(t *testing.T) {
+	// HeartbeatTimeoutNs = 0 (the deterministic default): members never
+	// expire no matter how far the sweep time advances.
+	cat := NewCatalog(CatalogConfig{Seed: 7, R: 2})
+	defer cat.Close()
+	joinFake(t, cat, "fake:a")
+	waitView(t, cat, 1)
+	cat.CheckExpiry(1 << 60)
+	if got := len(cat.CommittedView().Members); got != 1 {
+		t.Fatalf("expiry ran with timeout disabled (view has %d)", got)
+	}
+}
+
+func TestCatalogReport(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{Seed: 7, R: 2})
+	defer cat.Close()
+	a := joinFake(t, cat, "fake:a")
+	b := joinFake(t, cat, "fake:b")
+	waitView(t, cat, 2)
+
+	// A client report is the fast path to failover: no clock involved.
+	local, remote := transport.Pipe()
+	go cat.ServeConn(remote)
+	defer func() { _ = local.Close() }()
+	if err := local.Send(transport.Message{Type: MsgCatReport, Payload: EncodeMemberID(b.id)}); err != nil {
+		t.Fatalf("report send: %v", err)
+	}
+	if _, err := local.Recv(); err != nil {
+		t.Fatalf("report recv: %v", err)
+	}
+	v := waitView(t, cat, 1)
+	if v.Members[0].ID != a.id {
+		t.Fatalf("survivor = %d, want %d", v.Members[0].ID, a.id)
+	}
+}

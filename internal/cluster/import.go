@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/server"
+	"pdcquery/internal/simio"
+	"pdcquery/internal/transport"
+	"pdcquery/internal/vclock"
+)
+
+// Source is where an import reads from: any holder of a metadata
+// service and a store with the standard extent layout. core.Deployment
+// satisfies it, so a locally imported dataset (which doubles as the
+// brute-force oracle) pushes straight into a cluster.
+type Source interface {
+	Meta() *metadata.Service
+	Store() *simio.Store
+}
+
+// Import publishes a source's dataset into the cluster: the metadata
+// snapshot goes to the catalog and every serving member, then each
+// region's extents (data + index) are written to all R placement
+// owners. Replication happens here, at import — failover later needs no
+// data movement.
+func (s *Session) Import(src Source) error {
+	snap, err := src.Meta().Snapshot()
+	if err != nil {
+		return err
+	}
+	reply, err := s.catCall(MsgCatImport, snap)
+	if err != nil {
+		return err
+	}
+	if reply.Type != MsgCatCommit {
+		return fmt.Errorf("cluster: unexpected import reply %s", CatMsgName(reply.Type))
+	}
+	v, _, err := DecodeView(reply.Payload)
+	if err != nil {
+		return err
+	}
+	if len(v.Members) == 0 {
+		return fmt.Errorf("cluster: no serving members to import into")
+	}
+	place := NewPlacement(v)
+
+	conns := make(map[MemberID]transport.Conn, len(v.Members))
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	for _, mi := range v.Members {
+		conn, err := s.net.Dial(mi.Addr)
+		if err != nil {
+			return fmt.Errorf("cluster: import dial member %d: %w", mi.ID, err)
+		}
+		conns[mi.ID] = conn
+	}
+
+	// Step 1: every member gets the metadata snapshot.
+	for _, mi := range v.Members {
+		if err := importCall(conns[mi.ID], server.MsgPutMeta, snap); err != nil {
+			return fmt.Errorf("cluster: put meta to member %d: %w", mi.ID, err)
+		}
+	}
+
+	// Step 2: each region's extents go to its R owners (primary first).
+	acct := vclock.NewAccount()
+	for _, o := range src.Meta().Objects() {
+		for i := range o.Regions {
+			rm := &o.Regions[i]
+			keys := make([]string, 0, 2)
+			if rm.ExtentKey != "" {
+				keys = append(keys, rm.ExtentKey)
+			}
+			if rm.IndexKey != "" {
+				keys = append(keys, rm.IndexKey)
+			}
+			owners := place.OwnerIDs(o.ID, i)
+			for _, key := range keys {
+				data, err := src.Store().ReadAll(acct, key)
+				if err != nil {
+					return fmt.Errorf("cluster: import read %s: %w", key, err)
+				}
+				payload := server.EncodePutExtent(key, data)
+				for _, owner := range owners {
+					if err := importCall(conns[owner], server.MsgPutExtent, payload); err != nil {
+						return fmt.Errorf("cluster: put extent %s to member %d: %w", key, owner, err)
+					}
+				}
+			}
+		}
+	}
+	s.Invalidate()
+	return nil
+}
+
+// importCall is one synchronous request/ack on a member connection
+// (single outstanding request, so replies need no demultiplexing).
+func importCall(conn transport.Conn, msgType byte, payload []byte) error {
+	if err := conn.Send(transport.Message{Type: msgType, ReqID: 1, Payload: payload}); err != nil {
+		return err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	switch reply.Type {
+	case server.MsgOK:
+		return nil
+	case server.MsgError:
+		return fmt.Errorf("%s", reply.Payload)
+	default:
+		return fmt.Errorf("unexpected reply %s", server.MsgName(reply.Type))
+	}
+}
+
+// Verify checks every serving member holds all extents placement
+// assigns it (tests and the smoke tool call this after imports and
+// rebalances). It reports the first hole found.
+func (s *Session) Verify(src Source) error {
+	v, err := s.View()
+	if err != nil {
+		return err
+	}
+	place := NewPlacement(v)
+	for _, mi := range v.Members {
+		conn, err := s.net.Dial(mi.Addr)
+		if err != nil {
+			return fmt.Errorf("cluster: verify dial member %d: %w", mi.ID, err)
+		}
+		var keys []string
+		for _, o := range src.Meta().Objects() {
+			for i := range o.Regions {
+				if !place.Owns(mi.ID, o.ID, i) {
+					continue
+				}
+				rm := &o.Regions[i]
+				if rm.ExtentKey != "" {
+					keys = append(keys, rm.ExtentKey)
+				}
+				if rm.IndexKey != "" {
+					keys = append(keys, rm.IndexKey)
+				}
+			}
+		}
+		holes, err := fetchPresence(conn, keys)
+		_ = conn.Close()
+		if err != nil {
+			return fmt.Errorf("cluster: verify member %d: %w", mi.ID, err)
+		}
+		if len(holes) > 0 {
+			return fmt.Errorf("cluster: member %d missing %d extents (first: %s)", mi.ID, len(holes), holes[0])
+		}
+	}
+	return nil
+}
+
+// fetchPresence asks a member for the given keys and returns the ones
+// it lacks.
+func fetchPresence(conn transport.Conn, keys []string) ([]string, error) {
+	var holes []string
+	for start := 0; start < len(keys); start += transferBatch {
+		end := start + transferBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		if err := conn.Send(transport.Message{Type: server.MsgFetchExtents, ReqID: 1, Payload: server.EncodeFetchExtents(keys[start:end])}); err != nil {
+			return nil, err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if reply.Type != server.MsgExtentsResult {
+			return nil, fmt.Errorf("unexpected reply %s", server.MsgName(reply.Type))
+		}
+		exts, err := server.DecodeExtentsResult(reply.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range exts {
+			if !e.Present {
+				holes = append(holes, e.Key)
+			}
+		}
+	}
+	return holes, nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"pdcquery/internal/transport"
+)
+
+// Network abstracts dialing and listening so the same member and
+// session code runs over real TCP (process deployments) and in-process
+// pipes (the Local harness used by deterministic tests and chaos).
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (transport.Conn, error)
+}
+
+// Listener accepts member or catalog connections.
+type Listener interface {
+	Accept() (transport.Conn, error)
+	Addr() string
+	Close() error
+}
+
+// TCPNetwork is the production Network: real sockets.
+type TCPNetwork struct{}
+
+type tcpListener struct{ l *transport.Listener }
+
+func (t tcpListener) Accept() (transport.Conn, error) { return t.l.Accept() }
+func (t tcpListener) Addr() string                    { return t.l.Addr() }
+func (t tcpListener) Close() error                    { return t.l.Close() }
+
+// Listen binds a TCP listener ("127.0.0.1:0" picks a free port).
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{l}, nil
+}
+
+// Dial connects to a TCP peer.
+func (TCPNetwork) Dial(addr string) (transport.Conn, error) { return transport.Dial(addr) }
+
+// LocalNetwork is an in-process Network over transport.Pipe: a name
+// registry of listeners. It gives cluster tests real message framing
+// and real concurrency with no sockets or processes.
+type LocalNetwork struct {
+	mu        sync.Mutex
+	next      int
+	listeners map[string]*localListener
+}
+
+// NewLocalNetwork returns an empty in-process network.
+func NewLocalNetwork() *LocalNetwork {
+	return &LocalNetwork{listeners: make(map[string]*localListener)}
+}
+
+type localListener struct {
+	addr   string
+	net    *LocalNetwork
+	accept chan transport.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *localListener) Accept() (transport.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("cluster: listener %s closed", l.addr)
+	}
+}
+
+func (l *localListener) Addr() string { return l.addr }
+
+func (l *localListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Listen registers a named endpoint; an empty addr is auto-assigned.
+func (n *LocalNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		addr = fmt.Sprintf("local:%d", n.next)
+		n.next++
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("cluster: address %s in use", addr)
+	}
+	l := &localListener{
+		addr:   addr,
+		net:    n,
+		accept: make(chan transport.Conn, 16),
+		closed: make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a registered endpoint with a fresh pipe pair.
+func (n *LocalNetwork) Dial(addr string) (transport.Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[addr]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("cluster: dial %s: connection refused", addr)
+	}
+	server, client := transport.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("cluster: dial %s: connection refused", addr)
+	}
+}

@@ -1,0 +1,212 @@
+// Package cluster is the distributed-deployment subsystem: N independent
+// pdc-server processes over the TCP transport, coordinated by a catalog
+// service that owns object/region→server placement.
+//
+// Placement is deterministic consistent hashing: the catalog publishes a
+// View (epoch, seed, replication factor, member list) and every party —
+// catalog, servers, clients — derives the identical region→owner map
+// from it as a pure function. Membership changes produce a new View with
+// a higher epoch; queries are stamped with the client's epoch and
+// rejected on mismatch, so a query is never evaluated under two
+// different placements at once (which could double- or zero-count
+// regions).
+//
+// Replication: each region has R owners (primary + replicas) — imports
+// write extents to all of them, queries are answered by the primary
+// only, and when a member dies the consistent-hash walk promotes the
+// next surviving owner without data movement.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pdcquery/internal/object"
+)
+
+// MemberID identifies one cluster member (a pdc-server process). IDs are
+// assigned by the catalog at join and never reused within a catalog's
+// lifetime.
+type MemberID int32
+
+// MemberInfo is one serving member of a committed view.
+type MemberInfo struct {
+	ID   MemberID
+	Addr string
+}
+
+// View is a committed placement epoch: the serving member set plus the
+// parameters of the consistent-hash ring. Everything needed to compute
+// region ownership is in the View, so the catalog ships member lists,
+// not placement maps.
+type View struct {
+	// Epoch increases with every committed membership change. Queries
+	// carry the client's epoch; servers reject mismatches.
+	Epoch uint64
+	// Seed parameterizes the hash ring, making placements reproducible:
+	// the same seed and member set always yield the same map.
+	Seed uint64
+	// R is the replication factor (owners per region, primary first).
+	R int
+	// Members are the serving members, sorted by ID.
+	Members []MemberInfo
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	out := v
+	out.Members = append([]MemberInfo(nil), v.Members...)
+	return out
+}
+
+// Member returns the member with the given ID, if present.
+func (v View) Member(id MemberID) (MemberInfo, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return MemberInfo{}, false
+}
+
+// vnodesPerMember is the number of ring points each member contributes.
+// More points smooth the load split and shrink the movement caused by a
+// membership change toward the ideal 1/N.
+const vnodesPerMember = 64
+
+// splitmix64 is the deterministic 64-bit mixer behind every ring hash
+// (seeded, stateless — the nondeterminism contract for placement).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node: a member's position on the hash circle.
+type ringPoint struct {
+	hash uint64
+	slot int // index into View.Members
+}
+
+// Placement is the materialized consistent-hash ring of one View:
+// precomputed sorted vnode points, so per-region owner lookups are a
+// binary search plus a short walk.
+type Placement struct {
+	view   View
+	points []ringPoint
+}
+
+// NewPlacement builds the ring for a view. The construction is a pure
+// function of (Seed, Members): any two parties holding the same view
+// compute identical placements.
+func NewPlacement(v View) *Placement {
+	p := &Placement{view: v.Clone()}
+	p.points = make([]ringPoint, 0, len(v.Members)*vnodesPerMember)
+	for slot, m := range p.view.Members {
+		base := splitmix64(v.Seed ^ (uint64(uint32(m.ID)) * 0x9e3779b97f4a7c15))
+		for vn := 0; vn < vnodesPerMember; vn++ {
+			p.points = append(p.points, ringPoint{
+				hash: splitmix64(base + uint64(vn)),
+				slot: slot,
+			})
+		}
+	}
+	sort.Slice(p.points, func(i, j int) bool {
+		if p.points[i].hash != p.points[j].hash {
+			return p.points[i].hash < p.points[j].hash
+		}
+		// Tie-break on member ID so the order is total and deterministic
+		// even in the astronomically unlikely event of a hash collision.
+		return p.view.Members[p.points[i].slot].ID < p.view.Members[p.points[j].slot].ID
+	})
+	return p
+}
+
+// View returns the view the placement was built from.
+func (p *Placement) View() View { return p.view }
+
+// regionHash positions one (object, region) key on the circle.
+func (p *Placement) regionHash(obj object.ID, region int) uint64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(obj))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(region))
+	h := p.view.Seed
+	h = splitmix64(h ^ binary.LittleEndian.Uint64(buf[0:]))
+	h = splitmix64(h ^ binary.LittleEndian.Uint64(buf[8:]))
+	return h
+}
+
+// Owners returns the region's owner slots (indexes into View.Members),
+// primary first: the first R distinct members found walking clockwise
+// from the region's hash. With fewer than R members, every member owns
+// every region.
+func (p *Placement) Owners(obj object.ID, region int) []int {
+	r := p.view.R
+	if r <= 0 {
+		r = 1
+	}
+	if r > len(p.view.Members) {
+		r = len(p.view.Members)
+	}
+	if r == 0 {
+		return nil
+	}
+	h := p.regionHash(obj, region)
+	start := sort.Search(len(p.points), func(i int) bool { return p.points[i].hash >= h })
+	owners := make([]int, 0, r)
+	seen := 0
+	for i := 0; seen < r && i < len(p.points); i++ {
+		pt := p.points[(start+i)%len(p.points)]
+		dup := false
+		for _, o := range owners {
+			if o == pt.slot {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		owners = append(owners, pt.slot)
+		seen++
+	}
+	return owners
+}
+
+// Primary returns the member ID of the region's primary owner (the only
+// member that evaluates the region for queries at this view's epoch).
+func (p *Placement) Primary(obj object.ID, region int) MemberID {
+	owners := p.Owners(obj, region)
+	if len(owners) == 0 {
+		return -1
+	}
+	return p.view.Members[owners[0]].ID
+}
+
+// OwnerIDs returns the region's owner member IDs, primary first.
+func (p *Placement) OwnerIDs(obj object.ID, region int) []MemberID {
+	owners := p.Owners(obj, region)
+	ids := make([]MemberID, len(owners))
+	for i, o := range owners {
+		ids[i] = p.view.Members[o].ID
+	}
+	return ids
+}
+
+// Owns reports whether member id is among the region's R owners.
+func (p *Placement) Owns(id MemberID, obj object.ID, region int) bool {
+	for _, o := range p.Owners(obj, region) {
+		if p.view.Members[o].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a compact description (for golden tests and logs).
+func (p *Placement) String() string {
+	return fmt.Sprintf("placement{epoch %d, seed %d, R %d, %d members, %d points}",
+		p.view.Epoch, p.view.Seed, p.view.R, len(p.view.Members), len(p.points))
+}

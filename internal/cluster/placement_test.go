@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"pdcquery/internal/object"
+)
+
+// testView builds a view with n members (IDs 0..n-1) at the given seed.
+func testView(n int, seed uint64, r int) View {
+	v := View{Epoch: 1, Seed: seed, R: r}
+	for i := 0; i < n; i++ {
+		v.Members = append(v.Members, MemberInfo{ID: MemberID(i), Addr: fmt.Sprintf("member-%d", i)})
+	}
+	return v
+}
+
+// placementDigest folds the full region→owners map for a synthetic
+// workload (8 objects × 64 regions) into one 64-bit value. Any change
+// to the hash function, vnode count, walk order, or replica selection
+// changes the digest.
+func placementDigest(p *Placement) uint64 {
+	var h uint64 = 0x243f6a8885a308d3
+	for obj := object.ID(1); obj <= 8; obj++ {
+		for region := 0; region < 64; region++ {
+			for _, id := range p.OwnerIDs(obj, region) {
+				h = splitmix64(h ^ uint64(uint32(id)))
+			}
+		}
+	}
+	return h
+}
+
+// TestPlacementGolden pins the consistent-hash region→server map for a
+// seeded catalog at N=3,5,8 members. These digests are part of the wire
+// contract: clients and servers compute placement independently from
+// the same View, so the map may only change with a deliberate epoch of
+// the placement algorithm itself.
+func TestPlacementGolden(t *testing.T) {
+	golden := map[int]uint64{
+		3: 0x3979fe50fd0ce2f5,
+		5: 0x24856ffce1e21402,
+		8: 0x7e709b17439dedd1,
+	}
+	for n, want := range golden {
+		p := NewPlacement(testView(n, 42, 2))
+		got := placementDigest(p)
+		if got != want {
+			t.Errorf("N=%d: placement digest = %#x, want %#x (placement algorithm changed?)", n, got, want)
+		}
+	}
+}
+
+// TestPlacementDeterminism: two independently built placements from the
+// same view agree on every owner list.
+func TestPlacementDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		a := NewPlacement(testView(n, 7, 2))
+		b := NewPlacement(testView(n, 7, 2))
+		if da, db := placementDigest(a), placementDigest(b); da != db {
+			t.Fatalf("N=%d: same view produced different placements: %#x vs %#x", n, da, db)
+		}
+	}
+}
+
+// TestPlacementSeedSensitivity: different seeds give different maps (the
+// seed is the knob that reshuffles placement for tests).
+func TestPlacementSeedSensitivity(t *testing.T) {
+	a := NewPlacement(testView(5, 1, 2))
+	b := NewPlacement(testView(5, 2, 2))
+	if placementDigest(a) == placementDigest(b) {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+// TestPlacementOwnersDistinct: owner lists never repeat a member and
+// respect R (capped by the member count).
+func TestPlacementOwnersDistinct(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		p := NewPlacement(testView(n, 42, 2))
+		wantLen := 2
+		if n < 2 {
+			wantLen = n
+		}
+		for obj := object.ID(1); obj <= 4; obj++ {
+			for region := 0; region < 32; region++ {
+				owners := p.Owners(obj, region)
+				if len(owners) != wantLen {
+					t.Fatalf("N=%d obj=%d region=%d: got %d owners, want %d", n, obj, region, len(owners), wantLen)
+				}
+				seen := map[int]bool{}
+				for _, o := range owners {
+					if seen[o] {
+						t.Fatalf("N=%d obj=%d region=%d: duplicate owner %d", n, obj, region, o)
+					}
+					seen[o] = true
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementMinimalMovement: adding one member to an N-member ring
+// reassigns roughly 1/(N+1) of the region primaries — the consistent-
+// hashing property that makes join/drain rebalances cheap. We allow 2×
+// the ideal fraction as slack for vnode variance.
+func TestPlacementMinimalMovement(t *testing.T) {
+	const objects = 16
+	const regions = 64
+	for _, n := range []int{3, 5, 8} {
+		before := NewPlacement(testView(n, 42, 2))
+		after := NewPlacement(testView(n+1, 42, 2))
+		total, moved, movedElsewhere := 0, 0, 0
+		newID := MemberID(n)
+		for obj := object.ID(1); obj <= objects; obj++ {
+			for region := 0; region < regions; region++ {
+				total++
+				pb := before.Primary(obj, region)
+				pa := after.Primary(obj, region)
+				if pb != pa {
+					moved++
+					if pa != newID {
+						movedElsewhere++
+					}
+				}
+			}
+		}
+		ideal := float64(total) / float64(n+1)
+		if float64(moved) > 2*ideal {
+			t.Errorf("N=%d→%d: %d/%d primaries moved, want ≤ ~%d (2× ideal 1/N)",
+				n, n+1, moved, total, int(2*ideal))
+		}
+		// Consistent hashing guarantee: an insertion only moves regions
+		// TO the joiner; no region changes hands between survivors.
+		if movedElsewhere != 0 {
+			t.Errorf("N=%d→%d: %d regions moved between pre-existing members on insert", n, n+1, movedElsewhere)
+		}
+	}
+}
+
+// TestPlacementRemovalPromotes: removing a member only reassigns the
+// regions it owned, and each reassignment promotes an existing owner
+// (the next member on the ring) — so failover needs no data movement
+// when R≥2.
+func TestPlacementRemovalPromotes(t *testing.T) {
+	const n = 5
+	v := testView(n, 42, 2)
+	before := NewPlacement(v)
+	// Remove member 2.
+	removed := MemberID(2)
+	var survivors []MemberInfo
+	for _, m := range v.Members {
+		if m.ID != removed {
+			survivors = append(survivors, m)
+		}
+	}
+	after := NewPlacement(View{Epoch: 2, Seed: v.Seed, R: v.R, Members: survivors})
+	for obj := object.ID(1); obj <= 8; obj++ {
+		for region := 0; region < 64; region++ {
+			pb := before.Primary(obj, region)
+			pa := after.Primary(obj, region)
+			if pb != removed {
+				if pa != pb {
+					t.Fatalf("obj=%d region=%d: primary moved %d→%d though %d did not fail",
+						obj, region, pb, pa, removed)
+				}
+				continue
+			}
+			// The dead member's regions must land on one of its former
+			// replicas: failover without data movement.
+			wasOwner := false
+			for _, id := range before.OwnerIDs(obj, region) {
+				if id == pa {
+					wasOwner = true
+					break
+				}
+			}
+			if !wasOwner {
+				t.Fatalf("obj=%d region=%d: new primary %d was not a replica before removal", obj, region, pa)
+			}
+		}
+	}
+}
+
+// TestPlacementBalance: with vnodes the load split stays within a
+// reasonable factor of even.
+func TestPlacementBalance(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		p := NewPlacement(testView(n, 42, 2))
+		counts := make(map[MemberID]int)
+		total := 0
+		for obj := object.ID(1); obj <= 16; obj++ {
+			for region := 0; region < 64; region++ {
+				counts[p.Primary(obj, region)]++
+				total++
+			}
+		}
+		mean := float64(total) / float64(n)
+		for id, c := range counts {
+			if float64(c) > 2.5*mean || float64(c) < mean/4 {
+				t.Errorf("N=%d: member %d owns %d/%d primaries (mean %.0f) — badly unbalanced", n, id, c, total, mean)
+			}
+		}
+	}
+}
+
+// TestViewCloneIndependence: mutating a clone's member list does not
+// alias the original.
+func TestViewCloneIndependence(t *testing.T) {
+	v := testView(3, 1, 2)
+	c := v.Clone()
+	c.Members[0].Addr = "mutated"
+	if v.Members[0].Addr == "mutated" {
+		t.Fatal("Clone aliases the original member slice")
+	}
+}

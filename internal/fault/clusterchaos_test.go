@@ -1,0 +1,34 @@
+package fault
+
+import (
+	"flag"
+	"testing"
+)
+
+// clusterSeeds is the cluster soak width: `make chaos` runs it with
+// -cluster-seeds 32. The default keeps `go test ./...` reasonable
+// while still exercising kill, join, and drain episodes.
+var clusterSeeds = flag.Int("cluster-seeds", 6, "number of seeded membership-fault schedules TestClusterChaos runs")
+
+// TestClusterChaos is the membership soak: for each seed, boot a local
+// cluster, import the oracle dataset, and interleave the corpus with
+// member kills (some mid-query), joins, and drains. Zero wrong answers:
+// every query is byte-identical to the oracle or a typed error, and the
+// settled cluster must hold all replicas and answer the corpus clean.
+func TestClusterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos skipped in -short")
+	}
+	opts := DefaultClusterChaosOptions()
+	for seed := uint64(1); seed <= uint64(*clusterSeeds); seed++ {
+		res, err := RunClusterChaos(seed, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v (replay: RunClusterChaos(%d, ...))", seed, err, seed)
+		}
+		if res.Masked+res.Typed != opts.Queries {
+			t.Fatalf("seed %d: %d masked + %d typed != %d queries", seed, res.Masked, res.Typed, opts.Queries)
+		}
+		t.Logf("seed %d: %d masked, %d typed; %d kills, %d joins, %d drains",
+			seed, res.Masked, res.Typed, res.Kills, res.Joins, res.Drains)
+	}
+}

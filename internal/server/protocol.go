@@ -37,6 +37,13 @@ const (
 	MsgBusy         byte = 15 // server -> client: admission rejected, retry after hint
 	MsgEvents       byte = 16 // client -> server: flight-recorder ring snapshot request
 	MsgEventsResult byte = 17 // server -> client: encoded flight-recorder events
+	// Cluster ingest/transfer messages (accepted only when the server
+	// runs with Config.Ingest; plain deployments reject them).
+	MsgPutMeta      byte = 18 // client -> server: install a metadata snapshot
+	MsgPutExtent    byte = 19 // client -> server: write one extent (key + bytes) to local storage
+	MsgFetchExtents byte = 20 // client -> server: read extents by key (rebalance transfer source)
+	MsgExtentsResult byte = 21 // server -> client: requested extents' bytes
+	MsgOK           byte = 22 // server -> client: bare acknowledgement
 )
 
 // MsgName returns a short stable name for a message type, used as the
@@ -77,6 +84,16 @@ func MsgName(t byte) string {
 		return "events"
 	case MsgEventsResult:
 		return "events_result"
+	case MsgPutMeta:
+		return "put_meta"
+	case MsgPutExtent:
+		return "put_extent"
+	case MsgFetchExtents:
+		return "fetch_extents"
+	case MsgExtentsResult:
+		return "extents_result"
+	case MsgOK:
+		return "ok"
 	}
 	return fmt.Sprintf("unknown_%d", t)
 }
@@ -88,6 +105,11 @@ const (
 	// FlagWantTrace asks the server to record and return a per-query trace
 	// span tree in the response.
 	FlagWantTrace byte = 1 << 2
+	// FlagEpoch marks an epoch-stamped request: a u64 placement epoch
+	// follows the flags byte. Cluster members reject requests whose
+	// epoch does not match their installed view, so a query is never
+	// evaluated under two placements at once.
+	FlagEpoch byte = 1 << 3
 )
 
 // encodeCost packs a cost breakdown as four u64 nanosecond counts.
@@ -155,6 +177,33 @@ func DecodeQueryRequest(b []byte) (flags byte, encodedQuery []byte, err error) {
 		return 0, nil, fmt.Errorf("protocol: empty query request")
 	}
 	return b[0], b[1:], nil
+}
+
+// EncodeQueryRequestEpoch builds an epoch-stamped MsgQuery payload:
+// flags (with FlagEpoch set) | epoch u64 | query.
+func EncodeQueryRequestEpoch(flags byte, epoch uint64, encodedQuery []byte) []byte {
+	out := make([]byte, 0, 9+len(encodedQuery))
+	out = append(out, flags|FlagEpoch)
+	out = binary.LittleEndian.AppendUint64(out, epoch)
+	return append(out, encodedQuery...)
+}
+
+// DecodeQueryRequestEpoch splits a MsgQuery payload, extracting the
+// placement epoch when FlagEpoch is set (epoch 0 otherwise).
+func DecodeQueryRequestEpoch(b []byte) (flags byte, epoch uint64, encodedQuery []byte, err error) {
+	if len(b) < 1 {
+		return 0, 0, nil, fmt.Errorf("protocol: empty query request")
+	}
+	flags = b[0]
+	b = b[1:]
+	if flags&FlagEpoch != 0 {
+		if len(b) < 8 {
+			return 0, 0, nil, fmt.Errorf("protocol: truncated query epoch")
+		}
+		epoch = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	return flags, epoch, b, nil
 }
 
 // QueryResponse is one server's answer to a MsgQuery.
@@ -531,4 +580,135 @@ func DecodeHistResult(b []byte) (*histogram.Histogram, error) {
 		return nil, nil
 	}
 	return histogram.Decode(b[1:])
+}
+
+// EncodePutExtent builds a MsgPutExtent payload: key-len u16 | key |
+// extent bytes (rest).
+func EncodePutExtent(key string, data []byte) []byte {
+	out := make([]byte, 0, 2+len(key)+len(data))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(key)))
+	out = append(out, key...)
+	return append(out, data...)
+}
+
+// DecodePutExtent parses a MsgPutExtent payload. The returned data
+// aliases the payload buffer.
+func DecodePutExtent(b []byte) (key string, data []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("protocol: truncated put-extent")
+	}
+	kl := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+kl {
+		return "", nil, fmt.Errorf("protocol: truncated put-extent key")
+	}
+	return string(b[2 : 2+kl]), b[2+kl:], nil
+}
+
+// EncodeFetchExtents builds a MsgFetchExtents payload: count u32, then
+// per key u16 len + bytes.
+func EncodeFetchExtents(keys []string) []byte {
+	n := 4
+	for _, k := range keys {
+		n += 2 + len(k)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(k)))
+		out = append(out, k...)
+	}
+	return out
+}
+
+// DecodeFetchExtents parses a MsgFetchExtents payload.
+func DecodeFetchExtents(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("protocol: truncated fetch-extents")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("protocol: truncated fetch-extents key length")
+		}
+		kl := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < kl {
+			return nil, fmt.Errorf("protocol: truncated fetch-extents key")
+		}
+		keys = append(keys, string(b[:kl]))
+		b = b[kl:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("protocol: trailing bytes in fetch-extents")
+	}
+	return keys, nil
+}
+
+// Extent is one key+bytes pair of a MsgExtentsResult. A missing key is
+// reported with Present=false rather than dropped, so the fetcher can
+// distinguish "source lost it" from a truncated reply.
+type Extent struct {
+	Key     string
+	Present bool
+	Data    []byte
+}
+
+// EncodeExtentsResult builds a MsgExtentsResult payload: count u32,
+// then per extent u16 key-len | key | present byte | u64 data-len |
+// data.
+func EncodeExtentsResult(exts []Extent) []byte {
+	n := 4
+	for _, e := range exts {
+		n += 2 + len(e.Key) + 1 + 8 + len(e.Data)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(exts)))
+	for _, e := range exts {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Key)))
+		out = append(out, e.Key...)
+		if e.Present {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(e.Data)))
+		out = append(out, e.Data...)
+	}
+	return out
+}
+
+// DecodeExtentsResult parses a MsgExtentsResult payload. Extent data
+// aliases the payload buffer.
+func DecodeExtentsResult(b []byte) ([]Extent, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("protocol: truncated extents result")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	exts := make([]Extent, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("protocol: truncated extent key length")
+		}
+		kl := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < kl+9 {
+			return nil, fmt.Errorf("protocol: truncated extent header")
+		}
+		e := Extent{Key: string(b[:kl]), Present: b[kl] == 1}
+		dl := binary.LittleEndian.Uint64(b[kl+1:])
+		b = b[kl+9:]
+		if uint64(len(b)) < dl {
+			return nil, fmt.Errorf("protocol: truncated extent data")
+		}
+		e.Data = b[:dl]
+		b = b[dl:]
+		exts = append(exts, e)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("protocol: trailing bytes in extents result")
+	}
+	return exts, nil
 }

@@ -86,6 +86,24 @@ type Config struct {
 	// when a real Clock is installed, virtual cost otherwise — so the
 	// threshold is testable deterministically.
 	SlowQueryNs int64
+	// ClusterAssign, when set, replaces the static mod-N region
+	// assignment: a cluster member derives its share from the placement
+	// view at the request's stamped epoch (internal/cluster wires this).
+	// An epoch mismatch returns an error, which the cluster session
+	// turns into a view refresh + retry.
+	ClusterAssign func(epoch uint64, anchor *object.Object, rep *sortstore.Replica) (exec.Assignment, error)
+	// Ingest accepts the cluster ingest/transfer messages (MsgPutMeta,
+	// MsgPutExtent, MsgFetchExtents). Plain deployments leave it off and
+	// reject them: their store is shared, not per-server.
+	Ingest bool
+	// ExtraMetrics, when set, is merged into every Metrics snapshot
+	// (cluster members expose their membership counters through the
+	// server's /metrics and MsgStats endpoints this way).
+	ExtraMetrics *telemetry.Registry
+	// TagOwner, when set, replaces the static OwnerOf metadata sharding
+	// for tag queries (cluster members answer only for objects whose
+	// placement they own, keeping the client-side union disjoint).
+	TagOwner func(id object.ID) bool
 }
 
 // DefaultQueueDepth is the per-session admission bound when Config
@@ -249,6 +267,9 @@ func (s *Server) Metrics() *telemetry.Registry {
 	s.smu.Unlock()
 	out.AddCounters("io.", s.acct.CounterSnapshot())
 	out.SetGauge("sessions.live", float64(live))
+	if s.cfg.ExtraMetrics != nil {
+		out.Merge(s.cfg.ExtraMetrics)
+	}
 	cs := s.engine.Cache.Stats()
 	out.SetGauge("cache.bytes", float64(cs.UsedBytes))
 	out.SetGauge("cache.entries", float64(cs.Entries))
@@ -573,6 +594,12 @@ func (s *Server) handle(ss *session, tok *sched.Token, acct *vclock.Account, m t
 			return s.errMsg(err)
 		}
 		return transport.Message{Type: MsgMetaResult, Payload: snap}
+	case MsgPutMeta:
+		return s.handlePutMeta(m)
+	case MsgPutExtent:
+		return s.handlePutExtent(tok, acct, m)
+	case MsgFetchExtents:
+		return s.handleFetchExtents(tok, acct, m)
 	}
 	return s.errMsg(fmt.Errorf("unknown message type %d", m.Type))
 }
@@ -587,7 +614,7 @@ func (s *Server) handleStats(acct *vclock.Account, m transport.Message) transpor
 }
 
 func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account, m transport.Message) transport.Message {
-	flags, qbytes, err := DecodeQueryRequest(m.Payload)
+	flags, epoch, qbytes, err := DecodeQueryRequestEpoch(m.Payload)
 	if err != nil {
 		return s.errMsg(err)
 	}
@@ -607,7 +634,18 @@ func (s *Server) handleQuery(ss *session, tok *sched.Token, acct *vclock.Account
 			break
 		}
 	}
-	assign := s.assignment(anchor, rep)
+	var assign exec.Assignment
+	if s.cfg.ClusterAssign != nil {
+		// Cluster mode: the epoch check and the region share come from
+		// one placement-view snapshot, so a rebalance can never split a
+		// query across two views.
+		assign, err = s.cfg.ClusterAssign(epoch, anchor, rep)
+		if err != nil {
+			return s.errMsg(err)
+		}
+	} else {
+		assign = s.assignment(anchor, rep)
+	}
 
 	var span *telemetry.Span
 	// The span is built when the client asked for a trace OR the
@@ -828,7 +866,11 @@ func (s *Server) handleTagQuery(acct *vclock.Account, m transport.Message) trans
 	// one owner per metadata object); the client unions the shards.
 	var owned []object.ID
 	for _, id := range all {
-		if metadata.OwnerOf(id, s.cfg.N) == s.cfg.ID {
+		if s.cfg.TagOwner != nil {
+			if s.cfg.TagOwner(id) {
+				owned = append(owned, id)
+			}
+		} else if metadata.OwnerOf(id, s.cfg.N) == s.cfg.ID {
 			owned = append(owned, id)
 		}
 	}

@@ -82,7 +82,30 @@ const (
 	EvDeadline
 	// EvError: a request was answered with an error frame. A=request ID.
 	EvError
+	// EvMemberJoin: a cluster member joined and the catalog committed a
+	// view including it. Srv=member ID, A=committed epoch, B=member count.
+	EvMemberJoin
+	// EvMemberDown: the catalog removed a member (heartbeat timeout,
+	// down report, or drain). Srv=member ID, A=committed epoch, B=reason
+	// code (see DownReason* constants).
+	EvMemberDown
+	// EvTransfer: a member fetched a region's extents from a source
+	// during rebalance. Srv=source member ID, A=regions transferred,
+	// B=bytes transferred.
+	EvTransfer
+	// EvFailover: placement promoted this member to primary for regions
+	// whose previous primary left the view. Srv=member ID, A=committed
+	// epoch, B=regions promoted.
+	EvFailover
 	numEventKinds
+)
+
+// Reason codes for EvMemberDown.B.
+const (
+	DownReasonHeartbeat int64 = iota
+	DownReasonReport
+	DownReasonDrain
+	DownReasonConn
 )
 
 // Seam direction codes for EvFault.B.
@@ -125,6 +148,14 @@ func (k EventKind) String() string {
 		return "deadline"
 	case EvError:
 		return "error"
+	case EvMemberJoin:
+		return "member-join"
+	case EvMemberDown:
+		return "member-down"
+	case EvTransfer:
+		return "transfer"
+	case EvFailover:
+		return "failover"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
