@@ -67,6 +67,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz=FuzzWAHRoundTrip -fuzztime=$(FUZZTIME) ./internal/wah/
 	$(GO) test -fuzz=FuzzHistogramMerge -fuzztime=$(FUZZTIME) ./internal/histogram/
+	$(GO) test -fuzz=FuzzParseQuery -fuzztime=$(FUZZTIME) ./internal/qlang/
 
 # One benchmark per paper figure + ablations + throughput benches.
 bench:

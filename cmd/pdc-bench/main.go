@@ -25,7 +25,7 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, ablations, concurrent, scaleout, or all (scaleout only by name)")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, ablations, concurrent, scaleout, plancache, or all (scaleout and plancache only by name)")
 	flag.IntVar(&cfg.LogN, "logn", cfg.LogN, "VPIC scale: 2^logn particles")
 	flag.IntVar(&cfg.Servers, "servers", cfg.Servers, "PDC server count for Figs. 3-5")
 	flag.IntVar(&cfg.BOSSObjects, "boss", cfg.BOSSObjects, "BOSS object count for Fig. 5")
@@ -108,6 +108,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdc-bench: wrote BENCH_scaleout.json")
 		ran = true
 	}
+	// The plan-cache figure, like scaleout, runs only by name: it writes
+	// a committed JSON artifact and should be regenerated deliberately.
+	if *fig == "plancache" {
+		rows, err := bench.PlanCacheRun(cfg)
+		fail(err)
+		bench.PlanCachePrint(os.Stdout, rows)
+		writeCSV("plancache.csv", func(w io.Writer) { bench.PlanCacheCSV(w, rows) })
+		f, err := os.Create("BENCH_plancache.json")
+		fail(err)
+		fail(bench.PlanCacheJSON(f, rows))
+		fail(f.Close())
+		fmt.Fprintln(os.Stderr, "pdc-bench: wrote BENCH_plancache.json")
+		ran = true
+	}
 	run("concurrent", func() {
 		rows, err := bench.ConcurrentRun(cfg)
 		fail(err)
@@ -121,7 +135,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, concurrent, scaleout, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "pdc-bench: unknown figure %q (want 3, 4, 5, 6, ablations, concurrent, scaleout, plancache, or all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -117,6 +117,19 @@ func measureModeled() (map[string]int64, error) {
 	for ap, d := range sums {
 		out["fig3.logn16."+ap] = int64(d)
 	}
+
+	// Plan-cache figures: the declarative corpus cold (round 0, every
+	// plan built) and warm (last round, every plan from the LRU). Both
+	// are modeled virtual time, so they gate the planner's cost model
+	// and the cache's hit path.
+	pcRows, err := bench.PlanCacheRun(bench.Config{LogN: 16, Servers: 4, Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	if len(pcRows) >= 2 {
+		out["plancache.logn16.cold"] = pcRows[0].TimeNs
+		out["plancache.logn16.warm"] = pcRows[len(pcRows)-1].TimeNs
+	}
 	return out, nil
 }
 

@@ -14,6 +14,14 @@
 //
 // Subcommands:
 //
+//	pdc-query run "select count where ..."      execute a declarative
+//	                                            statement through the
+//	                                            cost-based planner
+//	                                            (-force pins the strategy)
+//	pdc-query explain "select ... where ..."    print the plan without
+//	                                            executing ("explain
+//	                                            analyze select ..." runs
+//	                                            it and adds actuals)
 //	pdc-query trace -servers ... -query "..."   run the query traced and
 //	                                            print the plan with
 //	                                            actuals plus the span tree
@@ -39,6 +47,8 @@ import (
 	"pdcquery/internal/cluster"
 	"pdcquery/internal/dtype"
 	"pdcquery/internal/object"
+	"pdcquery/internal/plan"
+	"pdcquery/internal/qlang"
 	"pdcquery/internal/query"
 	"pdcquery/internal/telemetry"
 	"pdcquery/internal/transport"
@@ -47,7 +57,8 @@ import (
 func main() {
 	mode := ""
 	args := os.Args[1:]
-	if len(args) > 0 && (args[0] == "trace" || args[0] == "stats" || args[0] == "top" || args[0] == "events") {
+	if len(args) > 0 && (args[0] == "trace" || args[0] == "stats" || args[0] == "top" || args[0] == "events" ||
+		args[0] == "run" || args[0] == "explain") {
 		mode = args[0]
 		args = args[1:]
 	}
@@ -58,8 +69,10 @@ func main() {
 	limit := flag.Int("limit", 10, "print at most this many matches")
 	countOnly := flag.Bool("count", false, "only report the number of hits")
 	explain := flag.Bool("explain", false, "print the evaluation plan (condition order + selectivity estimates) and exit")
+	forceStr := flag.String("force", "", "run/explain modes: pin the planner strategy (scan, bitmap, sorted; default cost-based)")
 	flag.CommandLine.Parse(args)
-	queryless := mode == "stats" || mode == "top" || mode == "events"
+	queryless := mode == "stats" || mode == "top" || mode == "events" ||
+		mode == "run" || mode == "explain"
 	if *qstr == "" && !queryless {
 		fmt.Fprintln(os.Stderr, "pdc-query: -query is required")
 		os.Exit(2)
@@ -76,6 +89,7 @@ func main() {
 			CallTimeout: 30 * time.Second,
 			RetryWait:   50 * time.Millisecond,
 			Sleeper:     telemetry.WallSleep,
+			Clock:       telemetry.Wall,
 		})
 		if err != nil {
 			fatal(err)
@@ -132,6 +146,29 @@ func main() {
 		fatal(err)
 	}
 	meta := cli.Meta()
+
+	if mode == "run" || mode == "explain" {
+		text := strings.TrimSpace(strings.Join(flag.CommandLine.Args(), " "))
+		if text == "" {
+			text = *qstr
+		}
+		if text == "" {
+			fatal(fmt.Errorf("%s mode needs a statement, e.g. pdc-query %s 'select count where Energy > 2'", mode, mode))
+		}
+		if mode == "explain" && !strings.HasPrefix(strings.ToLower(strings.TrimSpace(text)), "explain") {
+			text = "explain " + text
+		}
+		force, err := plan.ParseForce(*forceStr)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := cli.RunText(text, force)
+		if err != nil {
+			fatal(err)
+		}
+		printTextResult(res, *limit)
+		return
+	}
 
 	root, err := query.Parse(*qstr, func(name string) (object.ID, bool) {
 		o, ok := meta.GetByName(name)
@@ -206,6 +243,38 @@ func main() {
 	fmt.Printf("modeled get-data time: %v (%d bytes)\n", info.Elapsed.Total(), len(data))
 	for i := 0; i < show; i++ {
 		fmt.Printf("  %s[%d] = %g\n", *dataObj, res.Sel.Coords[i], dtype.At(o.Type, data, i))
+	}
+}
+
+// printTextResult renders a text-query outcome: the EXPLAIN text when
+// the statement asked for it, then the projection's answer.
+func printTextResult(res *client.TextResult, limit int) {
+	if res.Explain != "" {
+		fmt.Print(res.Explain)
+		if res.Sel == nil {
+			// Plain EXPLAIN does not execute.
+			return
+		}
+		fmt.Println()
+	}
+	fmt.Printf("hits: %d\nmodeled query time: %v (server max %v)\n",
+		res.Sel.NHits, res.Info.Elapsed.Total(), res.Info.ServerMax.Total())
+	switch res.Statement.Projection.Kind {
+	case qlang.ProjIDs:
+		show := int(res.Sel.NHits)
+		if show > limit {
+			show = limit
+		}
+		for i := 0; i < show; i++ {
+			fmt.Printf("  match[%d] at index %d\n", i, res.Sel.Coords[i])
+		}
+	case qlang.ProjHist:
+		h := res.Hist
+		fmt.Printf("hist(%s): %d values, min %g max %g\n",
+			res.Statement.Projection.Col, h.Total, h.Min, h.Max)
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+			fmt.Printf("  p%02.0f = %g\n", 100*q, h.Quantile(q))
+		}
 	}
 }
 

@@ -1,0 +1,176 @@
+// Text-query client API: parse the declarative statement locally,
+// broadcast the canonical text to every server (each plans it against
+// the same replicated metadata, so every server derives the identical
+// plan), and merge the partial results — selections for ids, counts for
+// count, mergeable histograms for hist. EXPLAIN renders the client-side
+// plan without executing; EXPLAIN ANALYZE executes with tracing and
+// pairs estimated rows with the observed per-condition actuals.
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pdcquery/internal/histogram"
+	"pdcquery/internal/object"
+	"pdcquery/internal/plan"
+	"pdcquery/internal/qlang"
+	"pdcquery/internal/selection"
+	"pdcquery/internal/server"
+	"pdcquery/internal/telemetry"
+	"pdcquery/internal/vclock"
+)
+
+// TextResult is the outcome of one text query.
+type TextResult struct {
+	// Statement is the parsed form; Text its canonical rendering (what
+	// was sent to the servers, explain prefix stripped).
+	Statement *qlang.Query
+	Text      string
+	// Sel is the merged selection (count-only unless the projection was
+	// ids). Nil for plain EXPLAIN, which does not execute.
+	Sel *selection.Selection
+	// Hist is the merged value histogram of a hist projection.
+	Hist *histogram.Histogram
+	// Plan is the client-derived plan (identical to each server's: both
+	// are pure functions of the replicated metadata and the text).
+	Plan *plan.Plan
+	// Explain is the rendered EXPLAIN / EXPLAIN ANALYZE text; empty for
+	// plain statements.
+	Explain string
+	// Info models the call's execution profile (zero for plain EXPLAIN).
+	Info Info
+	// Traces holds each server's span tree when the statement was
+	// EXPLAIN ANALYZE.
+	Traces []*telemetry.Span
+}
+
+// RunText parses and executes a declarative query statement. force pins
+// the planner's strategy choice (plan.ForceAuto lets cost decide).
+func (c *Client) RunText(text string, force plan.Force) (*TextResult, error) {
+	return c.RunTextContext(context.Background(), text, force)
+}
+
+// RunTextContext is RunText with cancellation.
+func (c *Client) RunTextContext(ctx context.Context, text string, force plan.Force) (*TextResult, error) {
+	parsed, err := qlang.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if c.meta == nil {
+		return nil, fmt.Errorf("client: no metadata; call SyncMeta first")
+	}
+	low, err := parsed.Lower(func(name string) (object.ID, bool) {
+		o, ok := c.meta.GetByName(name)
+		if !ok {
+			return 0, false
+		}
+		return o.ID, true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TextResult{Statement: parsed, Text: parsed.CacheKey()}
+	res.Plan, err = plan.Build(c.meta, low.Query, force)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.Explain && !parsed.Analyze {
+		// Plain EXPLAIN: metadata only, no execution.
+		res.Explain = res.Plan.Format(res.Text)
+		return res, nil
+	}
+
+	var flags byte
+	if low.Projection.Kind == qlang.ProjIDs {
+		flags |= server.FlagWantSelection
+	}
+	if parsed.Analyze {
+		flags |= server.FlagWantTrace
+	}
+	c.mu.Lock()
+	useEpoch, epoch := c.useEpoch, c.epoch
+	c.mu.Unlock()
+	if useEpoch {
+		flags |= server.FlagEpoch
+	}
+	payload := server.EncodeTextQuery(flags, epoch, byte(force), res.Text)
+	_, msgs, busyWait, err := c.broadcastCtx(ctx, server.MsgTextQuery, func(int) []byte { return payload })
+	if err != nil {
+		return nil, err
+	}
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(len(payload))+busyWait))
+	if parsed.Analyze {
+		res.Traces = make([]*telemetry.Span, len(msgs))
+	}
+
+	var parts []*selection.Selection
+	var hists []*histogram.Histogram
+	var respBytes int
+	for i, m := range msgs {
+		tr, err := server.DecodeTextResult(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		res.Info.ServerMax = res.Info.ServerMax.Max(tr.Base.Cost)
+		res.Info.Stats.Add(tr.Base.Stats)
+		respBytes += len(m.Payload)
+		parts = append(parts, tr.Base.Sel)
+		if tr.Hist != nil {
+			hists = append(hists, tr.Hist)
+		}
+		if res.Traces != nil {
+			res.Traces[i] = tr.Base.Trace
+		}
+	}
+	res.Sel = selection.MergeAll(parts)
+	res.Info.NHits = res.Sel.NHits
+	if low.Projection.Kind == qlang.ProjHist {
+		res.Hist = histogram.MergeAll(hists)
+	}
+	res.Info.Elapsed = res.Info.Elapsed.Add(res.Info.ServerMax)
+	if c.sharedBW > 0 && res.Info.Stats.StorageBytes > 0 {
+		floor := time.Duration(float64(res.Info.Stats.StorageBytes) / c.sharedBW * 1e9)
+		if extra := floor - res.Info.ServerMax.Total(); extra > 0 {
+			res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Storage, extra))
+		}
+	}
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Network, c.wire(respBytes)))
+	res.Info.Elapsed = res.Info.Elapsed.Add(vclock.CostOf(vclock.Compute, time.Duration(res.Sel.NHits)*mergeCostPerHit))
+
+	if parsed.Explain {
+		res.Explain = res.Plan.FormatAnalyze(res.Text, traceActuals(res.Traces))
+	}
+	return res, nil
+}
+
+// traceActuals builds the EXPLAIN ANALYZE actuals lookup from the
+// servers' span trees: for conjunct ci and condition object id, the
+// summed in/out element counts across all servers.
+func traceActuals(traces []*telemetry.Span) plan.Actuals {
+	return func(ci int, id object.ID) (in, out int64, ok bool) {
+		name := fmt.Sprintf("conjunct.%d", ci)
+		inKey := fmt.Sprintf("cond.%d.in", id)
+		outKey := fmt.Sprintf("cond.%d.out", id)
+		for _, t := range traces {
+			if t == nil {
+				continue
+			}
+			t.Walk(func(s *telemetry.Span) {
+				if s.Kind != telemetry.SpanConjunct || s.Name != name {
+					return
+				}
+				if v, found := s.Int(inKey); found {
+					in += v
+					ok = true
+				}
+				if v, found := s.Int(outKey); found {
+					out += v
+					ok = true
+				}
+			})
+		}
+		return in, out, ok
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"pdcquery/internal/client"
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
+	"pdcquery/internal/plan"
 	"pdcquery/internal/query"
 	"pdcquery/internal/telemetry"
 	"pdcquery/internal/transport"
@@ -29,6 +30,13 @@ type SessionOptions struct {
 	// sleeper; telemetry.NoSleep makes retries immediate).
 	RetryWait time.Duration
 	Sleeper   telemetry.Sleeper
+	// Clock supplies the wall readings the retry loop uses to enforce
+	// CallTimeout across attempts: once the budget is spent the loop
+	// returns the typed timeout instead of sleeping past the caller's
+	// deadline. Default telemetry.NoClock reads zero, which keeps
+	// deterministic harnesses budget-free; daemons install
+	// telemetry.Wall alongside a real sleeper.
+	Clock telemetry.Clock
 	// Recorder, when set, receives client-side recovery events.
 	Recorder *telemetry.Recorder
 }
@@ -62,6 +70,9 @@ func DialSession(opts SessionOptions) (*Session, error) {
 	}
 	if opts.Sleeper == nil {
 		opts.Sleeper = telemetry.NoSleep
+	}
+	if opts.Clock == nil {
+		opts.Clock = telemetry.NoClock
 	}
 	if opts.RetryWait <= 0 {
 		opts.RetryWait = 25 * time.Millisecond
@@ -266,10 +277,24 @@ func (s *Session) reportFailure(err error) {
 }
 
 // call runs one client operation under the refresh-and-retry loop.
+// The loop is bounded two ways: MaxAttempts caps the retry count, and
+// CallTimeout (when a real Clock is installed) caps the wall budget —
+// before each retry sleep the loop checks whether sleeping would
+// outlive the budget and, if so, returns the typed timeout instead of
+// burning RetryWait on a deadline that has already passed.
 func (s *Session) call(fn func(cli *client.Client) error) error {
+	start := s.opts.Clock.Now()
+	var deadline int64
+	if s.opts.CallTimeout > 0 {
+		deadline = start + int64(s.opts.CallTimeout)
+	}
 	var lastErr error
 	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if deadline != 0 && s.opts.Clock.Now()+int64(s.opts.RetryWait) > deadline {
+				return fmt.Errorf("cluster: retry budget exhausted after %d attempts: %w (last error: %v)",
+					attempt, client.ErrTimeout, lastErr)
+			}
 			s.opts.Sleeper.Sleep(s.opts.RetryWait)
 		}
 		cli, err := s.client()
@@ -312,6 +337,19 @@ func (s *Session) RunCount(q *query.Query) (*client.QueryResult, error) {
 	err := s.call(func(cli *client.Client) error {
 		var err error
 		res, err = cli.RunCount(q)
+		return err
+	})
+	return res, err
+}
+
+// RunText executes a declarative text query against the cluster with
+// the session's epoch-refresh retry loop: a rebalance under the query
+// invalidates the view, and the retry replans against the new epoch.
+func (s *Session) RunText(text string, force plan.Force) (*client.TextResult, error) {
+	var res *client.TextResult
+	err := s.call(func(cli *client.Client) error {
+		var err error
+		res, err = cli.RunText(text, force)
 		return err
 	})
 	return res, err

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pdcquery/internal/client"
+	"pdcquery/internal/transport"
+)
+
+// fakeTime is a frozen clock that only moves when something sleeps on
+// it or the test advances it by hand — virtual time, no wall waits.
+type fakeTime struct {
+	mu     sync.Mutex
+	ns     int64
+	sleeps int
+}
+
+func (f *fakeTime) Now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ns
+}
+
+func (f *fakeTime) Sleep(d time.Duration) {
+	f.mu.Lock()
+	f.ns += int64(d)
+	f.sleeps++
+	f.mu.Unlock()
+}
+
+func (f *fakeTime) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.ns += int64(d)
+	f.mu.Unlock()
+}
+
+func (f *fakeTime) Sleeps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sleeps
+}
+
+// refusingNet fails every dial with a retryable connection error and
+// charges virtual time for the attempt, simulating a slow unreachable
+// catalog.
+type refusingNet struct {
+	ft       *fakeTime
+	perDial  time.Duration
+	mu       sync.Mutex
+	attempts int
+}
+
+func (n *refusingNet) Listen(addr string) (Listener, error) {
+	return nil, errors.New("refusingNet: listen unsupported")
+}
+
+func (n *refusingNet) Dial(addr string) (transport.Conn, error) {
+	n.mu.Lock()
+	n.attempts++
+	n.mu.Unlock()
+	n.ft.Advance(n.perDial)
+	return nil, fmt.Errorf("dial %s: connection refused", addr)
+}
+
+func (n *refusingNet) Attempts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.attempts
+}
+
+// Regression: Session.call used to sleep RetryWait between attempts
+// with no regard for the caller's CallTimeout budget — after the
+// deadline had already expired it would keep sleeping and retrying up
+// to MaxAttempts, multiplying the caller's wait by the attempt count.
+// Post-fix the loop checks the budget before each sleep and returns
+// the typed timeout. Pre-fix this test fails on all three assertions:
+// 8 dials, 7 sleeps, and an untyped "giving up after 8 attempts" error.
+func TestSessionCallStopsAtDeadline(t *testing.T) {
+	ft := &fakeTime{}
+	net := &refusingNet{ft: ft, perDial: 40 * time.Millisecond}
+	s, err := DialSession(SessionOptions{
+		Net:         net,
+		CatalogAddr: "catalog",
+		CallTimeout: 100 * time.Millisecond,
+		MaxAttempts: 8,
+		RetryWait:   25 * time.Millisecond,
+		Sleeper:     ft,
+		Clock:       ft,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.call(func(cli *client.Client) error { return nil })
+	if err == nil {
+		t.Fatal("call must fail when the catalog is unreachable")
+	}
+	// Budget math: dial 1 ends at 40ms; sleeping 25ms is still inside
+	// the 100ms budget, so attempt 2 runs and ends at 105ms; the next
+	// sleep would end past the deadline, so the loop must stop there.
+	if !errors.Is(err, client.ErrTimeout) {
+		t.Errorf("error %v must match the typed client.ErrTimeout", err)
+	}
+	if got := net.Attempts(); got != 2 {
+		t.Errorf("dial attempts = %d, want 2 (budget stops the loop)", got)
+	}
+	if got := ft.Sleeps(); got != 1 {
+		t.Errorf("retry sleeps = %d, want 1 (no sleeping past the deadline)", got)
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Errorf("error %q should say the retry budget was exhausted", err)
+	}
+}
+
+// Without a CallTimeout there is no budget: the loop runs to
+// MaxAttempts exactly as before the fix.
+func TestSessionCallNoTimeoutRetriesToMaxAttempts(t *testing.T) {
+	ft := &fakeTime{}
+	net := &refusingNet{ft: ft, perDial: 40 * time.Millisecond}
+	s, err := DialSession(SessionOptions{
+		Net:         net,
+		CatalogAddr: "catalog",
+		MaxAttempts: 5,
+		RetryWait:   25 * time.Millisecond,
+		Sleeper:     ft,
+		Clock:       ft,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.call(func(cli *client.Client) error { return nil })
+	if err == nil {
+		t.Fatal("call must fail when the catalog is unreachable")
+	}
+	if got := net.Attempts(); got != 5 {
+		t.Errorf("dial attempts = %d, want MaxAttempts 5", got)
+	}
+	if !strings.Contains(err.Error(), "giving up after 5 attempts") {
+		t.Errorf("error %q should report giving up after MaxAttempts", err)
+	}
+}
+
+// The deterministic default (NoClock reads zero) keeps the budget
+// inert as long as RetryWait fits inside CallTimeout, so existing
+// harnesses see no behavior change.
+func TestSessionCallNoClockKeepsRetrying(t *testing.T) {
+	ft := &fakeTime{}
+	net := &refusingNet{ft: ft, perDial: 40 * time.Millisecond}
+	s, err := DialSession(SessionOptions{
+		Net:         net,
+		CatalogAddr: "catalog",
+		CallTimeout: 100 * time.Millisecond,
+		MaxAttempts: 4,
+		RetryWait:   25 * time.Millisecond,
+		Sleeper:     ft,
+		// Clock left nil: defaults to telemetry.NoClock.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.call(func(cli *client.Client) error { return nil })
+	if err == nil {
+		t.Fatal("call must fail when the catalog is unreachable")
+	}
+	if got := net.Attempts(); got != 4 {
+		t.Errorf("dial attempts = %d, want MaxAttempts 4 under NoClock", got)
+	}
+}

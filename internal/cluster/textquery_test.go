@@ -1,0 +1,74 @@
+package cluster_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdcquery/internal/object"
+	"pdcquery/internal/plan"
+	"pdcquery/internal/qlang"
+	"pdcquery/internal/query"
+)
+
+// lowerAgainst resolves a statement against the source deployment's
+// metadata (names and IDs survive the import unchanged).
+func lowerAgainst(t *testing.T, resolve func(string) (*object.Object, bool), text string) *query.Query {
+	t.Helper()
+	parsed, err := qlang.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	low, err := parsed.Lower(func(name string) (object.ID, bool) {
+		o, ok := resolve(name)
+		if !ok {
+			return 0, false
+		}
+		return o.ID, true
+	})
+	if err != nil {
+		t.Fatalf("lower %q: %v", text, err)
+	}
+	return low.Query
+}
+
+// TestClusterTextQuery runs text statements through the cluster session
+// (catalog view, epoch-stamped broadcast, placement routing) and checks
+// every forcing against the single-deployment oracle.
+func TestClusterTextQuery(t *testing.T) {
+	src, _, _ := newSource(t, 4000)
+	_, s := startCluster(t, src, 3, 2)
+
+	corpus := []string{
+		"select ids where Energy > 2",
+		"select ids where Energy between 1 and 2.5",
+		"select ids where Energy > 2 and x < 100",
+	}
+	for _, text := range corpus {
+		q := lowerAgainst(t, src.Meta().GetByName, text)
+		want, err := src.GroundTruth(q)
+		if err != nil {
+			t.Fatalf("truth %q: %v", text, err)
+		}
+		for _, force := range []plan.Force{plan.ForceAuto, plan.ForceScan, plan.ForceBitmap} {
+			out, err := s.RunText(text, force)
+			if err != nil {
+				t.Fatalf("%q force=%v: %v", text, force, err)
+			}
+			if !bytes.Equal(out.Sel.Encode(), want.Encode()) {
+				t.Errorf("%q force=%v: cluster answer differs from oracle (%d vs %d hits)",
+					text, force, out.Sel.NHits, want.NHits)
+			}
+		}
+	}
+
+	// EXPLAIN renders from the session client's catalog-restored
+	// metadata without touching the members.
+	res, err := s.RunText("explain select count where Energy > 2", plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sel != nil || !strings.Contains(res.Explain, "conjunct 0:") {
+		t.Errorf("cluster EXPLAIN output:\n%s", res.Explain)
+	}
+}

@@ -254,6 +254,7 @@ func (p *ProcessDeployment) Session() (*cluster.Session, error) {
 		MaxAttempts: 60,
 		RetryWait:   50 * time.Millisecond,
 		Sleeper:     telemetry.WallSleep,
+		Clock:       telemetry.Wall,
 	})
 }
 

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pdcquery/internal/dtype"
+	"pdcquery/internal/exec"
+	"pdcquery/internal/object"
+	"pdcquery/internal/plan"
+	"pdcquery/internal/qlang"
+	"pdcquery/internal/query"
+	"pdcquery/internal/workload"
+)
+
+// textDeployment imports VPIC data with every access path available:
+// region histograms, bitmap indexes, and a sorted replica on Energy —
+// so the planner has real choices to make.
+func textDeployment(t *testing.T, n int) (*Deployment, map[string]object.ID) {
+	t.Helper()
+	d := NewDeployment(Options{Servers: 4, Strategy: exec.Histogram, RegionBytes: 8 << 10, BuildIndex: true})
+	c := d.CreateContainer("vpic")
+	v := workload.GenerateVPIC(n, 42)
+	ids := make(map[string]object.ID)
+	for _, name := range workload.VPICNames {
+		o, err := d.ImportObject(c.ID, object.Property{
+			Name: name, Type: dtype.Float32, Dims: []uint64{uint64(n)},
+		}, dtype.Bytes(v.Vars[name]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = o.ID
+	}
+	if err := d.BuildSortedReplica(ids["Energy"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, ids
+}
+
+// lowerText resolves a statement against the deployment's metadata the
+// same way client and server do.
+func lowerText(t *testing.T, d *Deployment, text string) (*qlang.Query, *query.Query) {
+	t.Helper()
+	parsed, err := qlang.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	low, err := parsed.Lower(func(name string) (object.ID, bool) {
+		o, ok := d.Meta().GetByName(name)
+		if !ok {
+			return 0, false
+		}
+		return o.ID, true
+	})
+	if err != nil {
+		t.Fatalf("lower %q: %v", text, err)
+	}
+	return parsed, low.Query
+}
+
+// textCorpus is the planner-vs-oracle corpus: single-object, range,
+// multi-object, disjunctive, and value-first shapes.
+var textCorpus = []string{
+	"select ids where Energy > 2",
+	"select ids where Energy between 1 and 2.5",
+	"select ids where Energy > 2 and x < 100",
+	"select ids where Energy < 0.5 or Energy > 3",
+	"select ids where 2 < Energy and Energy <= 3.5",
+	"select ids where x >= 50 and x < 250 and Energy > 1",
+}
+
+// TestTextQueryPlannerMatchesOracle is the corpus property test: for
+// every statement, the cost-chosen plan and every forcing produce a
+// selection byte-identical to the brute-force ground truth. Plans may
+// change cost, never results.
+func TestTextQueryPlannerMatchesOracle(t *testing.T) {
+	d, _ := textDeployment(t, 30000)
+	for _, text := range textCorpus {
+		_, q := lowerText(t, d, text)
+		want, err := d.GroundTruth(q)
+		if err != nil {
+			t.Fatalf("truth %q: %v", text, err)
+		}
+		wantBytes := want.Encode()
+		for _, force := range []plan.Force{plan.ForceAuto, plan.ForceScan, plan.ForceBitmap, plan.ForceSorted} {
+			res, err := d.Client().RunText(text, force)
+			if err != nil {
+				t.Fatalf("%q force=%v: %v", text, force, err)
+			}
+			if !bytes.Equal(res.Sel.Encode(), wantBytes) {
+				t.Errorf("%q force=%v: selection differs from oracle (%d hits, want %d)",
+					text, force, res.Sel.NHits, want.NHits)
+			}
+		}
+	}
+}
+
+func TestTextQueryCountProjection(t *testing.T) {
+	d, _ := textDeployment(t, 20000)
+	text := "select count where Energy > 2 and x < 150"
+	_, q := lowerText(t, d, text)
+	want, err := d.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Client().RunText(text, plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sel.NHits != want.NHits {
+		t.Errorf("count = %d, want %d", res.Sel.NHits, want.NHits)
+	}
+	if !res.Sel.CountOnly || res.Sel.Coords != nil {
+		t.Error("count projection returned coordinates")
+	}
+	if res.Info.Elapsed.Total() <= 0 {
+		t.Error("no modeled elapsed time")
+	}
+}
+
+func TestTextQueryHistProjection(t *testing.T) {
+	d, _ := textDeployment(t, 20000)
+	text := "select hist(x, 32) where Energy > 1.5"
+	_, q := lowerText(t, d, text)
+	want, err := d.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scanEnc, bitmapEnc []byte
+	var min, max float64
+	for i, force := range []plan.Force{plan.ForceAuto, plan.ForceScan, plan.ForceBitmap, plan.ForceSorted} {
+		res, err := d.Client().RunText(text, force)
+		if err != nil {
+			t.Fatalf("force=%v: %v", force, err)
+		}
+		if res.Hist == nil {
+			t.Fatalf("force=%v: no histogram", force)
+		}
+		if res.Hist.Total != want.NHits {
+			t.Errorf("force=%v: hist total %d, want %d", force, res.Hist.Total, want.NHits)
+		}
+		// The matching value multiset is identical for every forcing, so
+		// the exact extrema must agree. (The merged grid itself can vary
+		// with the per-server partition: the sorted replica splits work
+		// differently than the base regions.)
+		if i == 0 {
+			min, max = res.Hist.Min, res.Hist.Max
+		} else if res.Hist.Min != min || res.Hist.Max != max {
+			t.Errorf("force=%v: extrema %g..%g, want %g..%g", force, res.Hist.Min, res.Hist.Max, min, max)
+		}
+		switch force {
+		case plan.ForceScan:
+			scanEnc = res.Hist.Encode()
+		case plan.ForceBitmap:
+			bitmapEnc = res.Hist.Encode()
+		}
+	}
+	// Scan and bitmap run over the same per-server partition, so their
+	// merged histograms are byte-identical.
+	if !bytes.Equal(scanEnc, bitmapEnc) {
+		t.Error("scan and bitmap forcings produced different histograms")
+	}
+}
+
+func TestTextQueryTagGating(t *testing.T) {
+	d, ids := textDeployment(t, 10000)
+	if err := d.Meta().AddTag(ids["Energy"], "run", "vpic-7"); err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Client().RunText("select count where Energy > 2", plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching tag: same answer as the untagged query.
+	tagged, err := d.Client().RunText(`select count where Energy > 2 and tag run = "vpic-7"`, plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged.Sel.NHits != base.Sel.NHits {
+		t.Errorf("matching tag: %d hits, want %d", tagged.Sel.NHits, base.Sel.NHits)
+	}
+	// Non-matching tag: the queried object is outside the tagged set.
+	none, err := d.Client().RunText(`select count where Energy > 2 and tag run = "other"`, plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Sel.NHits != 0 {
+		t.Errorf("non-matching tag: %d hits, want 0", none.Sel.NHits)
+	}
+}
+
+func TestTextQueryExplain(t *testing.T) {
+	d, _ := textDeployment(t, 10000)
+	// Plain EXPLAIN: plan text, no execution.
+	res, err := d.Client().RunText("explain select count where Energy > 2 and x < 100", plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sel != nil {
+		t.Error("plain EXPLAIN must not execute")
+	}
+	for _, want := range []string{"plan:", "conjunct 0:", "drive", "est rows", "modeled cost"} {
+		if !strings.Contains(res.Explain, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, res.Explain)
+		}
+	}
+	// EXPLAIN ANALYZE: executes with tracing and reports actual rows.
+	res, err = d.Client().RunText("explain analyze select count where Energy > 2 and x < 100", plan.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sel == nil {
+		t.Fatal("EXPLAIN ANALYZE must execute")
+	}
+	if !strings.Contains(res.Explain, "actual in") {
+		t.Errorf("EXPLAIN ANALYZE output missing actuals:\n%s", res.Explain)
+	}
+}
+
+func TestTextQueryPlanCache(t *testing.T) {
+	d, ids := textDeployment(t, 10000)
+	text := "select count where Energy > 2"
+	if _, err := d.Client().RunText(text, plan.ForceAuto); err != nil {
+		t.Fatal(err)
+	}
+	var hits0, misses0 uint64
+	for _, s := range d.Servers() {
+		h, m := s.PlanCacheStats()
+		hits0 += h
+		misses0 += m
+	}
+	if misses0 == 0 {
+		t.Fatal("first run must miss the plan cache")
+	}
+	if _, err := d.Client().RunText(text, plan.ForceAuto); err != nil {
+		t.Fatal(err)
+	}
+	var hits1, misses1 uint64
+	for _, s := range d.Servers() {
+		h, m := s.PlanCacheStats()
+		hits1 += h
+		misses1 += m
+	}
+	if hits1 <= hits0 {
+		t.Error("repeat run must hit the plan cache")
+	}
+	if misses1 != misses0 {
+		t.Errorf("repeat run missed: %d -> %d", misses0, misses1)
+	}
+	// A metadata mutation bumps the generation and invalidates the plan.
+	if err := d.Meta().AddTag(ids["Energy"], "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Client().RunText(text, plan.ForceAuto); err != nil {
+		t.Fatal(err)
+	}
+	var misses2 uint64
+	for _, s := range d.Servers() {
+		_, m := s.PlanCacheStats()
+		misses2 += m
+	}
+	if misses2 <= misses1 {
+		t.Error("metadata mutation must invalidate cached plans")
+	}
+}
+
+// TestPlanBuildDeterministic pins the planner's purity: rebuilding the
+// same statement against the same metadata snapshot yields a deeply
+// equal plan, every time, for every forcing.
+func TestPlanBuildDeterministic(t *testing.T) {
+	d, _ := textDeployment(t, 15000)
+	for _, text := range textCorpus {
+		_, q := lowerText(t, d, text)
+		for _, force := range []plan.Force{plan.ForceAuto, plan.ForceScan, plan.ForceBitmap, plan.ForceSorted} {
+			first, err := plan.Build(d.Meta(), q, force)
+			if err != nil {
+				t.Fatalf("%q force=%v: %v", text, force, err)
+			}
+			for i := 0; i < 5; i++ {
+				again, err := plan.Build(d.Meta(), q, force)
+				if err != nil {
+					t.Fatalf("%q force=%v: %v", text, force, err)
+				}
+				if !reflect.DeepEqual(first, again) {
+					t.Fatalf("%q force=%v: plan differs across rebuilds", text, force)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCostBasedChoosesCheaper sanity-checks the cost model: the
+// auto plan's modeled cost never exceeds any forcing's.
+func TestPlanCostBasedChoosesCheaper(t *testing.T) {
+	d, _ := textDeployment(t, 15000)
+	for _, text := range textCorpus {
+		_, q := lowerText(t, d, text)
+		auto, err := plan.Build(d.Meta(), q, plan.ForceAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, force := range []plan.Force{plan.ForceScan, plan.ForceBitmap, plan.ForceSorted} {
+			forced, err := plan.Build(d.Meta(), q, force)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auto.CostNs > forced.CostNs+1e-9 {
+				t.Errorf("%q: auto cost %.0f ns exceeds force=%v cost %.0f ns",
+					text, auto.CostNs, force, forced.CostNs)
+			}
+		}
+	}
+}
+
+func TestTextQueryErrors(t *testing.T) {
+	d, _ := textDeployment(t, 5000)
+	for _, c := range []struct{ text, want string }{
+		{"select count where Nope > 1", "unknown column"},
+		{"select count where Energy >", "expected comparison value"},
+		{"count where Energy > 1", `expected "select"`},
+	} {
+		if _, err := d.Client().RunText(c.text, plan.ForceAuto); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("RunText(%q) error = %v, want containing %q", c.text, err, c.want)
+		}
+	}
+}

@@ -185,6 +185,14 @@ type Engine struct {
 	// Rec) and the merge barrier flushes the totals as aggregate events
 	// in region order.
 	cacheEv *CacheTraffic
+	// Plan, when non-nil, is the cost-based planner's output for the
+	// query about to run: per-conjunct condition order and per-region
+	// scan-vs-probe choices, replacing the engine's fixed
+	// strategy-driven decisions. Every directive degrades safely (a
+	// malformed order or a probe choice on an unindexed region falls
+	// back to the engine default), so a plan changes cost, never
+	// results.
+	Plan *QueryPlan
 	// Clock supplies wall stamps for phase accounting; nil or NoClock in
 	// every deterministic context.
 	Clock telemetry.Clock
@@ -424,7 +432,7 @@ func (e *Engine) EvaluateToken(tok *sched.Token, q *query.Query, assign Assignme
 		}
 		cs := span.Child(telemetry.SpanConjunct, fmt.Sprintf("conjunct.%d", i))
 		before, costed := e.spanCost(cs)
-		sel, vals, err := e.evalConjunct(tok, q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats, cs)
+		sel, vals, err := e.evalConjunct(tok, e.Plan.conjunct(i), q, c, objs, anchor, orig, assign.Sorted, collect, &res.Stats, cs)
 		if err != nil {
 			return nil, err
 		}
@@ -520,18 +528,29 @@ func runsElems(runs []localRun) int64 {
 	return n
 }
 
-// evalConjunct evaluates one AND-term over the assigned regions.
-func (e *Engine) evalConjunct(tok *sched.Token, q *query.Query, c query.Conjunct, objs map[object.ID]*object.Object,
+// evalConjunct evaluates one AND-term over the assigned regions. A
+// non-nil ConjunctPlan overrides the strategy-driven decisions: its
+// validated order replaces selectivity ordering, and its Sorted flag
+// replaces the strategy check (still contingent on the replica being
+// present).
+func (e *Engine) evalConjunct(tok *sched.Token, cp *ConjunctPlan, q *query.Query, c query.Conjunct, objs map[object.ID]*object.Object,
 	anchor *object.Object, orig []int, sorted []int, collect bool, stats *Stats,
 	cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
 	order := e.orderConditions(c)
-	if e.Strategy == SortedHistogram {
+	if po := cp.planOrder(c); po != nil {
+		order = po
+	}
+	useSorted := e.Strategy == SortedHistogram
+	if cp != nil {
+		useSorted = cp.Sorted
+	}
+	if useSorted {
 		if rep := e.replicaFor(order[0]); rep != nil {
 			return e.evalConjunctSorted(tok, q, c, order, objs, anchor, rep, sorted, collect, stats, cs)
 		}
 	}
-	return e.evalConjunctScanProbe(tok, q, c, order, objs, anchor, orig, collect, stats, cs)
+	return e.evalConjunctScanProbe(tok, cp, q, c, order, objs, anchor, orig, collect, stats, cs)
 }
 
 func (e *Engine) replicaFor(id object.ID) *sortstore.Replica {
@@ -579,7 +598,7 @@ func replayCondAttrs(cs, log *telemetry.Span) {
 //     its own region's extents;
 //  3. a serial merge in region order that adopts spans, replays condition
 //     counters, absorbs shadow accounts, and appends hit coordinates.
-func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query.Conjunct, order []object.ID,
+func (e *Engine) evalConjunctScanProbe(tok *sched.Token, cp *ConjunctPlan, q *query.Query, c query.Conjunct, order []object.ID,
 	objs map[object.ID]*object.Object, anchor *object.Object, orig []int,
 	collect bool, stats *Stats, cs *telemetry.Span) (*selection.Selection, map[object.ID][]byte, error) {
 
@@ -648,14 +667,24 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 		rs := res.span
 		res.stats.RegionsEvaluated++
 
+		// Resolve the region per the plan's choice when one is set;
+		// ChoiceAuto keeps the strategy default.
+		useIndex := e.Strategy == HistogramIndex
+		switch cp.choice(r) {
+		case ChoiceScan:
+			useIndex = false
+		case ChoiceProbe:
+			useIndex = true
+		}
+
 		// Classify how this region will be resolved before reading it:
 		// once readRegion runs, the cache state that made it a hit is gone.
 		if rs != nil {
 			switch {
+			case useIndex:
+				rs.SetStr("decision", telemetry.DecisionBitmapProbed)
 			case e.Strategy == FullScan:
 				rs.SetStr("decision", telemetry.DecisionFullScan)
-			case e.Strategy == HistogramIndex:
-				rs.SetStr("decision", telemetry.DecisionBitmapProbed)
 			case e.Cache.Contains(objs[order[0]].Regions[r].ExtentKey):
 				rs.SetStr("decision", telemetry.DecisionCacheHit)
 			default:
@@ -665,7 +694,7 @@ func (e *Engine) evalConjunctScanProbe(tok *sched.Token, q *query.Query, c query
 
 		var hits []uint64
 		var err error
-		if e.Strategy == HistogramIndex {
+		if useIndex {
 			hits, err = te.evalRegionIndex(tok, c, order, objs, r, taskRuns[i], &res.stats, res.condLog)
 		} else {
 			hits, err = te.evalRegionScan(tok, c, order, objs, r, taskRuns[i], nil, &res.stats, res.condLog)

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+)
+
+// Exported mirrors of the engine's compute-cost constants, so the
+// cost-based planner models exactly what the engine charges.
+const (
+	// ScanNsPerElem is the per-element cost of a first-condition scan.
+	ScanNsPerElem = scanNsPerElem
+	// ProbeNsPerElem is the per-element cost of probing a later
+	// condition at already-selected locations.
+	ProbeNsPerElem = probeNsPerElem
+	// CandNsPerElem is the per-element cost of a boundary-bin candidate
+	// check on the bitmap-index path.
+	CandNsPerElem = candNsPerElem
+)
+
+// RegionChoice is a planner directive for how one region resolves a
+// conjunct.
+type RegionChoice uint8
+
+// Region choices. ChoiceAuto defers to the engine's strategy default.
+const (
+	ChoiceAuto RegionChoice = iota
+	// ChoiceScan forces the scan+probe path.
+	ChoiceScan
+	// ChoiceProbe forces the bitmap-index path (regions without an
+	// index degrade to scan semantics inside the index evaluator, so a
+	// stale choice stays correct).
+	ChoiceProbe
+)
+
+// ConjunctPlan fixes one conjunct's evaluation: the condition order
+// and the per-region resolution choice. Both are advisory in the sense
+// that a malformed plan (wrong objects, missing entries) falls back to
+// the engine's own decision — the plan can change cost, never results.
+type ConjunctPlan struct {
+	// Order is the condition evaluation order (must cover exactly the
+	// conjunct's objects to take effect).
+	Order []object.ID
+	// Sorted selects the sorted-replica path for Order[0] (taken only
+	// when the engine actually has the replica).
+	Sorted bool
+	// Regions maps region index → choice; absent regions are ChoiceAuto.
+	Regions map[int]RegionChoice
+}
+
+// choice returns the plan's directive for region r.
+func (cp *ConjunctPlan) choice(r int) RegionChoice {
+	if cp == nil || cp.Regions == nil {
+		return ChoiceAuto
+	}
+	return cp.Regions[r]
+}
+
+// planOrder validates the plan's order against the conjunct: it must
+// list exactly the conjunct's objects (each once). Returns nil when it
+// does not, so the engine falls back to its own ordering.
+func (cp *ConjunctPlan) planOrder(c query.Conjunct) []object.ID {
+	if cp == nil || len(cp.Order) != len(c) {
+		return nil
+	}
+	// Allocation-free duplicate check: conjuncts hold a handful of
+	// conditions, so the quadratic scan beats a map on the hot path.
+	for i, id := range cp.Order {
+		if _, ok := c[id]; !ok {
+			return nil
+		}
+		for j := 0; j < i; j++ {
+			if cp.Order[j] == id {
+				return nil
+			}
+		}
+	}
+	return cp.Order
+}
+
+// QueryPlan is a cost-based planner's output: one ConjunctPlan per
+// normalized conjunct, in query.Normalize order. The engine honors it
+// when set (Engine.Plan); every directive degrades safely, so results
+// are byte-identical with and without a plan.
+type QueryPlan struct {
+	Conjuncts []ConjunctPlan
+}
+
+// conjunct returns the plan for conjunct i (nil when absent).
+func (p *QueryPlan) conjunct(i int) *ConjunctPlan {
+	if p == nil || i >= len(p.Conjuncts) {
+		return nil
+	}
+	return &p.Conjuncts[i]
+}

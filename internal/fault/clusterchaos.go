@@ -128,6 +128,7 @@ func RunClusterChaos(seed uint64, opts ClusterChaosOptions) (*ClusterChaosResult
 		MaxAttempts: 40,
 		RetryWait:   2 * time.Millisecond,
 		Sleeper:     telemetry.WallSleep,
+		Clock:       telemetry.Wall,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster chaos seed %d: session: %w", seed, err)

@@ -42,8 +42,15 @@ type Histogram struct {
 	Counts []uint64
 	// Min and Max are the exact observed data minimum and maximum.
 	Min, Max float64
-	// Total is the number of counted (non-NaN) elements.
+	// Total is the number of counted (non-NaN) elements, including the
+	// infinite ones below.
 	Total uint64
+	// NegInf and PosInf count observed -Inf/+Inf values. Infinities
+	// cannot live on a finite bin grid: clamping them into an edge bin
+	// (the old behavior) strands them in an interior bin once the grid
+	// grows, silently breaking both Estimate bounds. They are counted
+	// here instead and folded back in by Estimate and Quantile.
+	NegInf, PosInf uint64
 }
 
 // powFloor rounds w down to the nearest power of two (2^k, k may be
@@ -132,8 +139,11 @@ func BuildBytes(t dtype.Type, data []byte, nbin int) *Histogram {
 }
 
 // maxGrow bounds grid extension for extreme outliers; beyond it a value
-// is clamped into the edge bin (making estimates at the far edges
-// approximate, tracked via Min/Max widening in BinRange).
+// is merged in as a singleton histogram, which coarsens the bin width
+// until the grid spans the outlier (the same path Observe uses). Values
+// are never clamped into a bin that does not cover them: a clamped
+// count turns into a wrong Estimate bound as soon as the grid grows
+// past it.
 const maxGrow = 1 << 16
 
 // maxMergeBins bounds the merged grid size. Two histograms whose data
@@ -147,25 +157,49 @@ const maxMergeBins = 1 << 16
 // extend the grid by whole bins — Algorithm 1 instead adjusts the edge
 // boundary (lines 12–17), but extension keeps every bin's nominal range
 // truthful so that merged histograms still bracket exact counts; the
-// grid stays power-of-two aligned either way.
+// grid stays power-of-two aligned either way. Values too far away to
+// extend toward coarsen the grid via a singleton merge; infinities are
+// counted off-grid (NegInf/PosInf). Either way no bin ever holds a
+// value outside its nominal range.
 func (h *Histogram) add(v float64) {
-	// Compute the bin index in float space: converting ±Inf or a value
-	// further than maxInt bins from the grid straight to int overflows
-	// the conversion (the result is platform-specific, e.g. minInt),
-	// which used to turn the grow amount negative and panic in make.
+	if math.IsInf(v, 0) {
+		if v < 0 {
+			h.NegInf++
+		} else {
+			h.PosInf++
+		}
+		h.Total++
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+		return
+	}
+	// Compute the bin index in float space: converting a value further
+	// than maxInt bins from the grid straight to int overflows the
+	// conversion (the result is platform-specific, e.g. minInt), which
+	// used to turn the grow amount negative and panic in make.
 	fj := math.Floor((v - h.Start) / h.Width)
 	if fj < 0 {
-		if grow := -fj; grow <= maxGrow {
-			g := int(grow)
-			h.Counts = append(make([]uint64, g, g+len(h.Counts)), h.Counts...)
-			h.Start -= float64(g) * h.Width
+		grow := -fj
+		if grow > maxGrow {
+			h.Merge(Build([]float64{v}, 1))
+			return
 		}
+		g := int(grow)
+		h.Counts = append(make([]uint64, g, g+len(h.Counts)), h.Counts...)
+		h.Start -= float64(g) * h.Width
 		fj = 0
 	}
 	if fj >= float64(len(h.Counts)) {
-		if grow := fj - float64(len(h.Counts)) + 1; grow <= maxGrow {
-			h.Counts = append(h.Counts, make([]uint64, int(grow))...)
+		grow := fj - float64(len(h.Counts)) + 1
+		if grow > maxGrow {
+			h.Merge(Build([]float64{v}, 1))
+			return
 		}
+		h.Counts = append(h.Counts, make([]uint64, int(grow))...)
 		if fj >= float64(len(h.Counts)) {
 			fj = float64(len(h.Counts) - 1)
 		}
@@ -187,7 +221,7 @@ func (h *Histogram) add(v float64) {
 // for extension merge in as a singleton histogram, which coarsens the
 // width instead of clamping — keeping stream histograms exact and
 // mergeable no matter how wide the value range grows. NaNs are ignored,
-// matching Build.
+// matching Build; infinities go to the off-grid NegInf/PosInf counts.
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
@@ -196,27 +230,24 @@ func (h *Histogram) Observe(v float64) {
 		*h = *Build([]float64{v}, 1)
 		return
 	}
-	fj := math.Floor((v - h.Start) / h.Width)
-	if fj >= -maxGrow && fj < float64(len(h.Counts))+maxGrow {
-		h.add(v)
-		return
-	}
-	h.Merge(Build([]float64{v}, 1))
+	h.add(v)
 }
 
 // NumBins returns the number of bins.
 func (h *Histogram) NumBins() int { return len(h.Counts) }
 
-// BinRange returns the [lo, hi) boundary of bin i, widened at the edges to
-// the exact observed Min/Max when those lie outside the grid (clamped
-// outliers live in the edge bins).
+// BinRange returns the [lo, hi) boundary of bin i, widened at the edges
+// to the exact observed finite Min/Max should those lie outside the
+// grid. Infinite extrema never widen a bin: infinities are counted
+// off-grid (NegInf/PosInf), and letting a ±Inf boundary into Quantile's
+// interpolation used to produce NaN (-Inf + q·(+Inf) has no value).
 func (h *Histogram) BinRange(i int) (lo, hi float64) {
 	lo = h.Start + float64(i)*h.Width
 	hi = lo + h.Width
-	if i == 0 && h.Min < lo {
+	if i == 0 && h.Min < lo && !math.IsInf(h.Min, -1) {
 		lo = h.Min
 	}
-	if i == len(h.Counts)-1 && h.Max >= hi {
+	if i == len(h.Counts)-1 && h.Max >= hi && !math.IsInf(h.Max, 1) {
 		hi = math.Nextafter(h.Max, math.Inf(1))
 	}
 	return lo, hi
@@ -225,10 +256,15 @@ func (h *Histogram) BinRange(i int) (lo, hi float64) {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values:
 // it walks the cumulative bin counts to the bin containing the rank and
 // interpolates linearly inside it, clamping to the exact observed
-// [Min, Max]. An empty histogram reports 0.
+// [Min, Max]. q=0 reports the exact Min and q=1 the exact Max (either
+// may be ±Inf when the data held infinities); a NaN q propagates as
+// NaN; an empty or nil histogram reports 0 for any q.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil || h.Total == 0 || math.IsNaN(q) {
+	if h == nil || h.Total == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q <= 0 {
 		return h.Min
@@ -237,7 +273,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return h.Max
 	}
 	rank := q * float64(h.Total)
-	cum := 0.0
+	// The off-grid -Inf observations occupy the lowest ranks; +Inf ones
+	// are the h.Max fallthrough past the last bin.
+	if rank <= float64(h.NegInf) {
+		return math.Inf(-1)
+	}
+	cum := float64(h.NegInf)
 	for i, c := range h.Counts {
 		next := cum + float64(c)
 		if c > 0 && next >= rank {
@@ -322,6 +363,8 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.Start = start
 	h.Counts = counts
 	h.Total += o.Total
+	h.NegInf += o.NegInf
+	h.PosInf += o.PosInf
 	if o.Min < h.Min {
 		h.Min = o.Min
 	}
@@ -366,7 +409,9 @@ func (h *Histogram) Overlaps(lo, hi float64, loIncl, hiIncl bool) bool {
 // Estimate returns lower and upper bounds on the number of elements v with
 // lo (<|<=) v (<|<=) hi: bins entirely inside the query range count toward
 // both bounds; bins partially overlapping count toward the upper bound
-// only (§III-D2).
+// only (§III-D2). Off-grid infinities contribute exactly: ±Inf matches a
+// predicate only at a closed infinite endpoint, so their counts go to
+// both bounds when matched and to neither otherwise.
 func (h *Histogram) Estimate(lo, hi float64, loIncl, hiIncl bool) (lower, upper uint64) {
 	if !h.Overlaps(lo, hi, loIncl, hiIncl) {
 		return 0, 0
@@ -388,6 +433,18 @@ func (h *Histogram) Estimate(lo, hi float64, loIncl, hiIncl bool) (lower, upper 
 			lower += c
 		}
 		upper += c
+	}
+	// v = -Inf satisfies lo ≤ v only as lo = -Inf with a closed endpoint,
+	// and satisfies v ≤ hi for any hi above it (or hi = -Inf closed);
+	// mirrored for +Inf. Both conditions are decidable from the interval
+	// alone, so the infinite counts tighten both bounds, not just upper.
+	if h.NegInf > 0 && math.IsInf(lo, -1) && loIncl && (hi > lo || hiIncl) {
+		lower += h.NegInf
+		upper += h.NegInf
+	}
+	if h.PosInf > 0 && math.IsInf(hi, 1) && hiIncl && (lo < hi || loIncl) {
+		lower += h.PosInf
+		upper += h.PosInf
 	}
 	return lower, upper
 }
@@ -421,12 +478,13 @@ func (h *Histogram) CheckInvariants() error {
 	if !alignedTo(h.Start, h.Width) {
 		return fmt.Errorf("histogram: start %v not aligned to width %v", h.Start, h.Width)
 	}
-	var sum uint64
+	sum := h.NegInf + h.PosInf
 	for _, c := range h.Counts {
 		sum += c
 	}
 	if sum != h.Total {
-		return fmt.Errorf("histogram: counts sum %d != total %d", sum, h.Total)
+		return fmt.Errorf("histogram: counts sum %d (incl %d -Inf, %d +Inf) != total %d",
+			sum, h.NegInf, h.PosInf, h.Total)
 	}
 	if h.Min > h.Max {
 		return fmt.Errorf("histogram: min %v > max %v with total %d", h.Min, h.Max, h.Total)
@@ -438,7 +496,7 @@ const encMagic = uint32(0x50444348) // "PDCH"
 
 // Encode serializes the histogram for metadata persistence and transport.
 func (h *Histogram) Encode() []byte {
-	buf := make([]byte, 0, 48+8*len(h.Counts))
+	buf := make([]byte, 0, 64+8*len(h.Counts))
 	var tmp [8]byte
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(tmp[:4], v)
@@ -459,6 +517,8 @@ func (h *Histogram) Encode() []byte {
 	putF(h.Min)
 	putF(h.Max)
 	put64(h.Total)
+	put64(h.NegInf)
+	put64(h.PosInf)
 	for _, c := range h.Counts {
 		put64(c)
 	}
@@ -467,14 +527,14 @@ func (h *Histogram) Encode() []byte {
 
 // Decode deserializes a histogram produced by Encode.
 func Decode(b []byte) (*Histogram, error) {
-	if len(b) < 48 {
+	if len(b) < 64 {
 		return nil, fmt.Errorf("histogram: encoded buffer too short (%d bytes)", len(b))
 	}
 	if binary.LittleEndian.Uint32(b[0:4]) != encMagic {
 		return nil, fmt.Errorf("histogram: bad magic")
 	}
 	n := int(binary.LittleEndian.Uint32(b[4:8]))
-	if len(b) != 48+8*n {
+	if len(b) != 64+8*n {
 		return nil, fmt.Errorf("histogram: encoded length %d does not match %d bins", len(b), n)
 	}
 	h := &Histogram{
@@ -483,10 +543,12 @@ func Decode(b []byte) (*Histogram, error) {
 		Min:    math.Float64frombits(binary.LittleEndian.Uint64(b[24:32])),
 		Max:    math.Float64frombits(binary.LittleEndian.Uint64(b[32:40])),
 		Total:  binary.LittleEndian.Uint64(b[40:48]),
+		NegInf: binary.LittleEndian.Uint64(b[48:56]),
+		PosInf: binary.LittleEndian.Uint64(b[56:64]),
 		Counts: make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
-		h.Counts[i] = binary.LittleEndian.Uint64(b[48+8*i : 56+8*i])
+		h.Counts[i] = binary.LittleEndian.Uint64(b[64+8*i : 72+8*i])
 	}
 	return h, nil
 }

@@ -446,23 +446,36 @@ func TestOutlierExtensionKeepsBracketingAfterMerge(t *testing.T) {
 }
 
 func TestExtremeOutlierClampFallback(t *testing.T) {
-	// A value absurdly far from the grid must not OOM the histogram: it
-	// clamps into the edge bin and only widens Min/Max.
+	// A value absurdly far from the grid must not OOM the histogram: the
+	// grid coarsens (singleton merge, bounded by maxMergeBins) instead
+	// of extending bin by bin. Clamping it into the edge bin — the old
+	// behavior — stranded the outlier in an interior bin as soon as the
+	// grid grew past it, breaking both Estimate bounds.
 	vals := make([]float64, 200)
 	for i := range vals {
 		vals[i] = float64(i % 10)
 	}
 	vals[137] = 1e12 // not seen by the stride-10 sample (137 % 10 != 0)
 	h := Build(vals, 16)
-	if h.NumBins() > 4096 {
+	if h.NumBins() > maxMergeBins {
 		t.Fatalf("extreme outlier grew the grid to %d bins", h.NumBins())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 	if h.Max != 1e12 {
 		t.Errorf("max = %v", h.Max)
 	}
-	// The upper bound must still cover the clamped outlier.
+	// The bounds must still cover the outlier...
 	_, u := h.Estimate(1e11, 1e13, false, false)
 	if u < 1 {
-		t.Errorf("clamped outlier invisible to the upper bound: %d", u)
+		t.Errorf("outlier invisible to the upper bound: %d", u)
+	}
+	// ...and must not smuggle it below the range it actually lies in:
+	// the old clamp counted it as a fully-covered element of the dense
+	// low bins, inflating the lower bound past the truth.
+	l, _ := h.Estimate(0, 10, true, true)
+	if l > 200 {
+		t.Errorf("lower bound %d exceeds the %d elements in [0,10]", l, 200)
 	}
 }

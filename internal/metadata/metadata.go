@@ -40,6 +40,7 @@ type Service struct {
 	tagIdx     map[string]map[string][]object.ID
 	nextCID    object.ContainerID
 	nextOID    object.ID
+	gen        uint64
 }
 
 // lookupCost is the modeled latency of one metadata operation (in-memory
@@ -64,8 +65,28 @@ func (s *Service) CreateContainer(name string) *object.Container {
 	defer s.mu.Unlock()
 	c := &object.Container{ID: s.nextCID, Name: name}
 	s.nextCID++
+	s.gen++
 	s.containers[c.ID] = c
 	return c
+}
+
+// Gen returns the metadata generation: a counter bumped by every
+// mutation (container/object creation, tagging, restore). Prepared
+// query plans are valid only for the generation they were built
+// against — the plan cache compares generations to invalidate.
+func (s *Service) Gen() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// BumpGen marks an out-of-band metadata mutation (e.g. region metadata
+// attached directly to an object by an import path) so cached plans
+// built against the old shape are invalidated.
+func (s *Service) BumpGen() {
+	s.mu.Lock()
+	s.gen++
+	s.mu.Unlock()
 }
 
 // CreateObject allocates an ID and registers an object described by prop
@@ -92,6 +113,7 @@ func (s *Service) CreateObject(cid object.ContainerID, prop object.Property) (*o
 		Tags:      make(map[string]string),
 	}
 	s.nextOID++
+	s.gen++
 	s.objects[o.ID] = o
 	s.byName[o.Name] = o.ID
 	for k, v := range prop.Tags {
@@ -130,6 +152,7 @@ func (s *Service) AddTag(id object.ID, key, value string) error {
 	}
 	o.Tags[key] = value
 	s.indexTagLocked(id, key, value)
+	s.gen++
 	return nil
 }
 
@@ -277,6 +300,7 @@ func (s *Service) Restore(data []byte) error {
 	s.tagIdx = make(map[string]map[string][]object.ID)
 	s.nextCID = snap.NextCID
 	s.nextOID = snap.NextOID
+	s.gen++
 	for _, c := range snap.Containers {
 		s.containers[c.ID] = c
 	}

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"pdcquery/internal/object"
+)
+
+// Actuals supplies the executed row counts for EXPLAIN ANALYZE: for
+// conjunct ci and condition object id, the elements that entered and
+// survived the condition (ok=false when the trace has no data, e.g.
+// the condition was short-circuited away).
+type Actuals func(ci int, id object.ID) (in, out int64, ok bool)
+
+// Format renders the plan as the EXPLAIN text: per conjunct, the
+// chosen access path and the ordered conditions with their estimated
+// selectivity bounds.
+func (p *Plan) Format(text string) string {
+	return p.format(text, nil)
+}
+
+// FormatAnalyze renders EXPLAIN ANALYZE: Format plus the actual
+// in/out rows per condition, so estimation drift is read directly as
+// "est 10..40 / actual 37".
+func (p *Plan) FormatAnalyze(text string, actual Actuals) string {
+	if actual == nil {
+		actual = func(int, object.ID) (int64, int64, bool) { return 0, 0, false }
+	}
+	return p.format(text, actual)
+}
+
+func (p *Plan) format(text string, actual Actuals) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s\n", text)
+	fmt.Fprintf(&b, "force: %s   modeled cost: %.0f ns\n", p.Force, p.CostNs)
+	for ci, cj := range p.Conjuncts {
+		access := "scan+probe"
+		if cj.Sorted {
+			access = "sorted-replica"
+		}
+		fmt.Fprintf(&b, "conjunct %d: %s (regions: %d scan, %d probe, %d pruned; cost %.0f ns)\n",
+			ci, access, cj.ScanRegions, cj.ProbeRegions, cj.PrunedRegions, cj.CostNs)
+		for i, cp := range cj.Conds {
+			role := "probe"
+			if i == 0 {
+				role = "drive"
+			}
+			fmt.Fprintf(&b, "  %s %s %s  est rows %d..%d (sel %.4f..%.4f)",
+				role, cp.Name, cp.Interval, cp.EstLower, cp.EstUpper, cp.SelLower, cp.SelUpper)
+			if actual != nil {
+				if in, out, ok := actual(ci, cp.Obj); ok {
+					fmt.Fprintf(&b, "  actual in %d out %d", in, out)
+				} else {
+					b.WriteString("  actual -")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+// Package plan is the cost-based query planner: from a metadata
+// snapshot (global + per-region histograms, min-max extrema, bitmap
+// index and sorted-replica availability) and a normalized query it
+// produces an exec.QueryPlan — per-conjunct condition order and
+// per-region scan-vs-bitmap-probe choices, plus whether the sorted
+// replica beats both — by modeling the engine's own vclock compute
+// charges. The planner is a pure function of (metadata snapshot,
+// query, forcing): no clocks, no randomness, no map-order dependence,
+// so client and server derive the identical plan from replicated
+// metadata and worker-count determinism is untouched.
+package plan
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+
+	"pdcquery/internal/exec"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+)
+
+// Force pins the planner's strategy choice, for corpus tests and the
+// CLI's strategy override.
+type Force int
+
+// Forcings. ForceAuto lets the cost model decide.
+const (
+	ForceAuto Force = iota
+	// ForceScan resolves every region by scan+probe.
+	ForceScan
+	// ForceBitmap resolves every region by bitmap-probe (regions
+	// without an index degrade to scan semantics in the engine).
+	ForceBitmap
+	// ForceSorted uses the sorted replica for every conjunct whose
+	// first-ordered condition has one.
+	ForceSorted
+)
+
+// String names the forcing.
+func (f Force) String() string {
+	switch f {
+	case ForceScan:
+		return "scan"
+	case ForceBitmap:
+		return "bitmap"
+	case ForceSorted:
+		return "sorted"
+	}
+	return "auto"
+}
+
+// ParseForce reads a forcing name.
+func ParseForce(s string) (Force, error) {
+	switch s {
+	case "", "auto":
+		return ForceAuto, nil
+	case "scan":
+		return ForceScan, nil
+	case "bitmap", "probe", "index":
+		return ForceBitmap, nil
+	case "sorted":
+		return ForceSorted, nil
+	}
+	return 0, fmt.Errorf("plan: unknown forcing %q", s)
+}
+
+// Source is the metadata the planner reads (metadata.Service satisfies
+// it).
+type Source interface {
+	Get(id object.ID) (*object.Object, bool)
+}
+
+// CondPlan is one planned condition of a conjunct, in evaluation
+// order.
+type CondPlan struct {
+	Obj      object.ID
+	Name     string
+	Interval query.Interval
+	// SelLower/SelUpper are the selectivity fraction bounds from the
+	// global histogram (0..1); EstLower/EstUpper the corresponding row
+	// estimates.
+	SelLower, SelUpper float64
+	EstLower, EstUpper uint64
+}
+
+// ConjunctPlan is the plan for one AND-term: the ordered conditions,
+// the chosen access paths, and the modeled cost.
+type ConjunctPlan struct {
+	Conds []CondPlan
+	// Sorted is true when the sorted-replica path was chosen for
+	// Conds[0].
+	Sorted bool
+	// ScanRegions/ProbeRegions/PrunedRegions count the per-region
+	// choices over the first condition's regions.
+	ScanRegions   int
+	ProbeRegions  int
+	PrunedRegions int
+	// CostNs is the modeled compute cost of this conjunct.
+	CostNs float64
+	// Exec is the engine-facing form.
+	Exec exec.ConjunctPlan
+}
+
+// Plan is the planner's output for one query.
+type Plan struct {
+	Conjuncts []ConjunctPlan
+	// CostNs is the total modeled compute cost.
+	CostNs float64
+	// Force records the forcing the plan was built under.
+	Force Force
+	// Exec is the engine-facing form the server installs on its
+	// request engine.
+	Exec exec.QueryPlan
+}
+
+// Modeled per-operation costs beyond the engine's per-element rates:
+// reading one bitmap-index bin and one binary-search step of the
+// sorted path. Like the engine's constants these are fractions of a
+// nanosecond per unit at full node parallelism.
+const (
+	indexBinNs   = 40.0
+	sortedStepNs = 60.0
+)
+
+// Build plans q against the metadata snapshot. The result depends only
+// on (snapshot contents, query, force).
+func Build(src Source, q *query.Query, force Force) (*Plan, error) {
+	conjuncts, err := query.Normalize(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Force: force}
+	for _, c := range conjuncts {
+		cp, err := buildConjunct(src, c, force)
+		if err != nil {
+			return nil, err
+		}
+		p.Conjuncts = append(p.Conjuncts, cp)
+		p.CostNs += cp.CostNs
+		p.Exec.Conjuncts = append(p.Exec.Conjuncts, cp.Exec)
+	}
+	return p, nil
+}
+
+// buildConjunct orders one conjunct's conditions by ascending
+// selectivity upper bound (stable on object ID, mirroring the
+// engine's fallback order) and chooses access paths by modeled cost.
+func buildConjunct(src Source, c query.Conjunct, force Force) (ConjunctPlan, error) {
+	ids := c.ObjectsSorted()
+	conds := make([]CondPlan, 0, len(ids))
+	for _, id := range ids {
+		o, ok := src.Get(id)
+		if !ok {
+			return ConjunctPlan{}, fmt.Errorf("plan: object %d not found", id)
+		}
+		iv := c[id]
+		cp := CondPlan{Obj: id, Name: o.Name, Interval: iv, SelLower: 0, SelUpper: 1}
+		n := o.NumElems()
+		cp.EstLower, cp.EstUpper = 0, n
+		if o.Global != nil {
+			cp.SelLower, cp.SelUpper = o.Global.SelectivityBounds(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+			lo, hi := o.Global.Estimate(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+			cp.EstLower, cp.EstUpper = lo, hi
+		}
+		conds = append(conds, cp)
+	}
+	slices.SortStableFunc(conds, func(x, y CondPlan) int { return cmp.Compare(x.SelUpper, y.SelUpper) })
+
+	out := ConjunctPlan{Conds: conds}
+	out.Exec.Order = make([]object.ID, len(conds))
+	for i, cp := range conds {
+		out.Exec.Order[i] = cp.Obj
+	}
+
+	first, ok := src.Get(conds[0].Obj)
+	if !ok {
+		return ConjunctPlan{}, fmt.Errorf("plan: object %d not found", conds[0].Obj)
+	}
+	iv := c[first.ID]
+
+	// Later conditions probe at the locations surviving so far; model
+	// them at the first condition's upper-bound hit estimate.
+	probeNs := float64(conds[0].EstUpper) * exec.ProbeNsPerElem * float64(len(conds)-1)
+
+	// Per-region choice over the first condition's regions.
+	var scanProbeNs float64
+	choices := make(map[int]exec.RegionChoice, len(first.Regions))
+	for r := range first.Regions {
+		rm := &first.Regions[r]
+		if regionPrunable(rm, iv) {
+			out.PrunedRegions++
+			continue
+		}
+		elems := first.RegionElems(r)
+		upper := uint64(elems)
+		if rm.Hist != nil {
+			_, upper = rm.Hist.Estimate(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+			if upper > elems {
+				upper = elems
+			}
+		}
+		scanNs := float64(elems) * exec.ScanNsPerElem
+		probeRegionNs := math.Inf(1)
+		if rm.IndexKey != "" && rm.IndexBins > 0 {
+			// The index path reads the touched bins and candidate-checks
+			// the boundary bins' worth of hits.
+			bins := 1 + float64(rm.IndexBins)*frac(upper, elems)
+			probeRegionNs = bins*indexBinNs + float64(upper)*exec.CandNsPerElem
+		}
+		choice := exec.ChoiceScan
+		costNs := scanNs
+		switch force {
+		case ForceScan:
+			// keep scan
+		case ForceBitmap:
+			if !math.IsInf(probeRegionNs, 1) {
+				choice, costNs = exec.ChoiceProbe, probeRegionNs
+			}
+		default:
+			if probeRegionNs < scanNs {
+				choice, costNs = exec.ChoiceProbe, probeRegionNs
+			}
+		}
+		if choice == exec.ChoiceProbe {
+			out.ProbeRegions++
+		} else {
+			out.ScanRegions++
+		}
+		choices[r] = choice
+		scanProbeNs += costNs
+	}
+	out.Exec.Regions = choices
+	scanProbeNs += probeNs
+
+	// Sorted-replica alternative: binary-search the sorted regions for
+	// the interval, then probe the remaining conditions at the matching
+	// locations.
+	sortedNs := math.Inf(1)
+	if first.SortedBy != 0 {
+		n := float64(first.NumElems())
+		steps := math.Log2(n + 1)
+		sortedNs = steps*sortedStepNs +
+			float64(conds[0].EstUpper)*exec.ProbeNsPerElem +
+			probeNs
+	}
+	switch force {
+	case ForceSorted:
+		if !math.IsInf(sortedNs, 1) {
+			out.Sorted = true
+		}
+	case ForceScan, ForceBitmap:
+		// keep the forced per-region path
+	default:
+		if sortedNs < scanProbeNs {
+			out.Sorted = true
+		}
+	}
+	if out.Sorted {
+		out.CostNs = sortedNs
+	} else {
+		out.CostNs = scanProbeNs
+	}
+	out.Exec.Sorted = out.Sorted
+	return out, nil
+}
+
+// frac is a safe ratio.
+func frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// regionPrunable mirrors the engine's metadata-only region pruning:
+// region histogram overlap when present, stored extrema otherwise.
+func regionPrunable(rm *object.RegionMeta, iv query.Interval) bool {
+	if rm.Hist != nil {
+		return !rm.Hist.Overlaps(iv.Lo, iv.Hi, iv.LoIncl, iv.HiIncl)
+	}
+	if rm.Max < iv.Lo || (rm.Max == iv.Lo && !iv.LoIncl) {
+		return true
+	}
+	if rm.Min > iv.Hi || (rm.Min == iv.Hi && !iv.HiIncl) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package qlang
+
+import (
+	"fmt"
+
+	"pdcquery/internal/metadata"
+	"pdcquery/internal/object"
+	"pdcquery/internal/query"
+)
+
+// Lowered is the engine-facing form of a parsed statement: the numeric
+// condition tree, the metadata tag conditions gating object
+// visibility, and the projection.
+type Lowered struct {
+	Query      *query.Query
+	Tags       []metadata.TagCond
+	Projection Projection
+	// HistObj is the resolved object of a hist projection column.
+	HistObj object.ID
+}
+
+// Lower resolves column names through the metadata and produces the
+// query.Cond tree plus the tag conditions. Tag conditions may only be
+// AND-combined with the rest of the where clause (they gate object
+// visibility, so a disjunction over tags has no single-engine
+// equivalent); a tag under OR is a typed error. A where clause of only
+// tag conditions is an error too — the engine needs at least one
+// numeric condition to evaluate.
+func (q *Query) Lower(resolve func(name string) (object.ID, bool)) (*Lowered, error) {
+	out := &Lowered{Projection: q.Projection}
+	if q.Projection.Kind == ProjHist {
+		id, ok := resolve(q.Projection.Col)
+		if !ok {
+			return nil, fmt.Errorf("qlang: unknown hist column %q", q.Projection.Col)
+		}
+		out.HistObj = id
+	}
+	if q.Where == nil {
+		return nil, fmt.Errorf("qlang: missing where clause")
+	}
+	root, err := lowerExpr(q.Where, resolve, false, &out.Tags)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("qlang: where clause has no numeric conditions")
+	}
+	out.Query = &query.Query{Root: root}
+	return out, nil
+}
+
+// lowerExpr lowers one expression node. underOr marks that the node
+// sits beneath an OR, where tag conditions are rejected. Tag nodes
+// lower to a nil numeric subtree and append to tags; query.And treats
+// the nil side as the identity.
+func lowerExpr(e Expr, resolve func(name string) (object.ID, bool), underOr bool, tags *[]metadata.TagCond) (*query.Node, error) {
+	switch n := e.(type) {
+	case *Cmp:
+		id, ok := resolve(n.Col)
+		if !ok {
+			return nil, fmt.Errorf("qlang: unknown column %q", n.Col)
+		}
+		return query.Leaf(id, n.Op, n.Value), nil
+	case *Between:
+		id, ok := resolve(n.Col)
+		if !ok {
+			return nil, fmt.Errorf("qlang: unknown column %q", n.Col)
+		}
+		return query.Between(id, n.Lo, n.Hi, true, true), nil
+	case *Tag:
+		if underOr {
+			return nil, fmt.Errorf("qlang: tag condition %s=%q under OR is not supported", n.Key, n.Value)
+		}
+		*tags = append(*tags, metadata.TagCond{Key: n.Key, Value: n.Value})
+		return nil, nil
+	case *Logic:
+		childUnderOr := underOr || n.Or
+		l, err := lowerExpr(n.Left, resolve, childUnderOr, tags)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerExpr(n.Right, resolve, childUnderOr, tags)
+		if err != nil {
+			return nil, err
+		}
+		if n.Or {
+			if l == nil || r == nil {
+				return nil, fmt.Errorf("qlang: OR with an empty side")
+			}
+			return query.Or(l, r), nil
+		}
+		return query.And(l, r), nil
+	}
+	return nil, fmt.Errorf("qlang: unknown expression node %T", e)
+}

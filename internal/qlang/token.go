@@ -1,0 +1,216 @@
+// Package qlang is the declarative text frontend for PDC queries: a
+// lexer, recursive-descent parser, and lowering from the small query
+// language
+//
+//	[explain [analyze]] select count | ids | hist(col, bins)
+//	    where <conjuncts over numeric ranges and tags>
+//
+// to the query.Cond tree the engine evaluates plus the metadata tag
+// conditions that gate object visibility. Parse errors are typed and
+// positional; Render produces the canonical text form that keys the
+// prepared-plan cache (parse∘render is a fixed point).
+package qlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind discriminates lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokLT // <
+	tokLE // <=
+	tokGT // >
+	tokGE // >=
+	tokEQ // =
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string  // raw text (ident/string) — strings are unquoted
+	num  float64 // tokNumber value
+	pos  int     // byte offset in the input
+}
+
+// ParseError is a typed, positional parse error. Pos is the byte
+// offset; Line and Col are 1-based.
+type ParseError struct {
+	Pos  int
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error renders "qlang: 1:17: expected number after '>'".
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("qlang: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// errAt builds a ParseError at a byte offset of src.
+func errAt(src string, pos int, format string, args ...any) *ParseError {
+	if pos > len(src) {
+		pos = len(src)
+	}
+	line, col := 1, 1
+	for _, r := range src[:pos] {
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Pos: pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isIdentStart / isIdentPart define identifiers: letters, '_', then
+// also digits and '.' (column names like "Energy" or "grp.x").
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexer walks the input producing tokens on demand.
+type lexer struct {
+	src string
+	i   int
+}
+
+// next scans one token.
+func (lx *lexer) next() (token, *ParseError) {
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.i++
+			continue
+		}
+		break
+	}
+	if lx.i >= len(lx.src) {
+		return token{kind: tokEOF, pos: len(lx.src)}, nil
+	}
+	start := lx.i
+	c := lx.src[lx.i]
+	switch {
+	case c == '(':
+		lx.i++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		lx.i++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		lx.i++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '<':
+		lx.i++
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+			return token{kind: tokLE, pos: start}, nil
+		}
+		return token{kind: tokLT, pos: start}, nil
+	case c == '>':
+		lx.i++
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+			return token{kind: tokGE, pos: start}, nil
+		}
+		return token{kind: tokGT, pos: start}, nil
+	case c == '=':
+		lx.i++
+		// Accept both = and == as equality.
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+		}
+		return token{kind: tokEQ, pos: start}, nil
+	case c == '"':
+		return lx.lexString(start)
+	case isDigit(c), c == '.' && lx.i+1 < len(lx.src) && isDigit(lx.src[lx.i+1]),
+		(c == '-' || c == '+') && lx.i+1 < len(lx.src) && (isDigit(lx.src[lx.i+1]) || lx.src[lx.i+1] == '.'):
+		return lx.lexNumber(start)
+	case isIdentStart(c):
+		lx.i++
+		for lx.i < len(lx.src) && isIdentPart(lx.src[lx.i]) {
+			lx.i++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.i], pos: start}, nil
+	}
+	return token{}, errAt(lx.src, start, "unexpected character %q", string(rune(c)))
+}
+
+// lexString scans a double-quoted string with \" and \\ escapes.
+func (lx *lexer) lexString(start int) (token, *ParseError) {
+	lx.i++ // opening quote
+	var b strings.Builder
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if c == '\\' && lx.i+1 < len(lx.src) {
+			nc := lx.src[lx.i+1]
+			if nc == '"' || nc == '\\' {
+				b.WriteByte(nc)
+				lx.i += 2
+				continue
+			}
+		}
+		if c == '"' {
+			lx.i++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(c)
+		lx.i++
+	}
+	return token{}, errAt(lx.src, start, "unterminated string")
+}
+
+// lexNumber scans a float literal: [+-]digits[.digits][e[+-]digits].
+func (lx *lexer) lexNumber(start int) (token, *ParseError) {
+	i := lx.i
+	if lx.src[i] == '-' || lx.src[i] == '+' {
+		i++
+	}
+	for i < len(lx.src) && isDigit(lx.src[i]) {
+		i++
+	}
+	if i < len(lx.src) && lx.src[i] == '.' {
+		i++
+		for i < len(lx.src) && isDigit(lx.src[i]) {
+			i++
+		}
+	}
+	if i < len(lx.src) && (lx.src[i] == 'e' || lx.src[i] == 'E') {
+		j := i + 1
+		if j < len(lx.src) && (lx.src[j] == '-' || lx.src[j] == '+') {
+			j++
+		}
+		if j < len(lx.src) && isDigit(lx.src[j]) {
+			i = j
+			for i < len(lx.src) && isDigit(lx.src[i]) {
+				i++
+			}
+		}
+	}
+	text := lx.src[start:i]
+	v, err := parseFloat(text)
+	if err != nil {
+		return token{}, errAt(lx.src, start, "bad number %q", text)
+	}
+	lx.i = i
+	return token{kind: tokNumber, num: v, text: text, pos: start}, nil
+}

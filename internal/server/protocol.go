@@ -44,6 +44,11 @@ const (
 	MsgFetchExtents byte = 20 // client -> server: read extents by key (rebalance transfer source)
 	MsgExtentsResult byte = 21 // server -> client: requested extents' bytes
 	MsgOK           byte = 22 // server -> client: bare acknowledgement
+	// Declarative text-query pair: the client ships canonical query
+	// text; the server parses, plans (cost-based, cached), executes,
+	// and answers with a selection/count/histogram per the projection.
+	MsgTextQuery  byte = 23 // client -> server: run a qlang text query
+	MsgTextResult byte = 24 // server -> client: text query answer
 )
 
 // MsgName returns a short stable name for a message type, used as the
@@ -94,6 +99,10 @@ func MsgName(t byte) string {
 		return "extents_result"
 	case MsgOK:
 		return "ok"
+	case MsgTextQuery:
+		return "text_query"
+	case MsgTextResult:
+		return "text_result"
 	}
 	return fmt.Sprintf("unknown_%d", t)
 }

@@ -26,6 +26,7 @@ import (
 	"pdcquery/internal/histogram"
 	"pdcquery/internal/metadata"
 	"pdcquery/internal/object"
+	"pdcquery/internal/plan"
 	"pdcquery/internal/query"
 	"pdcquery/internal/sched"
 	"pdcquery/internal/selection"
@@ -127,6 +128,11 @@ type Server struct {
 	// Metrics merges everything into the server-wide view.
 	telem *telemetry.Registry
 
+	// planCache is the prepared-plan LRU for text queries: canonical
+	// query text + forcing → cost-based plan, invalidated by placement
+	// epoch or metadata generation change.
+	planCache *plan.Cache
+
 	// rec is the always-on flight recorder: admission, dispatch,
 	// per-region execution, cache traffic, and failures all land in its
 	// ring. Exposed over MsgEvents and /debug/events.
@@ -181,11 +187,12 @@ func New(cfg Config) *Server {
 		cfg.CacheBytes = 1 << 30
 	}
 	s := &Server{
-		cfg:      cfg,
-		acct:     vclock.NewAccount(),
-		telem:    telemetry.NewRegistry(),
-		sessions: make(map[*session]struct{}),
-		retired:  telemetry.NewRegistry(),
+		cfg:       cfg,
+		acct:      vclock.NewAccount(),
+		telem:     telemetry.NewRegistry(),
+		sessions:  make(map[*session]struct{}),
+		retired:   telemetry.NewRegistry(),
+		planCache: plan.NewCache(DefaultPlanCacheSize),
 	}
 	s.queueDepth = cfg.QueueDepth
 	if s.queueDepth <= 0 {
@@ -573,6 +580,12 @@ func (s *Server) handle(ss *session, tok *sched.Token, acct *vclock.Account, m t
 	switch m.Type {
 	case MsgQuery:
 		reply := s.handleQuery(ss, tok, acct, m)
+		if s.cfg.OnQuery != nil {
+			s.cfg.OnQuery(uint64(s.queriesServed.Add(1)))
+		}
+		return reply
+	case MsgTextQuery:
+		reply := s.handleTextQuery(ss, tok, acct, m)
 		if s.cfg.OnQuery != nil {
 			s.cfg.OnQuery(uint64(s.queriesServed.Add(1)))
 		}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Boundary behavior of Distribution.Quantile, which the planner's
+// latency accounting consumes: empty distributions, q=0/q=1 exactness,
+// NaN q, single observations, and ±Inf observations (regression: a
+// -Inf observation made interior quantiles NaN pre-fix).
+
+func TestDistributionQuantileEmpty(t *testing.T) {
+	d := NewDistribution()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := d.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestDistributionQuantileSingleObservation(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(17.5)
+	if d.Quantile(0) != 17.5 || d.Quantile(1) != 17.5 {
+		t.Errorf("single-obs Quantile(0)/Quantile(1) = %v/%v, want 17.5",
+			d.Quantile(0), d.Quantile(1))
+	}
+	if got := d.Quantile(0.5); math.IsNaN(got) {
+		t.Errorf("single-obs Quantile(0.5) = NaN")
+	}
+}
+
+func TestDistributionQuantileBoundaryQ(t *testing.T) {
+	d := NewDistribution()
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		d.Observe(v)
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want exact min 1", got)
+	}
+	if got := d.Quantile(1); got != 9 {
+		t.Errorf("Quantile(1) = %v, want exact max 9", got)
+	}
+	if got := d.Quantile(-1); got != 1 {
+		t.Errorf("Quantile(-1) = %v, want min 1", got)
+	}
+	if got := d.Quantile(2); got != 9 {
+		t.Errorf("Quantile(2) = %v, want max 9", got)
+	}
+	if got := d.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestDistributionQuantileInfObservations(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(math.Inf(-1))
+	for i := 1; i <= 9; i++ {
+		d.Observe(float64(i))
+	}
+	if got := d.Quantile(0); !math.IsInf(got, -1) {
+		t.Errorf("Quantile(0) = %v, want -Inf", got)
+	}
+	for _, q := range []float64{0.3, 0.5, 0.9} {
+		if got := d.Quantile(q); math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = NaN with a -Inf observation (pre-fix bug)", q)
+		}
+	}
+	d2 := NewDistribution()
+	d2.Observe(2)
+	d2.Observe(math.Inf(1))
+	if got := d2.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(1) = %v, want +Inf", got)
+	}
+	if got := d2.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want 2", got)
+	}
+}
+
+func TestDistributionMergeKeepsQuantileSound(t *testing.T) {
+	a := NewDistribution()
+	b := NewDistribution()
+	for i := 0; i < 50; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i + 100))
+	}
+	a.Merge(b)
+	if got := a.Quantile(0); got != 0 {
+		t.Errorf("merged Quantile(0) = %v, want 0", got)
+	}
+	if got := a.Quantile(1); got != 149 {
+		t.Errorf("merged Quantile(1) = %v, want 149", got)
+	}
+	mid := a.Quantile(0.5)
+	if mid < 40 || mid > 110 {
+		t.Errorf("merged Quantile(0.5) = %v, want near the 49/100 gap", mid)
+	}
+}
